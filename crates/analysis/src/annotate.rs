@@ -1,0 +1,162 @@
+//! Function-level annotation of coverage graphs — the paper's Figure 4:
+//! `tracediff.py` prints the discovered feature blocks with the functions
+//! they belong to ("Feature-related code block locations in
+//! Redis-server").
+
+use crate::cov::CovGraph;
+use dynacut_obj::Image;
+
+/// Coverage of one function: how many of its blocks appear in a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionCoverage {
+    /// Function name.
+    pub function: String,
+    /// Module-relative entry offset.
+    pub offset: u64,
+    /// Blocks of this function present in the graph.
+    pub covered_blocks: usize,
+    /// Total blocks of the function.
+    pub total_blocks: usize,
+}
+
+impl FunctionCoverage {
+    /// Fraction of the function's blocks covered.
+    pub fn fraction(&self) -> f64 {
+        if self.total_blocks == 0 {
+            return 0.0;
+        }
+        self.covered_blocks as f64 / self.total_blocks as f64
+    }
+}
+
+/// Aggregates a coverage graph per function of `image` (loaded under
+/// `module`), listing only functions with at least one covered block,
+/// ordered by entry offset.
+pub fn annotate_functions(graph: &CovGraph, image: &Image, module: &str) -> Vec<FunctionCoverage> {
+    let mut out = Vec::new();
+    for func in &image.functions {
+        let blocks = image.blocks_of_function(&func.name);
+        if blocks.is_empty() {
+            continue;
+        }
+        let covered = blocks
+            .iter()
+            .filter(|block| {
+                graph.contains(&crate::BlockKey {
+                    module: module.to_owned(),
+                    offset: block.addr,
+                    size: block.size,
+                })
+            })
+            .count();
+        if covered > 0 {
+            out.push(FunctionCoverage {
+                function: func.name.clone(),
+                offset: func.offset,
+                covered_blocks: covered,
+                total_blocks: blocks.len(),
+            });
+        }
+    }
+    out.sort_by_key(|fc| fc.offset);
+    out
+}
+
+/// Renders a Figure-4-style report: each discovered block with its
+/// address, size and containing function.
+pub fn tracediff_report(graph: &CovGraph, image: &Image, module: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "tracediff: {} undesired basic blocks in `{module}`",
+        graph.module_blocks(module).len()
+    );
+    for (offset, size) in graph.module_blocks(module) {
+        let location = image
+            .function_containing(offset)
+            .map(|f| {
+                let delta = offset - f.offset;
+                if delta == 0 {
+                    f.name.clone()
+                } else {
+                    format!("{}+{delta:#x}", f.name)
+                }
+            })
+            .unwrap_or_else(|| "<unknown>".to_owned());
+        let _ = writeln!(out, "  {offset:#010x} {size:>4}B  {location}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BlockKey;
+    use dynacut_isa::{Assembler, Insn, Reg};
+    use dynacut_obj::{ModuleBuilder, ObjectKind};
+
+    fn two_func_image() -> Image {
+        let mut asm = Assembler::new();
+        asm.func("alpha");
+        asm.push(Insn::Movi(Reg::R1, 1));
+        asm.push(Insn::Ret);
+        asm.label("alpha_tail");
+        asm.push(Insn::Ret);
+        asm.func("beta");
+        asm.push(Insn::Ret);
+        let mut builder = ModuleBuilder::new("app", ObjectKind::SharedLib);
+        builder.text(asm.finish().unwrap());
+        builder.link(&[]).unwrap()
+    }
+
+    #[test]
+    fn annotation_counts_per_function() {
+        let image = two_func_image();
+        let mut graph = CovGraph::new();
+        // Cover alpha's first block only.
+        let alpha_blocks = image.blocks_of_function("alpha");
+        graph.insert(BlockKey {
+            module: "app".into(),
+            offset: alpha_blocks[0].addr,
+            size: alpha_blocks[0].size,
+        });
+        let annotated = annotate_functions(&graph, &image, "app");
+        assert_eq!(annotated.len(), 1);
+        assert_eq!(annotated[0].function, "alpha");
+        assert_eq!(annotated[0].covered_blocks, 1);
+        assert_eq!(annotated[0].total_blocks, alpha_blocks.len());
+        assert!(annotated[0].fraction() < 1.0);
+    }
+
+    #[test]
+    fn report_names_containing_functions() {
+        let image = two_func_image();
+        let mut graph = CovGraph::new();
+        let beta = image.blocks_of_function("beta")[0];
+        graph.insert(BlockKey {
+            module: "app".into(),
+            offset: beta.addr,
+            size: beta.size,
+        });
+        let report = tracediff_report(&graph, &image, "app");
+        assert!(report.contains("beta"));
+        assert!(report.contains("1 undesired basic blocks"));
+    }
+
+    #[test]
+    fn report_handles_mid_function_blocks() {
+        let image = two_func_image();
+        let mut graph = CovGraph::new();
+        // alpha's second block starts mid-function.
+        let alpha_blocks = image.blocks_of_function("alpha");
+        let tail = alpha_blocks.last().unwrap();
+        graph.insert(BlockKey {
+            module: "app".into(),
+            offset: tail.addr,
+            size: tail.size,
+        });
+        let report = tracediff_report(&graph, &image, "app");
+        assert!(report.contains("alpha+0x"), "offset-annotated: {report}");
+    }
+}

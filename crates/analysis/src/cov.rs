@@ -1,0 +1,245 @@
+//! Coverage graphs and the tracediff set algebra.
+
+use dynacut_trace::TraceLog;
+use std::collections::BTreeSet;
+
+/// A basic block identified by module **name** and module-relative
+/// offset/size — stable across load addresses and process restarts.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockKey {
+    /// Module (binary) name.
+    pub module: String,
+    /// Offset of the block inside the module.
+    pub offset: u64,
+    /// Block size in bytes.
+    pub size: u32,
+}
+
+impl std::fmt::Display for BlockKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}+{:#x}({}B)", self.module, self.offset, self.size)
+    }
+}
+
+/// A code coverage graph: the set of executed basic blocks
+/// (`CovG` in the paper's notation).
+///
+/// ```
+/// use dynacut_analysis::{feature_blocks, BlockKey, CovGraph};
+///
+/// let key = |offset| BlockKey { module: "app".into(), offset, size: 4 };
+/// let undesired: CovGraph = [key(0), key(8)].into_iter().collect();
+/// let wanted: CovGraph = [key(8)].into_iter().collect();
+/// let feature = feature_blocks(&undesired, &wanted);
+/// assert_eq!(feature.len(), 1);
+/// assert!(feature.contains(&key(0)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CovGraph {
+    blocks: BTreeSet<BlockKey>,
+}
+
+impl CovGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a graph from a drcov trace log.
+    pub fn from_log(log: &TraceLog) -> Self {
+        let mut graph = CovGraph::new();
+        for block in &log.blocks {
+            let module = log
+                .modules
+                .iter()
+                .find(|m| m.id == block.module)
+                .map(|m| m.name.clone())
+                .unwrap_or_else(|| format!("module#{}", block.module));
+            graph.blocks.insert(BlockKey {
+                module,
+                offset: u64::from(block.offset),
+                size: block.size,
+            });
+        }
+        graph
+    }
+
+    /// Inserts one block.
+    pub fn insert(&mut self, key: BlockKey) {
+        self.blocks.insert(key);
+    }
+
+    /// Whether the block is in the graph.
+    pub fn contains(&self, key: &BlockKey) -> bool {
+        self.blocks.contains(key)
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the graph has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Iterates over the blocks in order.
+    pub fn iter(&self) -> impl Iterator<Item = &BlockKey> {
+        self.blocks.iter()
+    }
+
+    /// Total covered bytes.
+    pub fn covered_bytes(&self) -> u64 {
+        self.blocks.iter().map(|b| u64::from(b.size)).sum()
+    }
+
+    /// Set union, the merge of multiple trace files (paper: "either use a
+    /// single trace file containing all the desired requests or merge
+    /// multiple trace files").
+    pub fn union(&self, other: &CovGraph) -> CovGraph {
+        CovGraph {
+            blocks: self.blocks.union(&other.blocks).cloned().collect(),
+        }
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &CovGraph) -> CovGraph {
+        CovGraph {
+            blocks: self.blocks.difference(&other.blocks).cloned().collect(),
+        }
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &CovGraph) -> CovGraph {
+        CovGraph {
+            blocks: self.blocks.intersection(&other.blocks).cloned().collect(),
+        }
+    }
+
+    /// Keeps only blocks of the named modules — the paper's filtering of
+    /// library blocks so customization targets the application binary.
+    pub fn retain_modules(&self, modules: &[&str]) -> CovGraph {
+        CovGraph {
+            blocks: self
+                .blocks
+                .iter()
+                .filter(|b| modules.contains(&b.module.as_str()))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Blocks of one module as `(offset, size)` pairs.
+    pub fn module_blocks(&self, module: &str) -> Vec<(u64, u32)> {
+        self.blocks
+            .iter()
+            .filter(|b| b.module == module)
+            .map(|b| (b.offset, b.size))
+            .collect()
+    }
+}
+
+impl FromIterator<BlockKey> for CovGraph {
+    fn from_iter<T: IntoIterator<Item = BlockKey>>(iter: T) -> Self {
+        CovGraph {
+            blocks: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<BlockKey> for CovGraph {
+    fn extend<T: IntoIterator<Item = BlockKey>>(&mut self, iter: T) {
+        self.blocks.extend(iter);
+    }
+}
+
+/// Feature-related undesired blocks: executed by the undesired inputs but
+/// by none of the wanted inputs (`blk ∈ CovG_undesired ∧ blk ∉
+/// CovG_wanted`, paper §3.1).
+pub fn feature_blocks(undesired: &CovGraph, wanted: &CovGraph) -> CovGraph {
+    undesired.difference(wanted)
+}
+
+/// Initialization-only blocks: executed during the init phase but never
+/// afterwards (`blk ∈ CovG_init ∧ blk ∉ CovG_serving`, paper §3.1).
+pub fn init_only_blocks(init: &CovGraph, serving: &CovGraph) -> CovGraph {
+    init.difference(serving)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(module: &str, offset: u64) -> BlockKey {
+        BlockKey {
+            module: module.into(),
+            offset,
+            size: 4,
+        }
+    }
+
+    fn graph(keys: &[BlockKey]) -> CovGraph {
+        keys.iter().cloned().collect()
+    }
+
+    #[test]
+    fn feature_blocks_is_strict_difference() {
+        let undesired = graph(&[key("app", 0), key("app", 4), key("app", 8)]);
+        let wanted = graph(&[key("app", 4)]);
+        let features = feature_blocks(&undesired, &wanted);
+        assert_eq!(features.len(), 2);
+        assert!(features.contains(&key("app", 0)));
+        assert!(!features.contains(&key("app", 4)));
+    }
+
+    #[test]
+    fn init_only_blocks_excludes_shared_blocks() {
+        // A block running in both phases is NOT initialization-only —
+        // the paper's exact concern ("a basic block may execute during
+        // the initialization phase, and may also execute later").
+        let init = graph(&[key("app", 0), key("app", 4)]);
+        let serving = graph(&[key("app", 4), key("app", 8)]);
+        let only = init_only_blocks(&init, &serving);
+        assert_eq!(only.len(), 1);
+        assert!(only.contains(&key("app", 0)));
+    }
+
+    #[test]
+    fn union_is_commutative_associative_idempotent() {
+        let a = graph(&[key("app", 0), key("app", 4)]);
+        let b = graph(&[key("app", 4), key("lib", 0)]);
+        let c = graph(&[key("lib", 8)]);
+        assert_eq!(a.union(&b), b.union(&a));
+        assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        assert_eq!(a.union(&a), a);
+    }
+
+    #[test]
+    fn retain_modules_filters_libraries() {
+        let mixed = graph(&[key("app", 0), key("libc", 0), key("libc", 8)]);
+        let app_only = mixed.retain_modules(&["app"]);
+        assert_eq!(app_only.len(), 1);
+        assert!(app_only.contains(&key("app", 0)));
+    }
+
+    #[test]
+    fn difference_subset_properties() {
+        let a = graph(&[key("app", 0), key("app", 4)]);
+        let b = graph(&[key("app", 4)]);
+        let d = a.difference(&b);
+        // d ⊆ a and d ∩ b = ∅.
+        for block in d.iter() {
+            assert!(a.contains(block));
+            assert!(!b.contains(block));
+        }
+    }
+
+    #[test]
+    fn covered_bytes_and_module_blocks() {
+        let g = graph(&[key("app", 0), key("app", 16)]);
+        assert_eq!(g.covered_bytes(), 8);
+        assert_eq!(g.module_blocks("app"), vec![(0, 4), (16, 4)]);
+        assert!(g.module_blocks("libc").is_empty());
+    }
+}

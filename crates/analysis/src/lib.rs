@@ -1,0 +1,23 @@
+//! # dynacut-analysis — coverage graphs and `tracediff`
+//!
+//! Reproduces the paper's undesired-code identification (§3.1): coverage
+//! graphs built from execution traces, and the set algebra of
+//! `tracediff.py`:
+//!
+//! * feature blocks: `blk ∈ CovG_undesired ∧ blk ∉ CovG_wanted`
+//!   ([`feature_blocks`]),
+//! * initialization-only blocks: `blk ∈ CovG_init ∧ blk ∉ CovG_serving`
+//!   ([`init_only_blocks`]),
+//! * library filtering ("narrows down the undesired code blocks by
+//!   filtering out basic blocks that appear in program libraries",
+//!   [`CovGraph::retain_modules`]), and
+//! * PLT-entry usage analysis for the ret2plt/BROP attack-surface study
+//!   (§4.2, [`plt_usage`]).
+
+mod annotate;
+mod cov;
+mod plt;
+
+pub use annotate::{annotate_functions, tracediff_report, FunctionCoverage};
+pub use cov::{feature_blocks, init_only_blocks, BlockKey, CovGraph};
+pub use plt::{plt_usage, PltUsage};

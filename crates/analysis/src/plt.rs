@@ -1,0 +1,130 @@
+//! PLT-entry usage analysis for the attack-surface study (paper §4.2:
+//! "DynaCut removes 43 out of 56 executed PLT entries in Nginx after the
+//! initialization phase is completed").
+
+use crate::cov::{BlockKey, CovGraph};
+use dynacut_obj::Image;
+
+/// The classification of a module's PLT entries across execution phases.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PltUsage {
+    /// PLT entries executed at least once (any phase).
+    pub executed: Vec<String>,
+    /// Executed entries needed only during initialization — removable
+    /// post-init (fork(), open(), … in a typical server).
+    pub removable_post_init: Vec<String>,
+    /// Executed entries still used while serving — must stay.
+    pub still_needed: Vec<String>,
+}
+
+impl PltUsage {
+    /// The headline ratio the paper reports, e.g. Nginx "43 out of 56".
+    pub fn removable_ratio(&self) -> (usize, usize) {
+        (self.removable_post_init.len(), self.executed.len())
+    }
+}
+
+/// Classifies the PLT entries of `image` (loaded under `module_name`)
+/// given the initialization-phase and serving-phase coverage graphs.
+pub fn plt_usage(
+    image: &Image,
+    module_name: &str,
+    init: &CovGraph,
+    serving: &CovGraph,
+) -> PltUsage {
+    let mut usage = PltUsage::default();
+    for entry in &image.plt {
+        let Some(stub) = image.block_containing(entry.stub_offset) else {
+            continue;
+        };
+        let key = BlockKey {
+            module: module_name.to_owned(),
+            offset: stub.addr,
+            size: stub.size,
+        };
+        let in_init = init.contains(&key);
+        let in_serving = serving.contains(&key);
+        if !in_init && !in_serving {
+            continue;
+        }
+        usage.executed.push(entry.name.clone());
+        if in_serving {
+            usage.still_needed.push(entry.name.clone());
+        } else {
+            usage.removable_post_init.push(entry.name.clone());
+        }
+    }
+    usage
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynacut_isa::{Assembler, Insn};
+    use dynacut_obj::{ModuleBuilder, ObjectKind};
+
+    fn libc() -> Image {
+        let mut asm = Assembler::new();
+        for name in ["libc_fork", "libc_write", "libc_socket"] {
+            asm.func(name);
+            asm.push(Insn::Ret);
+        }
+        let mut builder = ModuleBuilder::new("libc", ObjectKind::SharedLib);
+        builder.text(asm.finish().unwrap());
+        builder.link(&[]).unwrap()
+    }
+
+    fn app(libc: &Image) -> Image {
+        let mut asm = Assembler::new();
+        asm.func("_start");
+        asm.call_ext("libc_fork");
+        asm.call_ext("libc_socket");
+        asm.call_ext("libc_write");
+        asm.push(Insn::Ret);
+        let mut builder = ModuleBuilder::new("app", ObjectKind::Executable);
+        builder.text(asm.finish().unwrap());
+        builder.entry("_start");
+        builder.link(&[libc]).unwrap()
+    }
+
+    #[test]
+    fn classifies_init_only_and_serving_plt_entries() {
+        let libc = libc();
+        let image = app(&libc);
+        let stub_key = |name: &str| {
+            let entry = image.plt_entry(name).unwrap();
+            let stub = image.block_containing(entry.stub_offset).unwrap();
+            BlockKey {
+                module: "app".into(),
+                offset: stub.addr,
+                size: stub.size,
+            }
+        };
+        // fork + socket executed during init; write during both; nothing
+        // executed libc_socket during serving.
+        let mut init = CovGraph::new();
+        init.insert(stub_key("libc_fork"));
+        init.insert(stub_key("libc_socket"));
+        init.insert(stub_key("libc_write"));
+        let mut serving = CovGraph::new();
+        serving.insert(stub_key("libc_write"));
+
+        let usage = plt_usage(&image, "app", &init, &serving);
+        assert_eq!(usage.executed.len(), 3);
+        assert_eq!(
+            usage.removable_post_init,
+            vec!["libc_fork".to_owned(), "libc_socket".to_owned()]
+        );
+        assert_eq!(usage.still_needed, vec!["libc_write".to_owned()]);
+        assert_eq!(usage.removable_ratio(), (2, 3));
+    }
+
+    #[test]
+    fn unexecuted_entries_are_not_counted() {
+        let libc = libc();
+        let image = app(&libc);
+        let usage = plt_usage(&image, "app", &CovGraph::new(), &CovGraph::new());
+        assert!(usage.executed.is_empty());
+        assert_eq!(usage.removable_ratio(), (0, 0));
+    }
+}

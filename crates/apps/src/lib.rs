@@ -1,0 +1,36 @@
+//! # dynacut-apps — guest applications for the DCVM
+//!
+//! The paper evaluates DynaCut on "3 widely used server applications and
+//! the SPECint2017_speed benchmark suite" (§4). This crate provides those
+//! workloads as DCVM guests, written against the `dynacut-isa` assembler
+//! and linked against a from-scratch [`guest libc`](libc::guest_libc):
+//!
+//! * [`nginx`] — a **multi-process** (master + worker) web server with a
+//!   WebDAV-style method dispatcher (`GET`/`HEAD`/`PUT`/`DELETE`/`MKCOL`/
+//!   `PROPFIND`), a configuration-parsing initialization phase, and a
+//!   `403 Forbidden` default error path in the same dispatch function —
+//!   the redirect target of paper Figure 5,
+//! * [`lighttpd`] — a **single-process, event-driven** counterpart,
+//! * [`redis`] — an in-memory key-value store speaking a line-based
+//!   RESP-like protocol, with **modelled vulnerable handlers**
+//!   (`STRALGO LCS` integer overflow ≈ CVE-2021-32625/29477,
+//!   `SETRANGE` missing bounds check ≈ CVE-2019-10192/10193,
+//!   `CONFIG SET` fixed-buffer overflow ≈ CVE-2016-8339) for the Table 1
+//!   case study,
+//! * [`spec`] — seven synthetic SPEC INTspeed analogues whose *relative*
+//!   text sizes, block counts, heap footprints and init-phase depths track
+//!   the paper's Figure 7/9 table (scaled down ~50×).
+//!
+//! Every server signals the end of its initialization phase with
+//! `emit_event(EVENT_READY)`, the observable the paper's nudge protocol
+//! relies on.
+
+pub mod libc;
+pub mod lighttpd;
+pub mod nginx;
+pub mod redis;
+pub mod spec;
+mod util;
+
+/// Event code emitted by every server when initialization completes.
+pub const EVENT_READY: u64 = 1;

@@ -1,0 +1,144 @@
+//! Shared assembly-emission helpers for the guest applications.
+
+use dynacut_isa::{Assembler, Cond, Insn, Reg, Width};
+
+/// Emits `write(conn_fd_reg, <literal>, len)` through libc. The literal
+/// must have been (or will be) defined as a rodata symbol.
+pub(crate) fn emit_write_lit(asm: &mut Assembler, conn_reg: Reg, symbol: &str, len: u64) {
+    asm.push(Insn::Mov(Reg::R1, conn_reg));
+    asm.lea_ext(Reg::R2, symbol, 0);
+    asm.push(Insn::Movi(Reg::R3, len));
+    asm.call_ext("libc_write");
+}
+
+/// Emits the socket/bind/listen prologue, leaving the listener fd in
+/// `dst`.
+pub(crate) fn emit_listener_setup(asm: &mut Assembler, port: u16, dst: Reg) {
+    asm.call_ext("libc_socket");
+    asm.push(Insn::Mov(dst, Reg::R0));
+    asm.push(Insn::Mov(Reg::R1, dst));
+    asm.push(Insn::Movi(Reg::R2, u64::from(port)));
+    asm.call_ext("libc_bind");
+    asm.push(Insn::Mov(Reg::R1, dst));
+    asm.call_ext("libc_listen");
+}
+
+/// Emits `emit_event(code)`.
+pub(crate) fn emit_event(asm: &mut Assembler, code: u64) {
+    asm.push(Insn::Movi(Reg::R1, code));
+    asm.call_ext("libc_emit_event");
+}
+
+/// Emits a busy-work function of roughly `blocks` basic blocks (a chain
+/// of fall-through compare/branch blocks ending in `ret`). Used to give
+/// the guests realistic code mass: initialization modules that run once,
+/// and cold feature modules that never run (the gray blocks of paper
+/// Figure 2).
+pub(crate) fn emit_busy_func(asm: &mut Assembler, name: &str, blocks: usize) {
+    asm.func(name);
+    asm.push(Insn::Movi(Reg::R8, 1));
+    let end = format!("{name}$end");
+    for index in 0..blocks.saturating_sub(1) {
+        asm.push(Insn::Addi(Reg::R8, index as i32 + 1));
+        asm.push(Insn::Muli(Reg::R8, 3));
+        // Never taken: r8 grows strictly positive.
+        asm.push(Insn::Cmpi(Reg::R8, 0));
+        asm.jcc(Cond::Eq, &end);
+    }
+    asm.label(&end);
+    asm.push(Insn::Ret);
+}
+
+/// Emits `count` busy functions named `prefix_00 …` and returns their
+/// names.
+pub(crate) fn emit_busy_family(
+    asm: &mut Assembler,
+    prefix: &str,
+    count: usize,
+    blocks_each: usize,
+) -> Vec<String> {
+    (0..count)
+        .map(|index| {
+            let name = format!("{prefix}_{index:02}");
+            emit_busy_func(asm, &name, blocks_each);
+            name
+        })
+        .collect()
+}
+
+/// Emits calls to each named function in order.
+pub(crate) fn emit_calls(asm: &mut Assembler, names: &[String]) {
+    for name in names {
+        asm.call(name);
+    }
+}
+
+/// Emits code that mmaps `pages` anonymous RW pages and writes one byte
+/// into each, so they show up as populated pages in a checkpoint (this is
+/// what gives each workload its characteristic image size, Figure 7).
+/// Leaves the mapping base in `dst`.
+pub(crate) fn emit_touch_heap(asm: &mut Assembler, pages: u64, dst: Reg) {
+    asm.push(Insn::Movi(Reg::R1, 0));
+    asm.push(Insn::Movi(Reg::R2, pages * 4096));
+    asm.push(Insn::Movi(Reg::R3, 0b011));
+    asm.call_ext("libc_mmap");
+    asm.push(Insn::Mov(dst, Reg::R0));
+    // Touch one byte per page.
+    asm.push(Insn::Mov(Reg::R8, dst));
+    asm.push(Insn::Movi(Reg::R9, pages));
+    let loop_label = format!("touch$L{pages}${}", asm.len());
+    let done_label = format!("touch$D{pages}${}", asm.len());
+    asm.label(&loop_label);
+    asm.push(Insn::Cmpi(Reg::R9, 0));
+    asm.jcc(Cond::Eq, &done_label);
+    asm.push(Insn::Movi(Reg::R7, 0xAB));
+    asm.push(Insn::St(Width::B1, Reg::R8, 0, Reg::R7));
+    asm.push(Insn::Movi(Reg::R7, 4096));
+    asm.push(Insn::Add(Reg::R8, Reg::R7));
+    asm.push(Insn::Addi(Reg::R9, -1));
+    asm.jmp(&loop_label);
+    asm.label(&done_label);
+}
+
+/// Emits a `strncmp(req_buf, <literal>, len) == 0 → jcc target` dispatch
+/// test.
+pub(crate) fn emit_method_test(
+    asm: &mut Assembler,
+    buf_symbol: &str,
+    literal_symbol: &str,
+    len: u64,
+    target: &str,
+) {
+    asm.lea_ext(Reg::R1, buf_symbol, 0);
+    asm.lea_ext(Reg::R2, literal_symbol, 0);
+    asm.push(Insn::Movi(Reg::R3, len));
+    asm.call_ext("libc_strncmp");
+    asm.push(Insn::Cmpi(Reg::R0, 0));
+    asm.jcc(Cond::Eq, target);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynacut_isa::decode_all;
+
+    #[test]
+    fn busy_func_has_requested_block_count() {
+        let mut asm = Assembler::new();
+        emit_busy_func(&mut asm, "filler", 10);
+        let text = asm.finish().unwrap();
+        // Blocks: 9 chain blocks + final ret block.
+        assert_eq!(text.blocks.len(), 10);
+        assert!(decode_all(&text.bytes).is_ok());
+    }
+
+    #[test]
+    fn busy_family_names_are_unique() {
+        let mut asm = Assembler::new();
+        let names = emit_busy_family(&mut asm, "mod", 5, 4);
+        assert_eq!(names.len(), 5);
+        let unique: std::collections::BTreeSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), 5);
+        assert!(asm.finish().is_ok());
+    }
+}

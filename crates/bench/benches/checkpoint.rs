@@ -1,0 +1,106 @@
+//! Criterion bench for the checkpoint substrate: dump, serialize
+//! (tmpfs write), parse, restore — the phases whose sum dominates
+//! Figures 6 and 7.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dynacut_bench::workloads::{boot_server, Server};
+use dynacut_criu::{dump_many, restore_many, CheckpointImage, DumpOptions};
+
+fn bench_checkpoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpoint_phases");
+    group.sample_size(10);
+
+    group.bench_function("dump_redis", |b| {
+        b.iter_batched(
+            || {
+                let mut workload = boot_server(Server::Redis, false);
+                for &pid in &workload.pids.clone() {
+                    workload.kernel.freeze(pid).unwrap();
+                }
+                workload
+            },
+            |mut workload| {
+                dump_many(&mut workload.kernel, &workload.pids.clone(), DumpOptions::default())
+                    .expect("dump")
+            },
+            BatchSize::PerIteration,
+        );
+    });
+
+    group.bench_function("serialize_redis", |b| {
+        let mut workload = boot_server(Server::Redis, false);
+        for &pid in &workload.pids.clone() {
+            workload.kernel.freeze(pid).unwrap();
+        }
+        let checkpoint =
+            dump_many(&mut workload.kernel, &workload.pids.clone(), DumpOptions::default())
+                .expect("dump");
+        b.iter(|| std::hint::black_box(checkpoint.to_bytes()));
+    });
+
+    group.bench_function("parse_redis", |b| {
+        let mut workload = boot_server(Server::Redis, false);
+        for &pid in &workload.pids.clone() {
+            workload.kernel.freeze(pid).unwrap();
+        }
+        let bytes =
+            dump_many(&mut workload.kernel, &workload.pids.clone(), DumpOptions::default())
+                .expect("dump")
+                .to_bytes();
+        b.iter(|| CheckpointImage::from_bytes(std::hint::black_box(&bytes)).expect("parse"));
+    });
+
+    group.bench_function("restore_redis", |b| {
+        b.iter_batched(
+            || {
+                let mut workload = boot_server(Server::Redis, false);
+                for &pid in &workload.pids.clone() {
+                    workload.kernel.freeze(pid).unwrap();
+                }
+                let checkpoint = dump_many(
+                    &mut workload.kernel,
+                    &workload.pids.clone(),
+                    DumpOptions::default(),
+                )
+                .expect("dump");
+                for &pid in &workload.pids.clone() {
+                    workload.kernel.remove_process(pid).unwrap();
+                }
+                (workload, checkpoint)
+            },
+            |(mut workload, checkpoint)| {
+                restore_many(&mut workload.kernel, &checkpoint, &workload.registry)
+                    .expect("restore")
+            },
+            BatchSize::PerIteration,
+        );
+    });
+
+    // Ablation: stock-CRIU dumps (no exec pages) are smaller and faster —
+    // the cost DynaCut pays for rewritable text.
+    group.bench_function("dump_redis_stock_criu", |b| {
+        b.iter_batched(
+            || {
+                let mut workload = boot_server(Server::Redis, false);
+                for &pid in &workload.pids.clone() {
+                    workload.kernel.freeze(pid).unwrap();
+                }
+                workload
+            },
+            |mut workload| {
+                dump_many(
+                    &mut workload.kernel,
+                    &workload.pids.clone(),
+                    DumpOptions::stock_criu(),
+                )
+                .expect("dump")
+            },
+            BatchSize::PerIteration,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkpoint);
+criterion_main!(benches);

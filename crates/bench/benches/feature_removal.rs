@@ -1,0 +1,59 @@
+//! Criterion bench for Figure 6: end-to-end feature customization
+//! (freeze → dump → rewrite → inject handler → restore) per application.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dynacut::{Downtime, DynaCut, FaultPolicy, Feature, RewritePlan};
+use dynacut_bench::workloads::{boot_server, Server};
+
+fn plan_for(server: Server, exe: &dynacut_obj::Image) -> RewritePlan {
+    let mut plan = RewritePlan::new()
+        .with_fault_policy(FaultPolicy::Redirect)
+        .with_downtime(Downtime::None);
+    let features: Vec<(&str, &str, &str)> = match server {
+        Server::Nginx => vec![
+            ("PUT", "ngx_put_handler", dynacut_apps::nginx::ERROR_HANDLER),
+            ("DELETE", "ngx_delete_handler", dynacut_apps::nginx::ERROR_HANDLER),
+        ],
+        Server::Lighttpd => vec![
+            ("PUT", "lt_put_handler", dynacut_apps::lighttpd::ERROR_HANDLER),
+            ("DELETE", "lt_delete_handler", dynacut_apps::lighttpd::ERROR_HANDLER),
+        ],
+        Server::Redis => vec![("SET", "rd_cmd_set", dynacut_apps::redis::ERROR_HANDLER)],
+    };
+    for (name, handler, error) in features {
+        plan = plan.disable(
+            Feature::from_function(name, exe, handler)
+                .unwrap()
+                .redirect_to_function(exe, error)
+                .unwrap(),
+        );
+    }
+    plan
+}
+
+fn bench_feature_removal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_feature_removal");
+    group.sample_size(10);
+    for server in [Server::Lighttpd, Server::Nginx, Server::Redis] {
+        group.bench_function(server.module(), |b| {
+            b.iter_batched(
+                || {
+                    let workload = boot_server(server, false);
+                    let plan = plan_for(server, &workload.exe);
+                    let dynacut = DynaCut::new(workload.registry.clone());
+                    (workload, dynacut, plan)
+                },
+                |(mut workload, mut dynacut, plan)| {
+                    dynacut
+                        .customize(&mut workload.kernel, &workload.pids.clone(), &plan)
+                        .expect("customize")
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_feature_removal);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion bench for Figure 7: initialization-code removal — dominated
+//! by replacing all init-block instructions and by image size.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dynacut::{Downtime, DynaCut, RewritePlan};
+use dynacut_analysis::{init_only_blocks, CovGraph};
+use dynacut_apps::spec;
+use dynacut_bench::workloads::{boot_server, boot_spec, Server, Workload};
+use dynacut_isa::BasicBlock;
+
+fn prepared(name: &str) -> (Workload, Vec<BasicBlock>) {
+    let mut workload = match name {
+        "lighttpd" => boot_server(Server::Lighttpd, true),
+        "nginx" => boot_server(Server::Nginx, true),
+        other => boot_spec(&spec::by_name(other).expect("known")),
+    };
+    let tracer = workload.tracer.clone().expect("tracer");
+    let init = CovGraph::from_log(&tracer.nudge());
+    if workload.port != 0 {
+        workload.exercise_http_full_workload(1);
+    } else {
+        workload.kernel.run_for(1_000_000);
+    }
+    let serving = CovGraph::from_log(&tracer.snapshot());
+    let blocks = init_only_blocks(&init, &serving)
+        .retain_modules(&[name])
+        .module_blocks(name)
+        .into_iter()
+        .map(|(offset, size)| BasicBlock::new(offset, size))
+        .collect();
+    (workload, blocks)
+}
+
+fn bench_init_removal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_init_removal");
+    group.sample_size(10);
+    // One server, the smallest and the deepest-init SPEC program: the
+    // paper's extremes.
+    for name in ["lighttpd", "605.mcf_s", "600.perlbench_s"] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let (workload, blocks) = prepared(name);
+                    let dynacut = DynaCut::new(workload.registry.clone());
+                    let plan = RewritePlan::new()
+                        .remove_init_blocks(name, blocks)
+                        .with_downtime(Downtime::None);
+                    (workload, dynacut, plan)
+                },
+                |(mut workload, mut dynacut, plan)| {
+                    dynacut
+                        .customize(&mut workload.kernel, &workload.pids.clone(), &plan)
+                        .expect("customize")
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_init_removal);
+criterion_main!(benches);

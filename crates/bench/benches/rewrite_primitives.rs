@@ -1,0 +1,88 @@
+//! Criterion bench for the rewriting primitives — the ablation DESIGN.md
+//! calls out: entry-byte blocking vs whole-block wiping vs page
+//! unmapping, handler-library synthesis by table size, and the
+//! proportionality of code-update time to the block count (the paper's
+//! "overhead incurred is almost proportional to the length of this list
+//! of basic blocks").
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use dynacut::{build_fault_handler, disable_in_image, BlockPolicy, Feature};
+use dynacut_bench::workloads::{boot_server, Server};
+use dynacut_criu::{dump, DumpOptions, ProcessImage};
+use dynacut_isa::BasicBlock;
+
+fn frozen_image() -> (ProcessImage, Vec<BasicBlock>) {
+    let mut workload = boot_server(Server::Lighttpd, false);
+    let pid = workload.pids[0];
+    workload.kernel.freeze(pid).unwrap();
+    let image = dump(&mut workload.kernel, pid, DumpOptions::default()).unwrap();
+    let blocks = workload.exe.blocks.clone();
+    (image, blocks)
+}
+
+fn bench_block_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block_policies");
+    group.sample_size(20);
+    let (image, blocks) = frozen_image();
+    for (name, policy) in [
+        ("entry_byte", BlockPolicy::EntryByte),
+        ("wipe_blocks", BlockPolicy::WipeBlocks),
+        ("unmap_pages", BlockPolicy::UnmapPages),
+    ] {
+        group.bench_function(name, |b| {
+            let feature = Feature::new("all-cold", "lighttpd", blocks[40..240].to_vec());
+            b.iter_batched(
+                || image.clone(),
+                |mut image| disable_in_image(&mut image, &feature, policy).expect("disable"),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_code_update_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("code_update_scaling");
+    group.sample_size(20);
+    let (image, blocks) = frozen_image();
+    for count in [25usize, 50, 100, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(count), &count, |b, &count| {
+            let feature = Feature::new("scaled", "lighttpd", blocks[..count].to_vec());
+            b.iter_batched(
+                || image.clone(),
+                |mut image| {
+                    disable_in_image(&mut image, &feature, BlockPolicy::WipeBlocks)
+                        .expect("disable")
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_handler_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("handler_synthesis");
+    group.sample_size(20);
+    for entries in [1usize, 16, 256] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(entries),
+            &entries,
+            |b, &entries| {
+                let redirects: Vec<(u64, u64)> = (0..entries as u64)
+                    .map(|i| (0x40_0000 + i * 32, 0x40_f000))
+                    .collect();
+                b.iter(|| build_fault_handler(std::hint::black_box(&redirects)).expect("build"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_block_policies,
+    bench_code_update_scaling,
+    bench_handler_synthesis
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench for Figure 8's substrate: guest request throughput —
+//! vanilla vs post-customization (the paper's "almost zero runtime
+//! overhead once restored" claim, in contrast to DBI code caches).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dynacut::{Downtime, DynaCut, FaultPolicy, Feature, RewritePlan};
+use dynacut_bench::workloads::{boot_server, Server, Workload};
+
+fn customized_redis() -> Workload {
+    let mut workload = boot_server(Server::Redis, false);
+    let mut dynacut = DynaCut::new(workload.registry.clone());
+    let feature = Feature::from_function("SET", &workload.exe, "rd_cmd_set")
+        .unwrap()
+        .redirect_to_function(&workload.exe, dynacut_apps::redis::ERROR_HANDLER)
+        .unwrap();
+    let plan = RewritePlan::new()
+        .disable(feature)
+        .with_fault_policy(FaultPolicy::Redirect)
+        .with_downtime(Downtime::None);
+    dynacut
+        .customize(&mut workload.kernel, &workload.pids.clone(), &plan)
+        .expect("customize");
+    workload
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_request_throughput");
+    group.sample_size(10);
+
+    group.bench_function("redis_get_vanilla", |b| {
+        b.iter_batched(
+            || boot_server(Server::Redis, false),
+            |mut workload| {
+                for _ in 0..50 {
+                    let reply = workload.request(b"GET missing\n");
+                    assert!(!reply.is_empty());
+                }
+            },
+            BatchSize::PerIteration,
+        );
+    });
+
+    group.bench_function("redis_get_customized", |b| {
+        b.iter_batched(
+            customized_redis,
+            |mut workload| {
+                for _ in 0..50 {
+                    let reply = workload.request(b"GET missing\n");
+                    assert!(!reply.is_empty());
+                }
+            },
+            BatchSize::PerIteration,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p dynacut-bench --bin figures -- all
+//! cargo run --release -p dynacut-bench --bin figures -- fig6 fig8
+//! ```
+
+use dynacut_bench::experiments;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: figures <fig2|fig4|fig6|fig7|fig8|fig9|fig10|table1|plt|ablation|all> [more...]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut targets: Vec<&str> = args.iter().map(String::as_str).collect();
+    if targets.contains(&"all") {
+        targets = vec![
+            "fig2", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "table1", "plt", "ablation",
+        ];
+    }
+    for (index, target) in targets.iter().enumerate() {
+        if index > 0 {
+            println!("\n{}\n", "=".repeat(78));
+        }
+        match *target {
+            "fig2" => experiments::fig2::print(),
+            "fig4" => experiments::fig4::print(),
+            "fig6" => experiments::fig6::print(),
+            "fig7" => experiments::fig7::print(),
+            "fig8" => experiments::fig8::print(),
+            "fig9" => experiments::fig9::print(),
+            "fig10" => experiments::fig10::print(),
+            "table1" => experiments::table1::print(),
+            "plt" => experiments::plt::print(),
+            "ablation" => experiments::ablation::print(),
+            other => {
+                eprintln!("unknown target `{other}`");
+                usage();
+            }
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Figure 8: Redis server throughput under DynaCut — a GET-loop client,
+//! with the `SET` command disabled mid-run and re-enabled later. The
+//! throughput dips only during the rewrite window and recovers fully.
+
+use crate::workloads::{boot_server, Server, Workload};
+use dynacut::{Downtime, DynaCut, FaultPolicy, Feature, RewritePlan};
+use dynacut_apps::redis;
+
+/// One simulated "second" of the plotted timeline, in kernel nanoseconds.
+/// (The DCVM clock is deterministic; one plotted second is one simulated
+/// millisecond so the whole 70-point series stays cheap.)
+pub const TICK_NS: u64 = 1_000_000;
+/// Timeline length in ticks.
+pub const TICKS: usize = 70;
+/// Tick at which `SET` is disabled.
+pub const DISABLE_AT: usize = 18;
+/// Tick at which `SET` is re-enabled.
+pub const REENABLE_AT: usize = 48;
+
+/// One timeline sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Tick index (plotted seconds).
+    pub tick: usize,
+    /// Completed GET requests during the tick.
+    pub requests: u64,
+    /// Worst per-request latency observed in the tick (sim ns); 0 when no
+    /// request completed.
+    pub max_latency_ns: u64,
+}
+
+/// The two series of the figure.
+#[derive(Debug, Clone)]
+pub struct Fig8Series {
+    /// Throughput with DynaCut applied at [`DISABLE_AT`] / [`REENABLE_AT`].
+    pub with_dynacut: Vec<Sample>,
+    /// Baseline throughput of an untouched server.
+    pub without_dynacut: Vec<Sample>,
+}
+
+impl Fig8Series {
+    /// Steady-state throughput (mean of the last 10 baseline ticks).
+    pub fn steady_state(&self) -> f64 {
+        let tail = &self.without_dynacut[TICKS - 10..];
+        tail.iter().map(|s| s.requests as f64).sum::<f64>() / tail.len() as f64
+    }
+
+    /// Steady-state per-request latency of the baseline (max over the
+    /// last 10 ticks).
+    pub fn steady_latency_ns(&self) -> u64 {
+        self.without_dynacut[TICKS - 10..]
+            .iter()
+            .map(|s| s.max_latency_ns)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The worst latency the customized run saw right after a rewrite
+    /// window — the first request to complete absorbs the freeze.
+    pub fn rewrite_latency_spike_ns(&self) -> u64 {
+        self.with_dynacut[DISABLE_AT..=DISABLE_AT + 1]
+            .iter()
+            .chain(&self.with_dynacut[REENABLE_AT..=REENABLE_AT + 1])
+            .map(|s| s.max_latency_ns)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+fn run_timeline(customize: bool) -> Vec<Sample> {
+    let mut workload = boot_server(Server::Redis, false);
+    let conn = workload
+        .kernel
+        .client_connect(redis::PORT)
+        .expect("connect");
+    // Seed a key for the GET loop.
+    workload
+        .kernel
+        .client_request(conn, b"SET bench val\n", 10_000_000)
+        .expect("seed");
+
+    let mut dynacut = DynaCut::new(workload.registry.clone());
+    let set_feature = |workload: &Workload| {
+        Feature::from_function("SET", &workload.exe, "rd_cmd_set")
+            .unwrap()
+            .redirect_to_function(&workload.exe, redis::ERROR_HANDLER)
+            .unwrap()
+    };
+
+    let mut samples = Vec::with_capacity(TICKS);
+    let t0 = workload.kernel.clock_ns();
+    for tick in 0..TICKS {
+        let deadline = t0 + (tick as u64 + 1) * TICK_NS;
+        let mut completed = 0u64;
+        let mut max_latency = 0u64;
+        if customize && (tick == DISABLE_AT || tick == REENABLE_AT) {
+            // A request is already in flight when the rewrite begins: the
+            // client's bytes queue in the repaired TCP connection across
+            // the freeze window and are answered after restore. Its
+            // latency absorbs the whole window — the paper's ≈1 s spike.
+            let sent_at = workload.kernel.clock_ns();
+            workload
+                .kernel
+                .client_send(conn, b"GET bench\n")
+                .expect("send during freeze");
+            let plan = if tick == DISABLE_AT {
+                RewritePlan::new()
+                    .disable(set_feature(&workload))
+                    .with_fault_policy(FaultPolicy::Redirect)
+                    .with_downtime(Downtime::Fixed(TICK_NS))
+            } else {
+                RewritePlan::new()
+                    .enable(set_feature(&workload))
+                    .with_fault_policy(FaultPolicy::Redirect)
+                    .with_downtime(Downtime::Fixed(TICK_NS))
+            };
+            let pids = workload.kernel.pids();
+            dynacut
+                .customize(&mut workload.kernel, &pids, &plan)
+                .expect("customize");
+            // Drain the in-flight reply.
+            loop {
+                workload.kernel.run_for(5_000);
+                let reply = workload.kernel.client_recv(conn).expect("recv");
+                if !reply.is_empty() {
+                    completed += 1;
+                    max_latency = workload.kernel.clock_ns() - sent_at;
+                    break;
+                }
+            }
+        }
+        // Drive GETs until the tick's deadline passes.
+        while workload.kernel.clock_ns() < deadline {
+            let budget = deadline - workload.kernel.clock_ns();
+            let sent_at = workload.kernel.clock_ns();
+            let reply = workload
+                .kernel
+                .client_request(conn, b"GET bench\n", budget)
+                .expect("request");
+            if reply.is_empty() {
+                break; // tick expired mid-request
+            }
+            completed += 1;
+            max_latency = max_latency.max(workload.kernel.clock_ns() - sent_at);
+        }
+        samples.push(Sample {
+            tick,
+            requests: completed,
+            max_latency_ns: max_latency,
+        });
+    }
+    samples
+}
+
+/// Runs both series.
+pub fn run() -> Fig8Series {
+    Fig8Series {
+        with_dynacut: run_timeline(true),
+        without_dynacut: run_timeline(false),
+    }
+}
+
+/// Prints the timeline as aligned columns plus a sparkline.
+pub fn print() {
+    println!("== Figure 8: Redis throughput timeline (GET loop) ==\n");
+    let series = run();
+    println!(
+        "disable SET at t={DISABLE_AT}s, re-enable at t={REENABLE_AT}s; steady state ≈ {:.0} req/tick\n",
+        series.steady_state()
+    );
+    println!("t(s)  w/ DynaCut  w/o DynaCut");
+    for (with, without) in series.with_dynacut.iter().zip(&series.without_dynacut) {
+        let marker = match with.tick {
+            t if t == DISABLE_AT => "  <- disable SET",
+            t if t == REENABLE_AT => "  <- re-enable SET",
+            _ => "",
+        };
+        println!(
+            "{:>4}  {:>10}  {:>11}{}",
+            with.tick, with.requests, without.requests, marker
+        );
+    }
+    let peak = series
+        .without_dynacut
+        .iter()
+        .map(|s| s.requests)
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let spark: String = series
+        .with_dynacut
+        .iter()
+        .map(|s| {
+            let level = (s.requests * 7 / peak) as usize;
+            ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'][level.min(7)]
+        })
+        .collect();
+    println!("\nw/ DynaCut: {spark}");
+    println!(
+        "latency: steady {} per request; worst during rewrite windows {} (the in-flight\nrequest rides out the freeze over the repaired TCP connection)",
+        crate::report::fmt_duration(std::time::Duration::from_nanos(series.steady_latency_ns())),
+        crate::report::fmt_duration(std::time::Duration::from_nanos(
+            series.rewrite_latency_spike_ns()
+        )),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_dips_only_in_rewrite_windows_and_recovers() {
+        let series = run();
+        let steady = series.steady_state();
+        assert!(steady > 10.0, "meaningful baseline throughput: {steady}");
+
+        let with = &series.with_dynacut;
+        // Dip at the disable tick: the freeze consumes the tick.
+        assert!(
+            (with[DISABLE_AT].requests as f64) < 0.5 * steady,
+            "disable dip: {} vs steady {steady}",
+            with[DISABLE_AT].requests
+        );
+        assert!(
+            (with[REENABLE_AT].requests as f64) < 0.5 * steady,
+            "re-enable dip"
+        );
+        // Full recovery between and after the windows (no steady-state
+        // overhead — the paper's key claim for process rewriting vs DBI).
+        for probe in [DISABLE_AT + 3, REENABLE_AT - 3, REENABLE_AT + 3, TICKS - 1] {
+            let got = with[probe].requests as f64;
+            assert!(
+                got > 0.8 * steady,
+                "tick {probe}: {got} should match steady {steady}"
+            );
+        }
+        // The baseline never dips.
+        for sample in &series.without_dynacut[1..] {
+            assert!((sample.requests as f64) > 0.8 * steady);
+        }
+        // Latency: the in-flight request during each rewrite window
+        // absorbs roughly the whole freeze (≥ half a tick), while steady
+        // per-request latency is orders of magnitude smaller.
+        let steady_latency = series.steady_latency_ns();
+        let spike = series.rewrite_latency_spike_ns();
+        assert!(spike >= TICK_NS / 2, "spike {spike} covers the freeze");
+        assert!(
+            spike > 20 * steady_latency.max(1),
+            "spike {spike} ≫ steady {steady_latency}"
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! One module per paper artefact. Each exposes a `run()` returning
+//! structured results and a `print()` that renders the paper-style table
+//! or series to stdout.
+
+pub mod ablation;
+pub mod fig10;
+pub mod fig2;
+pub mod fig4;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod plt;
+pub mod table1;

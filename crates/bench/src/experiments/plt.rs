@@ -1,0 +1,108 @@
+//! §4.2 attack-surface study: PLT-entry removal after initialization and
+//! the BROP/ret2plt analysis.
+//!
+//! The paper: "DynaCut removes 43 out of 56 executed PLT entries in Nginx
+//! after the initialization phase is completed. … the PLT entry for the
+//! libc fork() function was also disabled, preventing any ret2plt attacks
+//! that use the fork() function." Lighttpd: 33 of 57.
+
+use crate::workloads::{boot_server, Server, Workload};
+use dynacut_analysis::{plt_usage, CovGraph, PltUsage};
+
+/// PLT study results for one server.
+#[derive(Debug, Clone)]
+pub struct PltRow {
+    /// Server name.
+    pub app: String,
+    /// Classification of executed PLT entries.
+    pub usage: PltUsage,
+    /// Whether `libc_fork` is among the post-init-removable entries
+    /// (defeats BROP worker respawning and fork-based ret2plt).
+    pub fork_removable: bool,
+}
+
+fn measure(server: Server) -> PltRow {
+    let mut workload: Workload = boot_server(server, true);
+    let tracer = workload.tracer.clone().expect("tracer installed");
+    let init = CovGraph::from_log(&tracer.nudge());
+    match server {
+        Server::Redis => workload.exercise_redis_workload(9),
+        _ => workload.exercise_http_full_workload(2),
+    }
+    let serving = CovGraph::from_log(&tracer.snapshot());
+    let usage = plt_usage(&workload.exe, server.module(), &init, &serving);
+    let fork_removable = usage
+        .removable_post_init
+        .iter()
+        .any(|name| name == "libc_fork");
+    PltRow {
+        app: server.module().to_owned(),
+        usage,
+        fork_removable,
+    }
+}
+
+/// Runs the study for Nginx and Lighttpd.
+pub fn run() -> Vec<PltRow> {
+    vec![measure(Server::Nginx), measure(Server::Lighttpd)]
+}
+
+/// Prints the study.
+pub fn print() {
+    println!("== §4.2: PLT-entry removal after initialization ==\n");
+    for row in run() {
+        let (removable, executed) = row.usage.removable_ratio();
+        println!(
+            "{}: {removable} of {executed} executed PLT entries removable post-init",
+            row.app
+        );
+        println!("  removable: {}", row.usage.removable_post_init.join(", "));
+        println!("  still needed: {}", row.usage.still_needed.join(", "));
+        if row.app == "nginx" {
+            println!(
+                "  fork@plt removable: {} → BROP worker-respawn and fork-based ret2plt defeated",
+                row.fork_removable
+            );
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plt_surface_shrinks_after_init() {
+        let rows = run();
+        let nginx = rows.iter().find(|r| r.app == "nginx").unwrap();
+        let lighttpd = rows.iter().find(|r| r.app == "lighttpd").unwrap();
+        for row in &rows {
+            let (removable, executed) = row.usage.removable_ratio();
+            assert!(executed > 0, "{} executed PLT entries", row.app);
+            assert!(removable > 0, "{} has removable entries", row.app);
+            // A meaningful share is removable (paper: 43/56 and 33/57).
+            assert!(
+                removable as f64 >= 0.3 * executed as f64,
+                "{}: {removable}/{executed}",
+                row.app
+            );
+        }
+        // The fork PLT entry of the master/worker Nginx is init-only:
+        // the key BROP defence.
+        assert!(nginx.fork_removable, "fork@plt removable in nginx");
+        // Single-process Lighttpd never forks at all.
+        assert!(!lighttpd
+            .usage
+            .executed
+            .iter()
+            .any(|name| name == "libc_fork"));
+        // The serving path keeps its I/O entries.
+        for needed in ["libc_read", "libc_write", "libc_accept"] {
+            assert!(
+                nginx.usage.still_needed.iter().any(|n| n == needed),
+                "nginx still needs {needed}"
+            );
+        }
+    }
+}

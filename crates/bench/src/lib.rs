@@ -1,0 +1,27 @@
+//! # dynacut-bench — the evaluation harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§4):
+//!
+//! | Experiment | Paper artefact | Module |
+//! |---|---|---|
+//! | [`fig2`] | Fig. 2 — basic-block liveness maps (605.mcf, Lighttpd) | `experiments::fig2` |
+//! | [`fig4`] | Fig. 4 — tracediff feature discovery (Redis SET) | `experiments::fig4` |
+//! | [`fig6`] | Fig. 6 — feature-removal overhead breakdown | `experiments::fig6` |
+//! | [`fig7`] | Fig. 7 — init-code-removal overhead + size table | `experiments::fig7` |
+//! | [`fig8`] | Fig. 8 — Redis throughput timeline around disable/re-enable | `experiments::fig8` |
+//! | [`fig9`] | Fig. 9 — executed vs removed block counts | `experiments::fig9` |
+//! | [`fig10`] | Fig. 10 — live-block % over time vs RAZOR/Chisel | `experiments::fig10` |
+//! | [`table1`] | Table 1 — Redis CVE mitigation | `experiments::table1` |
+//! | [`plt`] | §4.2 — PLT-entry removal and BROP surface | `experiments::plt` |
+//!
+//! Run them all with `cargo run -p dynacut-bench --bin figures -- all`.
+//!
+//! Absolute timings depend on the host; the *shapes* the paper claims
+//! (orderings, proportionality, dip-and-recover) are asserted in this
+//! crate's tests.
+
+pub mod experiments;
+pub mod report;
+pub mod workloads;
+
+pub use experiments::{fig10, fig2, fig4, fig6, fig7, fig8, fig9, plt, table1};

@@ -1,0 +1,206 @@
+//! Synthesising the injectable fault-handler and verifier libraries.
+//!
+//! DynaCut "allows inserting a signal handler to capture the unexpected
+//! `int3` execution" (paper §3.2.2). The handler is a position-independent
+//! shared library, built here from scratch per rewrite with the redirect
+//! table baked into its `.data`, and injected into the checkpointed
+//! process by [`ProcessImage::inject_library`].
+//!
+//! [`ProcessImage::inject_library`]: dynacut_criu::ProcessImage::inject_library
+
+use dynacut_isa::{Assembler, Cond, Insn, Reg, Width};
+use dynacut_obj::{Image, ModuleBuilder, ObjError, ObjectKind};
+use dynacut_vm::{Sysno, SIG_FRAME_FAULT_ADDR, SIG_FRAME_PC};
+
+/// Bit 63 of an `emit_event` code marks a verifier report; the remaining
+/// bits carry the falsely-blocked address.
+pub const VERIFIER_EVENT_BIT: u64 = 1 << 63;
+
+/// Exit code used when blocked code is reached and no redirect exists.
+const BLOCKED_EXIT_CODE: u64 = 135;
+
+fn emit_restorer(asm: &mut Assembler) {
+    // After the handler `ret`s, the stack pointer sits at the signal
+    // frame base; `sigreturn(sp)` restores the saved context.
+    asm.func("dc_restorer");
+    asm.push(Insn::Movi(Reg::R0, Sysno::Sigreturn as u64));
+    asm.push(Insn::Mov(Reg::R1, Reg::SP));
+    asm.push(Insn::Syscall);
+}
+
+fn emit_exit(asm: &mut Assembler, label: &str) {
+    asm.label(label);
+    asm.push(Insn::Movi(Reg::R0, Sysno::Exit as u64));
+    asm.push(Insn::Movi(Reg::R1, BLOCKED_EXIT_CODE));
+    asm.push(Insn::Syscall);
+}
+
+/// Builds the redirect fault-handler library.
+///
+/// `redirects` maps **absolute** blocked addresses to **absolute** resume
+/// addresses (the application's default error path). On `SIGTRAP`, the
+/// handler looks the faulting address up; on a hit it overwrites the
+/// frame's saved program counter so `sigreturn` resumes at the error path
+/// (paper Figure 5 step ③); on a miss it exits.
+///
+/// # Errors
+///
+/// Propagates assembler/linker failures (should not occur for valid
+/// tables).
+pub fn build_fault_handler(redirects: &[(u64, u64)]) -> Result<Image, ObjError> {
+    let mut asm = Assembler::new();
+    asm.func("dc_handler");
+    // r2 = signal frame (kernel ABI); keep it in r13 across the loop.
+    asm.push(Insn::Mov(Reg::R13, Reg::R2));
+    asm.push(Insn::Ld(Width::B8, Reg::R3, Reg::R13, SIG_FRAME_FAULT_ADDR as i32));
+    asm.lea_ext(Reg::R4, "dc_table", 0);
+    asm.push(Insn::Ld(Width::B8, Reg::R5, Reg::R4, 0));
+    asm.push(Insn::Movi(Reg::R6, 0));
+    asm.label("lookup");
+    asm.push(Insn::Cmp(Reg::R6, Reg::R5));
+    asm.jcc(Cond::Ae, "miss");
+    asm.push(Insn::Mov(Reg::R7, Reg::R6));
+    asm.push(Insn::Muli(Reg::R7, 16));
+    asm.push(Insn::Add(Reg::R7, Reg::R4));
+    asm.push(Insn::Ld(Width::B8, Reg::R8, Reg::R7, 8)); // from
+    asm.push(Insn::Cmp(Reg::R8, Reg::R3));
+    asm.jcc(Cond::Ne, "next");
+    asm.push(Insn::Ld(Width::B8, Reg::R9, Reg::R7, 16)); // to
+    asm.push(Insn::St(Width::B8, Reg::R13, SIG_FRAME_PC as i32, Reg::R9));
+    asm.push(Insn::Ret);
+    asm.label("next");
+    asm.push(Insn::Addi(Reg::R6, 1));
+    asm.jmp("lookup");
+    emit_exit(&mut asm, "miss");
+    emit_restorer(&mut asm);
+
+    let mut table = Vec::with_capacity(8 + redirects.len() * 16);
+    table.extend_from_slice(&(redirects.len() as u64).to_le_bytes());
+    for (from, to) in redirects {
+        table.extend_from_slice(&from.to_le_bytes());
+        table.extend_from_slice(&to.to_le_bytes());
+    }
+
+    let mut builder = ModuleBuilder::new("dc_sighandler", ObjectKind::SharedLib);
+    builder.text(asm.finish()?);
+    builder.data("dc_table", &table);
+    builder.link(&[])
+}
+
+/// Builds the verifier library (paper §3.2.3).
+///
+/// `originals` maps **absolute** patched addresses to the original byte.
+/// On `SIGTRAP`, the handler makes the page writable, restores the byte,
+/// reports the address to the host via `emit_event` (tagged with
+/// [`VERIFIER_EVENT_BIT`]), re-protects the page, and retries the
+/// instruction — "instead of terminating program execution …, the
+/// verifier library restores the original instructions and logs the false
+/// addresses".
+///
+/// # Errors
+///
+/// Propagates assembler/linker failures.
+pub fn build_verifier_library(originals: &[(u64, u8)]) -> Result<Image, ObjError> {
+    let mut asm = Assembler::new();
+    asm.func("dc_handler");
+    asm.push(Insn::Mov(Reg::R13, Reg::R2)); // frame
+    asm.push(Insn::Ld(Width::B8, Reg::R3, Reg::R13, SIG_FRAME_FAULT_ADDR as i32));
+    asm.push(Insn::Mov(Reg::R10, Reg::R3)); // fault addr survives syscalls
+    asm.lea_ext(Reg::R4, "dc_vtable", 0);
+    asm.push(Insn::Ld(Width::B8, Reg::R5, Reg::R4, 0));
+    asm.push(Insn::Movi(Reg::R6, 0));
+    asm.label("lookup");
+    asm.push(Insn::Cmp(Reg::R6, Reg::R5));
+    asm.jcc(Cond::Ae, "miss");
+    asm.push(Insn::Mov(Reg::R7, Reg::R6));
+    asm.push(Insn::Muli(Reg::R7, 16));
+    asm.push(Insn::Add(Reg::R7, Reg::R4));
+    asm.push(Insn::Ld(Width::B8, Reg::R8, Reg::R7, 8)); // addr
+    asm.push(Insn::Cmp(Reg::R8, Reg::R10));
+    asm.jcc(Cond::Ne, "next");
+    asm.push(Insn::Ld(Width::B8, Reg::R9, Reg::R7, 16)); // original byte
+    // page = addr & !0xFFF
+    asm.push(Insn::Mov(Reg::R12, Reg::R10));
+    asm.push(Insn::Movi(Reg::R11, !0xFFFu64));
+    asm.push(Insn::And(Reg::R12, Reg::R11));
+    // mprotect(page, 4096, rwx)
+    asm.push(Insn::Movi(Reg::R0, Sysno::Mprotect as u64));
+    asm.push(Insn::Mov(Reg::R1, Reg::R12));
+    asm.push(Insn::Movi(Reg::R2, 4096));
+    asm.push(Insn::Movi(Reg::R3, 0b111));
+    asm.push(Insn::Syscall);
+    // restore the original byte
+    asm.push(Insn::St(Width::B1, Reg::R10, 0, Reg::R9));
+    // mprotect(page, 4096, r-x)
+    asm.push(Insn::Movi(Reg::R0, Sysno::Mprotect as u64));
+    asm.push(Insn::Mov(Reg::R1, Reg::R12));
+    asm.push(Insn::Movi(Reg::R2, 4096));
+    asm.push(Insn::Movi(Reg::R3, 0b101));
+    asm.push(Insn::Syscall);
+    // report the false positive to the host
+    asm.push(Insn::Movi(Reg::R0, Sysno::EmitEvent as u64));
+    asm.push(Insn::Mov(Reg::R1, Reg::R10));
+    asm.push(Insn::Movi(Reg::R11, VERIFIER_EVENT_BIT));
+    asm.push(Insn::Or(Reg::R1, Reg::R11));
+    asm.push(Insn::Syscall);
+    // saved pc is unchanged: sigreturn retries the (healed) instruction
+    asm.push(Insn::Ret);
+    asm.label("next");
+    asm.push(Insn::Addi(Reg::R6, 1));
+    asm.jmp("lookup");
+    emit_exit(&mut asm, "miss");
+    emit_restorer(&mut asm);
+
+    let mut table = Vec::with_capacity(8 + originals.len() * 16);
+    table.extend_from_slice(&(originals.len() as u64).to_le_bytes());
+    for (addr, byte) in originals {
+        table.extend_from_slice(&addr.to_le_bytes());
+        table.extend_from_slice(&u64::from(*byte).to_le_bytes());
+    }
+
+    let mut builder = ModuleBuilder::new("dc_verifier", ObjectKind::SharedLib);
+    builder.text(asm.finish()?);
+    builder.data("dc_vtable", &table);
+    builder.link(&[])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_handler_exports_handler_and_restorer() {
+        let image = build_fault_handler(&[(0x40_0040, 0x40_0100)]).unwrap();
+        assert!(image.symbols.contains_key("dc_handler"));
+        assert!(image.symbols.contains_key("dc_restorer"));
+        assert_eq!(image.kind, ObjectKind::SharedLib);
+        assert!(image.imports.is_empty(), "self-contained: no PLT needed");
+    }
+
+    #[test]
+    fn redirect_table_layout() {
+        let image = build_fault_handler(&[(0xAAAA, 0xBBBB), (0xCCCC, 0xDDDD)]).unwrap();
+        let table_off = (image.symbols["dc_table"].offset - image.data_off) as usize;
+        let data = &image.data[table_off..];
+        assert_eq!(u64::from_le_bytes(data[0..8].try_into().unwrap()), 2);
+        assert_eq!(u64::from_le_bytes(data[8..16].try_into().unwrap()), 0xAAAA);
+        assert_eq!(u64::from_le_bytes(data[16..24].try_into().unwrap()), 0xBBBB);
+        assert_eq!(u64::from_le_bytes(data[24..32].try_into().unwrap()), 0xCCCC);
+    }
+
+    #[test]
+    fn verifier_table_stores_bytes_as_words() {
+        let image = build_verifier_library(&[(0x1234, 0xAB)]).unwrap();
+        let table_off = (image.symbols["dc_vtable"].offset - image.data_off) as usize;
+        let data = &image.data[table_off..];
+        assert_eq!(u64::from_le_bytes(data[0..8].try_into().unwrap()), 1);
+        assert_eq!(u64::from_le_bytes(data[8..16].try_into().unwrap()), 0x1234);
+        assert_eq!(u64::from_le_bytes(data[16..24].try_into().unwrap()), 0xAB);
+    }
+
+    #[test]
+    fn empty_tables_are_valid() {
+        assert!(build_fault_handler(&[]).is_ok());
+        assert!(build_verifier_library(&[]).is_ok());
+    }
+}

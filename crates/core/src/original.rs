@@ -1,0 +1,107 @@
+//! Recovering original instruction bytes from the binary.
+//!
+//! Re-enabling a feature replaces the `int3` bytes "with the original
+//! instruction bytes" (paper §3). The authoritative source is the binary
+//! on disk — here, the [`Image`] in the module registry — materialised at
+//! the module's recorded base so load-time relocations (GOT-resolved
+//! `movi` immediates) are reproduced exactly.
+
+use crate::DynacutError;
+use dynacut_criu::{ModuleRegistry, ProcessImage};
+use dynacut_obj::{materialize, Image};
+use std::collections::BTreeMap;
+
+/// A cache of materialised module text for one process image.
+#[derive(Debug, Default)]
+pub struct OriginalText {
+    /// module name → (base, text bytes with relocations applied).
+    cache: BTreeMap<String, (u64, Vec<u8>)>,
+}
+
+impl OriginalText {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The original text bytes for `[offset, offset+len)` of `module` as
+    /// loaded in `image`'s process.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the module is unknown or the range is out of bounds.
+    pub fn bytes(
+        &mut self,
+        image: &ProcessImage,
+        registry: &ModuleRegistry,
+        module: &str,
+        offset: u64,
+        len: usize,
+    ) -> Result<Vec<u8>, DynacutError> {
+        if !self.cache.contains_key(module) {
+            let entry = self.materialise(image, registry, module)?;
+            self.cache.insert(module.to_owned(), entry);
+        }
+        let (_, text) = self.cache.get(module).expect("just inserted");
+        let start = offset as usize;
+        let end = start + len;
+        if end > text.len() {
+            return Err(DynacutError::BlockOutOfRange {
+                feature: format!("<original text of {module}>"),
+                offset,
+            });
+        }
+        Ok(text[start..end].to_vec())
+    }
+
+    /// The module's base address in the target process.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the module is not mapped in the process.
+    pub fn base(&self, image: &ProcessImage, module: &str) -> Result<u64, DynacutError> {
+        image
+            .core
+            .modules
+            .iter()
+            .find(|m| m.name == module)
+            .map(|m| m.base)
+            .ok_or_else(|| DynacutError::UnknownModule(module.to_owned()))
+    }
+
+    fn materialise(
+        &self,
+        image: &ProcessImage,
+        registry: &ModuleRegistry,
+        module: &str,
+    ) -> Result<(u64, Vec<u8>), DynacutError> {
+        let module_ref = image
+            .core
+            .modules
+            .iter()
+            .find(|m| m.name == module)
+            .ok_or_else(|| DynacutError::UnknownModule(module.to_owned()))?;
+        let binary: &Image = registry
+            .get(module)
+            .ok_or_else(|| DynacutError::UnknownModule(module.to_owned()))?;
+        // Global symbols across all mapped modules for import resolution.
+        let mut globals: BTreeMap<String, u64> = BTreeMap::new();
+        for other in &image.core.modules {
+            let Some(other_binary) = registry.get(&other.name) else {
+                continue;
+            };
+            for (name, def) in &other_binary.symbols {
+                globals.entry(name.clone()).or_insert(other.base + def.offset);
+            }
+        }
+        let segments = materialize(binary, module_ref.base, |symbol| {
+            globals.get(symbol).copied()
+        })
+        .map_err(DynacutError::Handler)?;
+        let text_segment = segments
+            .into_iter()
+            .find(|s| s.perms.exec)
+            .ok_or_else(|| DynacutError::UnknownModule(format!("{module} has no text")))?;
+        Ok((module_ref.base, text_segment.bytes))
+    }
+}

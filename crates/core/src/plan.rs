@@ -1,0 +1,201 @@
+//! Rewrite plans and policies.
+
+use crate::Feature;
+use dynacut_isa::BasicBlock;
+
+/// How a disabled feature's code is removed from memory (paper §3.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BlockPolicy {
+    /// Replace only the **first byte of the feature's entry block** with
+    /// `int3`. Cheapest and trivially reversible, but a powerful attacker
+    /// may still jump into the middle of the feature's blocks (ROP).
+    #[default]
+    EntryByte,
+    /// Replace **every byte of every block** with `int3` — "wipe out a
+    /// block of code memory". No code-reuse gadgets survive; restoring
+    /// costs proportionally more.
+    WipeBlocks,
+    /// Additionally **unmap every page fully covered** by the feature's
+    /// blocks (partial pages are wiped). Strongest removal; an access
+    /// faults with `SIGSEGV` instead of `SIGTRAP`.
+    UnmapPages,
+}
+
+/// What happens when blocked code is inadvertently reached (paper
+/// §3.2.2–§3.2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultPolicy {
+    /// No handler: the process dies with `SIGTRAP`, "like most existing
+    /// works do".
+    #[default]
+    Terminate,
+    /// Inject the fault-handler library; features with a redirect target
+    /// resume at the application's error path (the `403 Forbidden`
+    /// example), others exit gracefully.
+    Redirect,
+    /// Inject the verifier library: the original instruction is restored
+    /// in place, the address is reported to the host, and execution
+    /// retries — used to validate that no wanted block was misclassified.
+    Verify,
+}
+
+/// How the measured host-side rewrite latency is charged to the guest
+/// clock, so customization shows up as a service-interruption window on
+/// simulated-time axes (Figure 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Downtime {
+    /// Charge a fixed number of simulated nanoseconds. The paper measures
+    /// ≈400 ms for feature customization; that is the default.
+    Fixed(u64),
+    /// Charge the measured wall-clock duration multiplied by a scale
+    /// factor.
+    MeasuredTimes(u64),
+    /// Charge nothing (pure-mechanism tests).
+    None,
+}
+
+impl Default for Downtime {
+    fn default() -> Self {
+        Downtime::Fixed(400_000_000)
+    }
+}
+
+/// Everything one `DynaCut` invocation should do to the target process.
+///
+/// ```
+/// use dynacut::{BlockPolicy, Downtime, FaultPolicy, Feature, RewritePlan};
+/// use dynacut_isa::BasicBlock;
+///
+/// let put = Feature::new("PUT", "nginx", vec![BasicBlock::new(0x40, 8)]);
+/// let plan = RewritePlan::new()
+///     .disable(put)
+///     .with_block_policy(BlockPolicy::WipeBlocks)
+///     .with_fault_policy(FaultPolicy::Redirect)
+///     .with_downtime(Downtime::None);
+/// assert!(plan.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RewritePlan {
+    /// Features to disable.
+    pub disable: Vec<Feature>,
+    /// Features to re-enable (original bytes restored).
+    pub enable: Vec<Feature>,
+    /// Initialization blocks to remove for good: `(module, blocks)`.
+    pub remove_blocks: Vec<(String, Vec<BasicBlock>)>,
+    /// Code-removal policy.
+    pub block_policy: BlockPolicy,
+    /// Unintended-access policy.
+    pub fault_policy: FaultPolicy,
+    /// Guest-visible downtime accounting.
+    pub downtime: Downtime,
+    /// If set, restrict the process to exactly these syscalls (plus
+    /// `sigreturn`, which signal delivery requires) — dynamic seccomp
+    /// filtering via process rewriting (paper §5, after Ghavamnia et
+    /// al.'s temporal syscall specialization). A blocked call kills the
+    /// process with `SIGSYS`.
+    pub allow_syscalls: Option<Vec<dynacut_vm::Sysno>>,
+}
+
+impl RewritePlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a feature to disable.
+    pub fn disable(mut self, feature: Feature) -> Self {
+        self.disable.push(feature);
+        self
+    }
+
+    /// Adds a feature to re-enable.
+    pub fn enable(mut self, feature: Feature) -> Self {
+        self.enable.push(feature);
+        self
+    }
+
+    /// Adds initialization blocks (module-relative) to remove.
+    pub fn remove_init_blocks(mut self, module: &str, blocks: Vec<BasicBlock>) -> Self {
+        self.remove_blocks.push((module.to_owned(), blocks));
+        self
+    }
+
+    /// Sets the block-removal policy.
+    pub fn with_block_policy(mut self, policy: BlockPolicy) -> Self {
+        self.block_policy = policy;
+        self
+    }
+
+    /// Sets the unintended-access policy.
+    pub fn with_fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.fault_policy = policy;
+        self
+    }
+
+    /// Sets the downtime accounting.
+    pub fn with_downtime(mut self, downtime: Downtime) -> Self {
+        self.downtime = downtime;
+        self
+    }
+
+    /// Restricts the process to the given syscalls after the rewrite
+    /// (`sigreturn` is always added — signal delivery depends on it).
+    pub fn restrict_syscalls(mut self, allowed: &[dynacut_vm::Sysno]) -> Self {
+        self.allow_syscalls = Some(allowed.to_vec());
+        self
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a block appears both in a disabled and an enabled feature.
+    pub fn validate(&self) -> Result<(), crate::DynacutError> {
+        for disabled in &self.disable {
+            for enabled in &self.enable {
+                if disabled.module != enabled.module {
+                    continue;
+                }
+                for block in &disabled.blocks {
+                    if enabled.blocks.contains(block) {
+                        return Err(crate::DynacutError::BadPlan(format!(
+                            "block {block} is both disabled (`{}`) and enabled (`{}`)",
+                            disabled.name, enabled.name
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policies_match_paper_defaults() {
+        let plan = RewritePlan::new();
+        assert_eq!(plan.block_policy, BlockPolicy::EntryByte);
+        assert_eq!(plan.fault_policy, FaultPolicy::Terminate);
+        assert_eq!(plan.downtime, Downtime::Fixed(400_000_000));
+    }
+
+    #[test]
+    fn conflicting_plan_is_rejected() {
+        let block = BasicBlock::new(0x10, 4);
+        let plan = RewritePlan::new()
+            .disable(Feature::new("a", "app", vec![block]))
+            .enable(Feature::new("b", "app", vec![block]));
+        assert!(plan.validate().is_err());
+    }
+
+    #[test]
+    fn disjoint_plan_is_accepted() {
+        let plan = RewritePlan::new()
+            .disable(Feature::new("a", "app", vec![BasicBlock::new(0x10, 4)]))
+            .enable(Feature::new("b", "app", vec![BasicBlock::new(0x20, 4)]));
+        assert!(plan.validate().is_ok());
+    }
+}

@@ -1,0 +1,307 @@
+//! The DynaCut orchestrator: freeze → dump → rewrite → inject → restore.
+
+use crate::handler::{build_fault_handler, build_verifier_library, VERIFIER_EVENT_BIT};
+use crate::original::OriginalText;
+use crate::plan::{Downtime, FaultPolicy, RewritePlan};
+use crate::rewrite::{disable_in_image, enable_in_image, remove_blocks_in_image};
+use crate::DynacutError;
+use dynacut_criu::{dump_many, restore_many, DumpOptions, ModuleRegistry};
+use dynacut_vm::{Kernel, Pid, SigAction, Signal};
+use std::time::{Duration, Instant};
+
+/// Wall-clock timing breakdown of one customization, matching the legend
+/// of the paper's Figure 6 (checkpoint / disable code w/ int3 / insert
+/// sighandler / restore).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Timings {
+    /// Freezing and dumping the process(es), including serialising the
+    /// images to the in-memory tmpfs store.
+    pub checkpoint: Duration,
+    /// Editing the images: trap bytes, wipes, unmaps, restores.
+    pub disable_code: Duration,
+    /// Building and injecting the fault-handler/verifier library and
+    /// patching the sigaction.
+    pub insert_sighandler: Duration,
+    /// Restoring the process(es).
+    pub restore: Duration,
+}
+
+impl Timings {
+    /// Total service-interruption time.
+    pub fn total(&self) -> Duration {
+        self.checkpoint + self.disable_code + self.insert_sighandler + self.restore
+    }
+}
+
+/// What a customization did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CustomizeReport {
+    /// Timing breakdown.
+    pub timings: Timings,
+    /// Distinct basic blocks disabled or removed.
+    pub blocks_disabled: usize,
+    /// `int3` bytes written.
+    pub bytes_written: u64,
+    /// Whole pages unmapped.
+    pub pages_unmapped: u64,
+    /// Blocks re-enabled.
+    pub blocks_enabled: usize,
+    /// Serialized checkpoint size in bytes (the tmpfs image footprint).
+    pub image_bytes: usize,
+    /// Base address the handler library was injected at, per process.
+    pub handler_bases: Vec<(Pid, u64)>,
+}
+
+/// The DynaCut framework handle: a module registry (the "binaries on
+/// disk") plus dump options.
+#[derive(Debug, Clone)]
+pub struct DynaCut {
+    registry: ModuleRegistry,
+    dump_options: DumpOptions,
+    injections: u64,
+    /// Per-pid accumulated redirect table (blocked addr → resume addr):
+    /// every injected handler carries the union of all still-blocked
+    /// features, not just the current plan's, so repeated customizations
+    /// compose.
+    redirect_state: std::collections::BTreeMap<Pid, std::collections::BTreeMap<u64, u64>>,
+    /// Per-pid accumulated verifier table (patched addr → original byte).
+    verify_state: std::collections::BTreeMap<Pid, std::collections::BTreeMap<u64, u8>>,
+}
+
+impl DynaCut {
+    /// Creates a framework instance over the given binary registry.
+    pub fn new(registry: ModuleRegistry) -> Self {
+        DynaCut {
+            registry,
+            dump_options: DumpOptions::default(),
+            injections: 0,
+            redirect_state: std::collections::BTreeMap::new(),
+            verify_state: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Overrides the dump options (e.g. [`DumpOptions::stock_criu`] to
+    /// reproduce the lost-rewrite failure mode).
+    pub fn with_dump_options(mut self, options: DumpOptions) -> Self {
+        self.dump_options = options;
+        self
+    }
+
+    /// The registry of binaries.
+    pub fn registry(&self) -> &ModuleRegistry {
+        &self.registry
+    }
+
+    /// Applies a rewrite plan to one or more live processes (a
+    /// multi-process application passes all its pids, as with the Nginx
+    /// master + worker).
+    ///
+    /// The processes are frozen, dumped, rewritten as images, and
+    /// restored; established TCP connections survive. Wall-clock timings
+    /// of each phase are measured and reported; guest-visible downtime is
+    /// charged to the kernel clock per [`RewritePlan::downtime`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on plan validation, missing processes/modules, or
+    /// image-editing errors. On error before restore, the original
+    /// processes are thawed and left untouched.
+    pub fn customize(
+        &mut self,
+        kernel: &mut Kernel,
+        pids: &[Pid],
+        plan: &RewritePlan,
+    ) -> Result<CustomizeReport, DynacutError> {
+        plan.validate()?;
+        let mut report = CustomizeReport::default();
+
+        // --- checkpoint -------------------------------------------------
+        let t_checkpoint = Instant::now();
+        for &pid in pids {
+            kernel.freeze(pid)?;
+        }
+        let mut checkpoint = match dump_many(kernel, pids, self.dump_options) {
+            Ok(checkpoint) => checkpoint,
+            Err(err) => {
+                for &pid in pids {
+                    let _ = kernel.thaw(pid);
+                }
+                return Err(err.into());
+            }
+        };
+        // Serialise to the tmpfs-like in-memory store, as the paper does
+        // ("we checkpoint the process images into an in-memory
+        // filesystem, i.e., tmpfs").
+        let tmpfs_bytes = checkpoint.to_bytes();
+        report.image_bytes = tmpfs_bytes.len();
+        report.timings.checkpoint = t_checkpoint.elapsed();
+
+        // --- rewrite ----------------------------------------------------
+        let t_rewrite = Instant::now();
+        let mut redirects: Vec<Vec<(u64, u64)>> = vec![Vec::new(); checkpoint.procs.len()];
+        let mut originals: Vec<Vec<(u64, u8)>> = vec![Vec::new(); checkpoint.procs.len()];
+        let result: Result<(), DynacutError> = (|| {
+            for (index, image) in checkpoint.procs.iter_mut().enumerate() {
+                let pid = image.core.pid;
+                let mut original_text = OriginalText::new();
+                for feature in &plan.enable {
+                    let Some(module) = image
+                        .core
+                        .modules
+                        .iter()
+                        .find(|m| m.name == feature.module)
+                    else {
+                        continue;
+                    };
+                    let base = module.base;
+                    enable_in_image(image, feature, &self.registry, &mut original_text)?;
+                    report.blocks_enabled += feature.blocks.len();
+                    // Re-enabled addresses leave the accumulated tables.
+                    let in_feature = |addr: u64| {
+                        feature
+                            .blocks
+                            .iter()
+                            .any(|b| addr >= base + b.addr && addr < base + b.range().end)
+                    };
+                    if let Some(state) = self.redirect_state.get_mut(&pid) {
+                        state.retain(|addr, _| !in_feature(*addr));
+                    }
+                    if let Some(state) = self.verify_state.get_mut(&pid) {
+                        state.retain(|addr, _| !in_feature(*addr));
+                    }
+                }
+                for feature in &plan.disable {
+                    if !image.core.modules.iter().any(|m| m.name == feature.module) {
+                        continue;
+                    }
+                    let outcome = disable_in_image(image, feature, plan.block_policy)?;
+                    report.blocks_disabled += outcome.blocks;
+                    report.bytes_written += outcome.bytes_written;
+                    report.pages_unmapped += outcome.pages_unmapped;
+                    redirects[index].extend(outcome.redirects);
+                    originals[index].extend(outcome.originals);
+                }
+                for (module, blocks) in &plan.remove_blocks {
+                    if !image.core.modules.iter().any(|m| &m.name == module) {
+                        continue;
+                    }
+                    let outcome =
+                        remove_blocks_in_image(image, module, blocks, plan.block_policy)?;
+                    report.blocks_disabled += outcome.blocks;
+                    report.bytes_written += outcome.bytes_written;
+                    report.pages_unmapped += outcome.pages_unmapped;
+                    originals[index].extend(outcome.originals);
+                }
+                if let Some(allowed) = &plan.allow_syscalls {
+                    let mut mask = 0u64;
+                    for sysno in allowed {
+                        mask |= 1 << (*sysno as u64);
+                    }
+                    // Signal delivery always needs sigreturn.
+                    mask |= 1 << (dynacut_vm::Sysno::Sigreturn as u64);
+                    image.set_syscall_filter(mask);
+                }
+                // Fold this plan's effects into the accumulated state and
+                // emit the union tables for the handler build below.
+                let redirect_acc = self.redirect_state.entry(pid).or_default();
+                for (from, to) in redirects[index].drain(..) {
+                    redirect_acc.insert(from, to);
+                }
+                redirects[index] = redirect_acc.iter().map(|(&f, &t)| (f, t)).collect();
+                let verify_acc = self.verify_state.entry(pid).or_default();
+                for (addr, byte) in originals[index].drain(..) {
+                    verify_acc.entry(addr).or_insert(byte);
+                }
+                originals[index] = verify_acc.iter().map(|(&a, &b)| (a, b)).collect();
+            }
+            Ok(())
+        })();
+        if let Err(err) = result {
+            for &pid in pids {
+                let _ = kernel.thaw(pid);
+            }
+            return Err(err);
+        }
+        report.timings.disable_code = t_rewrite.elapsed();
+
+        // --- fault handler ----------------------------------------------
+        let t_handler = Instant::now();
+        // Restore resolves every module named in the images, so built
+        // libraries join the framework registry (later dumps will see
+        // them mapped).
+        if plan.fault_policy != FaultPolicy::Terminate {
+            for (index, image) in checkpoint.procs.iter_mut().enumerate() {
+                let mut library = match plan.fault_policy {
+                    FaultPolicy::Redirect => build_fault_handler(&redirects[index])?,
+                    FaultPolicy::Verify => build_verifier_library(&originals[index])?,
+                    FaultPolicy::Terminate => unreachable!(),
+                };
+                // Repeated customizations inject repeatedly: keep module
+                // names unique so the registry and module tables stay
+                // unambiguous.
+                self.injections += 1;
+                library.name = format!("{}@{}", library.name, self.injections);
+                // "By default, DynaCut loads the shared library into a
+                // randomized but unused location" (paper §3.2.1). The RNG
+                // is seeded per injection so runs stay reproducible.
+                let base = {
+                    use rand::{Rng, SeedableRng};
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(
+                        0xD1AC_0DE5 ^ (self.injections << 8) ^ u64::from(image.core.pid.0),
+                    );
+                    let window_pages: u64 = 1 << 18; // a 1 GiB placement window
+                    let hint = 0x6000_0000_0000u64
+                        + (rng.gen::<u64>() % window_pages) * dynacut_obj::PAGE_SIZE;
+                    image
+                        .mm
+                        .find_free(hint, dynacut_obj::page_align(library.footprint()))
+                };
+                let base = image.inject_library(&library, Some(base), &self.registry)?;
+                self.registry.insert(std::sync::Arc::new(library.clone()));
+                let handler = base + library.symbols["dc_handler"].offset;
+                let restorer = base + library.symbols["dc_restorer"].offset;
+                image.set_sigaction(
+                    Signal::Sigtrap,
+                    SigAction {
+                        handler,
+                        restorer,
+                        mask: 0,
+                    },
+                );
+                report.handler_bases.push((image.core.pid, base));
+            }
+        }
+        report.timings.insert_sighandler = t_handler.elapsed();
+
+        // --- restore ----------------------------------------------------
+        let t_restore = Instant::now();
+        for &pid in pids {
+            kernel.remove_process(pid)?;
+        }
+        restore_many(kernel, &checkpoint, &self.registry)?;
+        report.timings.restore = t_restore.elapsed();
+
+        match plan.downtime {
+            Downtime::Fixed(ns) => kernel.advance_clock(ns),
+            Downtime::MeasuredTimes(scale) => {
+                kernel.advance_clock(report.timings.total().as_nanos() as u64 * scale)
+            }
+            Downtime::None => {}
+        }
+        Ok(report)
+    }
+
+    /// Drains verifier reports from the kernel's event stream: the
+    /// absolute addresses of blocks that were blocked but turned out to be
+    /// needed (paper §3.2.3).
+    pub fn verifier_reports(kernel: &mut Kernel) -> Vec<u64> {
+        let events = kernel.drain_events();
+        let mut out = Vec::new();
+        for event in &events {
+            if event.code & VERIFIER_EVENT_BIT != 0 {
+                out.push(event.code & !VERIFIER_EVENT_BIT);
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,296 @@
+//! Binary serialisation of checkpoint images (the protobuf-format
+//! analogue; stored on the harness's tmpfs-like in-memory store).
+
+use crate::images::*;
+use crate::CriuError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dynacut_obj::Perms;
+use dynacut_vm::{ConnId, Pid, SigAction, Signal};
+
+const MAGIC: &[u8; 4] = b"DCR1";
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_vec(buf: &mut BytesMut, v: &[u8]) {
+    buf.put_u64_le(v.len() as u64);
+    buf.put_slice(v);
+}
+
+fn put_perms(buf: &mut BytesMut, perms: Perms) {
+    buf.put_u8((perms.read as u8) | (perms.write as u8) << 1 | (perms.exec as u8) << 2);
+}
+
+struct Reader(Bytes);
+
+impl Reader {
+    fn u8(&mut self) -> Result<u8, CriuError> {
+        if self.0.remaining() < 1 {
+            return Err(CriuError::BadImage("truncated u8".into()));
+        }
+        Ok(self.0.get_u8())
+    }
+    fn u16(&mut self) -> Result<u16, CriuError> {
+        if self.0.remaining() < 2 {
+            return Err(CriuError::BadImage("truncated u16".into()));
+        }
+        Ok(self.0.get_u16_le())
+    }
+    fn u32(&mut self) -> Result<u32, CriuError> {
+        if self.0.remaining() < 4 {
+            return Err(CriuError::BadImage("truncated u32".into()));
+        }
+        Ok(self.0.get_u32_le())
+    }
+    fn u64(&mut self) -> Result<u64, CriuError> {
+        if self.0.remaining() < 8 {
+            return Err(CriuError::BadImage("truncated u64".into()));
+        }
+        Ok(self.0.get_u64_le())
+    }
+    fn str(&mut self) -> Result<String, CriuError> {
+        let len = self.u32()? as usize;
+        if self.0.remaining() < len {
+            return Err(CriuError::BadImage("truncated string".into()));
+        }
+        String::from_utf8(self.0.split_to(len).to_vec())
+            .map_err(|_| CriuError::BadImage("non-utf8 string".into()))
+    }
+    fn vec(&mut self) -> Result<Vec<u8>, CriuError> {
+        let len = self.u64()? as usize;
+        if self.0.remaining() < len {
+            return Err(CriuError::BadImage("truncated byte vector".into()));
+        }
+        Ok(self.0.split_to(len).to_vec())
+    }
+    fn perms(&mut self) -> Result<Perms, CriuError> {
+        let bits = self.u8()?;
+        Ok(Perms {
+            read: bits & 1 != 0,
+            write: bits & 2 != 0,
+            exec: bits & 4 != 0,
+        })
+    }
+}
+
+impl CheckpointImage {
+    /// Serialises the checkpoint to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u64_le(self.time_ns);
+        buf.put_u32_le(self.procs.len() as u32);
+        for image in &self.procs {
+            encode_proc(&mut buf, image);
+        }
+        buf.to_vec()
+    }
+
+    /// Parses a checkpoint previously produced by
+    /// [`CheckpointImage::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`CriuError::BadImage`] on malformed input.
+    pub fn from_bytes(raw: &[u8]) -> Result<CheckpointImage, CriuError> {
+        let mut reader = Reader(Bytes::copy_from_slice(raw));
+        if reader.0.remaining() < 4 || &reader.0.split_to(4)[..] != MAGIC {
+            return Err(CriuError::BadImage("bad magic".into()));
+        }
+        let time_ns = reader.u64()?;
+        let count = reader.u32()?;
+        let mut procs = Vec::with_capacity((count as usize).min(4096));
+        for _ in 0..count {
+            procs.push(decode_proc(&mut reader)?);
+        }
+        Ok(CheckpointImage { procs, time_ns })
+    }
+}
+
+fn encode_proc(buf: &mut BytesMut, image: &ProcessImage) {
+    buf.put_u8(image.exec_pages_dumped as u8);
+    // core
+    buf.put_u32_le(image.core.pid.0);
+    match image.core.parent {
+        Some(pid) => {
+            buf.put_u8(1);
+            buf.put_u32_le(pid.0);
+        }
+        None => buf.put_u8(0),
+    }
+    put_str(buf, &image.core.name);
+    for reg in image.core.regs {
+        buf.put_u64_le(reg);
+    }
+    buf.put_u64_le(image.core.pc);
+    buf.put_u64_le(image.core.flags_bits);
+    for action in image.core.sigactions {
+        buf.put_u64_le(action.handler);
+        buf.put_u64_le(action.restorer);
+        buf.put_u64_le(action.mask);
+    }
+    buf.put_u32_le(image.core.signal_depth);
+    buf.put_u64_le(image.core.insns_retired);
+    buf.put_u64_le(image.core.syscall_filter);
+    buf.put_u32_le(image.core.modules.len() as u32);
+    for module in &image.core.modules {
+        put_str(buf, &module.name);
+        buf.put_u64_le(module.base);
+    }
+    // mm
+    buf.put_u32_le(image.mm.vmas.len() as u32);
+    for vma in &image.mm.vmas {
+        buf.put_u64_le(vma.start);
+        buf.put_u64_le(vma.end);
+        put_perms(buf, vma.perms);
+        put_str(buf, &vma.name);
+    }
+    // pagemap + pages
+    buf.put_u32_le(image.pagemap.pages.len() as u32);
+    for page in &image.pagemap.pages {
+        buf.put_u64_le(*page);
+    }
+    put_vec(buf, &image.pages.bytes);
+    // files
+    buf.put_u32_le(image.files.fds.len() as u32);
+    for (fd, entry) in &image.files.fds {
+        buf.put_u32_le(*fd);
+        match entry {
+            FdImage::Console => buf.put_u8(0),
+            FdImage::File { path, pos } => {
+                buf.put_u8(1);
+                put_str(buf, path);
+                buf.put_u64_le(*pos);
+            }
+            FdImage::Socket => buf.put_u8(2),
+            FdImage::Listener { port } => {
+                buf.put_u8(3);
+                buf.put_u16_le(*port);
+            }
+            FdImage::Conn { id } => {
+                buf.put_u8(4);
+                buf.put_u64_le(id.0);
+            }
+        }
+    }
+    // tcp
+    buf.put_u32_le(image.tcp.conns.len() as u32);
+    for conn in &image.tcp.conns {
+        buf.put_u64_le(conn.id.0);
+        buf.put_u16_le(conn.port);
+        put_vec(buf, &conn.to_server);
+        put_vec(buf, &conn.to_client);
+    }
+}
+
+fn decode_proc(reader: &mut Reader) -> Result<ProcessImage, CriuError> {
+    let exec_pages_dumped = reader.u8()? != 0;
+    let pid = Pid(reader.u32()?);
+    let parent = match reader.u8()? {
+        0 => None,
+        1 => Some(Pid(reader.u32()?)),
+        other => return Err(CriuError::BadImage(format!("bad parent flag {other}"))),
+    };
+    let name = reader.str()?;
+    let mut regs = [0u64; 16];
+    for reg in &mut regs {
+        *reg = reader.u64()?;
+    }
+    let pc = reader.u64()?;
+    let flags_bits = reader.u64()?;
+    let mut sigactions = [SigAction::default(); Signal::COUNT];
+    for action in &mut sigactions {
+        action.handler = reader.u64()?;
+        action.restorer = reader.u64()?;
+        action.mask = reader.u64()?;
+    }
+    let signal_depth = reader.u32()?;
+    let insns_retired = reader.u64()?;
+    let syscall_filter = reader.u64()?;
+    let module_count = reader.u32()?;
+    let mut modules = Vec::with_capacity((module_count as usize).min(4096));
+    for _ in 0..module_count {
+        let name = reader.str()?;
+        let base = reader.u64()?;
+        modules.push(ModuleRef { name, base });
+    }
+    let vma_count = reader.u32()?;
+    let mut vmas = Vec::with_capacity((vma_count as usize).min(4096));
+    for _ in 0..vma_count {
+        let start = reader.u64()?;
+        let end = reader.u64()?;
+        let perms = reader.perms()?;
+        let name = reader.str()?;
+        vmas.push(VmaImage {
+            start,
+            end,
+            perms,
+            name,
+        });
+    }
+    let page_count = reader.u32()?;
+    let mut pages = Vec::with_capacity((page_count as usize).min(4096));
+    for _ in 0..page_count {
+        pages.push(reader.u64()?);
+    }
+    let page_bytes = reader.vec()?;
+    let fd_count = reader.u32()?;
+    let mut fds = Vec::with_capacity((fd_count as usize).min(4096));
+    for _ in 0..fd_count {
+        let fd = reader.u32()?;
+        let entry = match reader.u8()? {
+            0 => FdImage::Console,
+            1 => {
+                let path = reader.str()?;
+                let pos = reader.u64()?;
+                FdImage::File { path, pos }
+            }
+            2 => FdImage::Socket,
+            3 => FdImage::Listener {
+                port: reader.u16()?,
+            },
+            4 => FdImage::Conn {
+                id: ConnId(reader.u64()?),
+            },
+            other => return Err(CriuError::BadImage(format!("bad fd kind {other}"))),
+        };
+        fds.push((fd, entry));
+    }
+    let conn_count = reader.u32()?;
+    let mut conns = Vec::with_capacity((conn_count as usize).min(4096));
+    for _ in 0..conn_count {
+        let id = ConnId(reader.u64()?);
+        let port = reader.u16()?;
+        let to_server = reader.vec()?;
+        let to_client = reader.vec()?;
+        conns.push(TcpConnImage {
+            id,
+            port,
+            to_server,
+            to_client,
+        });
+    }
+    Ok(ProcessImage {
+        core: CoreImage {
+            pid,
+            parent,
+            name,
+            regs,
+            pc,
+            flags_bits,
+            sigactions,
+            signal_depth,
+            insns_retired,
+            modules,
+            syscall_filter,
+        },
+        mm: MmImage { vmas },
+        pagemap: PagemapImage { pages },
+        pages: PagesImage { bytes: page_bytes },
+        files: FilesImage { fds },
+        tcp: TcpImage { conns },
+        exec_pages_dumped,
+    })
+}

@@ -1,0 +1,309 @@
+//! CRIT-style image editing — the paper's extended `crit` APIs
+//! ("update memory contents, enlarge or unmap the VMAs, and insert
+//! position-independent shared libraries", §3.3).
+
+use crate::images::{ProcessImage, VmaImage};
+use crate::CriuError;
+use dynacut_obj::{materialize, page_align, Image, Perms, PAGE_SIZE};
+use dynacut_vm::{SigAction, Signal};
+use std::collections::BTreeMap;
+
+impl ProcessImage {
+    /// Reads `len` bytes at `addr` from the image (unpopulated pages read
+    /// as zero).
+    ///
+    /// # Errors
+    ///
+    /// Fails if any byte lies outside every VMA.
+    pub fn read_mem(&self, addr: u64, len: usize) -> Result<Vec<u8>, CriuError> {
+        self.check_mapped(addr, len)?;
+        let mut out = vec![0u8; len];
+        let mut done = 0usize;
+        while done < len {
+            let cursor = addr + done as u64;
+            let page_base = cursor & !(PAGE_SIZE - 1);
+            let in_page = (cursor - page_base) as usize;
+            let chunk = ((PAGE_SIZE as usize) - in_page).min(len - done);
+            if let Ok(index) = self.pagemap.pages.binary_search(&page_base) {
+                let start = index * PAGE_SIZE as usize + in_page;
+                out[done..done + chunk].copy_from_slice(&self.pages.bytes[start..start + chunk]);
+            }
+            done += chunk;
+        }
+        Ok(out)
+    }
+
+    /// Writes bytes into the image at `addr`, materialising pages in the
+    /// pagemap as needed — the primitive behind "replacing arbitrary
+    /// instructions with one-byte `int3` instructions" (paper §3.2.1).
+    ///
+    /// # Errors
+    ///
+    /// Fails if any byte lies outside every VMA.
+    pub fn write_mem(&mut self, addr: u64, bytes: &[u8]) -> Result<(), CriuError> {
+        self.check_mapped(addr, bytes.len())?;
+        let mut done = 0usize;
+        while done < bytes.len() {
+            let cursor = addr + done as u64;
+            let page_base = cursor & !(PAGE_SIZE - 1);
+            let in_page = (cursor - page_base) as usize;
+            let chunk = ((PAGE_SIZE as usize) - in_page).min(bytes.len() - done);
+            let index = match self.pagemap.pages.binary_search(&page_base) {
+                Ok(index) => index,
+                Err(index) => {
+                    // Materialise a zero page at the right position.
+                    self.pagemap.pages.insert(index, page_base);
+                    let at = index * PAGE_SIZE as usize;
+                    self.pages
+                        .bytes
+                        .splice(at..at, std::iter::repeat_n(0u8, PAGE_SIZE as usize));
+                    index
+                }
+            };
+            let start = index * PAGE_SIZE as usize + in_page;
+            self.pages.bytes[start..start + chunk].copy_from_slice(&bytes[done..done + chunk]);
+            done += chunk;
+        }
+        Ok(())
+    }
+
+    /// Overwrites `[addr, addr+len)` with a constant byte (the "wipe out a
+    /// block of code memory" policy).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the range is not mapped.
+    pub fn fill_mem(&mut self, addr: u64, len: usize, value: u8) -> Result<(), CriuError> {
+        self.write_mem(addr, &vec![value; len])
+    }
+
+    /// Adds a fresh VMA to the image and returns its start address.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the requested range overlaps an existing VMA.
+    pub fn add_vma(
+        &mut self,
+        start: u64,
+        len: u64,
+        perms: Perms,
+        name: &str,
+    ) -> Result<u64, CriuError> {
+        let len = page_align(len.max(1));
+        let end = start + len;
+        if self.mm.vmas.iter().any(|v| v.start < end && start < v.end) {
+            return Err(CriuError::VmaOverlap(start));
+        }
+        self.mm.vmas.push(VmaImage {
+            start,
+            end,
+            perms,
+            name: name.to_owned(),
+        });
+        self.mm.vmas.sort_by_key(|v| v.start);
+        Ok(start)
+    }
+
+    /// Removes `[start, end)` from the VMA list and drops its pages — the
+    /// "unmap an entire memory page" policy. VMAs straddling the range are
+    /// split.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the bounds are not page-aligned.
+    pub fn unmap_range(&mut self, start: u64, end: u64) -> Result<(), CriuError> {
+        if !start.is_multiple_of(PAGE_SIZE) || !end.is_multiple_of(PAGE_SIZE) || start >= end {
+            return Err(CriuError::Inconsistent(format!(
+                "bad unmap range {start:#x}..{end:#x}"
+            )));
+        }
+        let mut next = Vec::with_capacity(self.mm.vmas.len() + 1);
+        for vma in self.mm.vmas.drain(..) {
+            if !(vma.start < end && start < vma.end) {
+                next.push(vma);
+                continue;
+            }
+            if vma.start < start {
+                next.push(VmaImage {
+                    start: vma.start,
+                    end: start,
+                    perms: vma.perms,
+                    name: vma.name.clone(),
+                });
+            }
+            if vma.end > end {
+                next.push(VmaImage {
+                    start: end,
+                    end: vma.end,
+                    perms: vma.perms,
+                    name: vma.name.clone(),
+                });
+            }
+        }
+        next.sort_by_key(|v| v.start);
+        self.mm.vmas = next;
+
+        // Drop the affected pages from pagemap/pages.
+        let mut index = 0;
+        while index < self.pagemap.pages.len() {
+            let page = self.pagemap.pages[index];
+            if page >= start && page < end {
+                self.pagemap.pages.remove(index);
+                let at = index * PAGE_SIZE as usize;
+                self.pages.bytes.drain(at..at + PAGE_SIZE as usize);
+            } else {
+                index += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Installs a signal disposition in the core image — how DynaCut
+    /// "adds the signal handler address, restorer address, and signal mask
+    /// into the SIGTRAP sigaction field" (paper §3.3).
+    pub fn set_sigaction(&mut self, signal: Signal, action: SigAction) {
+        self.core.sigactions[signal.number() as usize] = action;
+    }
+
+    /// Installs a syscall allow-bitmask in the core image (bit *n*
+    /// permits syscall number *n*) — dynamic seccomp filtering through
+    /// process rewriting, the paper's §5 extension.
+    pub fn set_syscall_filter(&mut self, filter: u64) {
+        self.core.syscall_filter = filter;
+    }
+
+    /// Injects a position-independent shared library into the image at
+    /// `base` (or a free address chosen from `hint` when `base` is
+    /// `None`), resolving its imports against the modules already mapped.
+    /// Returns the base address used.
+    ///
+    /// This reproduces §3.3's library injection: new VMAs and pages are
+    /// created, the library's GOT is filled with the resolved libc symbol
+    /// addresses, and global-data relocations are applied relative to the
+    /// chosen base.
+    ///
+    /// # Errors
+    ///
+    /// Fails on overlap, unresolved imports, or malformed library images.
+    pub fn inject_library(
+        &mut self,
+        library: &Image,
+        base: Option<u64>,
+        registry: &crate::ModuleRegistry,
+    ) -> Result<u64, CriuError> {
+        // Resolve import symbols against the mapped modules.
+        let mut globals: BTreeMap<String, u64> = BTreeMap::new();
+        for module_ref in &self.core.modules {
+            let Some(binary) = registry.get(&module_ref.name) else {
+                continue;
+            };
+            for (name, def) in &binary.symbols {
+                globals
+                    .entry(name.clone())
+                    .or_insert(module_ref.base + def.offset);
+            }
+        }
+
+        let footprint = page_align(library.footprint());
+        let base = match base {
+            Some(base) => base,
+            None => self.mm.find_free(0x6000_0000_0000, footprint),
+        };
+        let segments = materialize(library, base, |symbol| globals.get(symbol).copied())
+            .map_err(|err| match err {
+                dynacut_obj::ObjError::MissingImport { symbol, .. } => {
+                    CriuError::UnresolvedSymbol(symbol)
+                }
+                other => CriuError::Inconsistent(other.to_string()),
+            })?;
+        for segment in &segments {
+            self.add_vma(segment.vaddr, segment.map_len(), segment.perms, &segment.name)?;
+            if !segment.bytes.is_empty() {
+                self.write_mem(segment.vaddr, &segment.bytes)?;
+            }
+        }
+        // Record the module so future dumps and rewrites can find it.
+        self.core.modules.push(crate::images::ModuleRef {
+            name: library.name.clone(),
+            base,
+        });
+        Ok(base)
+    }
+
+    /// Unloads a previously injected module: every VMA inside its
+    /// footprint is unmapped, its pages dropped, and its [`ModuleRef`]
+    /// removed — "unused shared library code can be dynamically unloaded
+    /// through the process rewriting approach" (paper §5). If the
+    /// `SIGTRAP` sigaction points into the module it is reset to the
+    /// default disposition.
+    ///
+    /// Returns the number of pages removed.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no module of that name is mapped or its binary is missing
+    /// from the registry (needed to know the footprint).
+    ///
+    /// [`ModuleRef`]: crate::images::ModuleRef
+    pub fn unload_module(
+        &mut self,
+        name: &str,
+        registry: &crate::ModuleRegistry,
+    ) -> Result<u64, CriuError> {
+        let position = self
+            .core
+            .modules
+            .iter()
+            .position(|m| m.name == name)
+            .ok_or_else(|| CriuError::UnknownModule(name.to_owned()))?;
+        let base = self.core.modules[position].base;
+        let binary = registry
+            .get(name)
+            .ok_or_else(|| CriuError::UnknownModule(name.to_owned()))?;
+        let end = base + dynacut_obj::page_align(binary.footprint());
+        let pages_before = self.pagemap.pages.len();
+        self.unmap_range(base, end)?;
+        self.core.modules.remove(position);
+        // A dangling SIGTRAP handler inside the unloaded module would
+        // fault on delivery; reset it.
+        let trap = Signal::Sigtrap.number() as usize;
+        let action = self.core.sigactions[trap];
+        if action.handler >= base && action.handler < end {
+            self.core.sigactions[trap] = SigAction::default();
+        }
+        Ok((pages_before - self.pagemap.pages.len()) as u64)
+    }
+
+    /// The mapped module reference whose text contains `addr`, if any.
+    pub fn module_containing(
+        &self,
+        addr: u64,
+        registry: &crate::ModuleRegistry,
+    ) -> Option<(crate::images::ModuleRef, std::sync::Arc<Image>)> {
+        for module_ref in &self.core.modules {
+            let Some(binary) = registry.get(&module_ref.name) else {
+                continue;
+            };
+            let text_end = module_ref.base + binary.text.len() as u64;
+            if addr >= module_ref.base && addr < text_end {
+                return Some((module_ref.clone(), std::sync::Arc::clone(binary)));
+            }
+        }
+        None
+    }
+
+    fn check_mapped(&self, addr: u64, len: usize) -> Result<(), CriuError> {
+        let mut cursor = addr;
+        let end = addr
+            .checked_add(len as u64)
+            .ok_or(CriuError::AddressNotMapped(addr))?;
+        while cursor < end {
+            let vma = self
+                .mm
+                .vma_at(cursor)
+                .ok_or(CriuError::AddressNotMapped(cursor))?;
+            cursor = vma.end.min(end);
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,112 @@
+//! # dynacut-criu — checkpoint/restore in userspace for the DCVM
+//!
+//! The paper's process rewriter works on **static process images** dumped
+//! by CRIU and edited through an extended CRIT tool (paper §3.2.1, §3.3).
+//! This crate reproduces that layer for DCVM processes:
+//!
+//! * [`ProcessImage`] — the image-file set CRIU produces per process:
+//!   `core` (registers, sigactions), `mm` (VMAs), `pagemap` (which pages
+//!   are populated), `pages` (raw page bytes), `files` (descriptors) and
+//!   `tcp` (repaired connections),
+//! * [`dump`]/[`restore`] — checkpoint a frozen process and bring it back,
+//!   including live TCP connections (`TCP_REPAIR` analogue),
+//! * [`DumpOptions::dump_exec_pages`] — the paper's one-line but essential
+//!   CRIU patch: stock CRIU skips file-backed executable pages (they are
+//!   reconstructed from the binary on restore), so **rewites to text would
+//!   be lost**; DynaCut's patched `criu/mem.c` dumps `PROT_EXEC` pages so
+//!   the rewriter's edits survive. Both behaviours are implemented and
+//!   tested,
+//! * CRIT-style editing ([`ProcessImage::write_mem`],
+//!   [`ProcessImage::add_vma`], [`ProcessImage::unmap_range`],
+//!   [`ProcessImage::set_sigaction`], …) — the API surface the paper added
+//!   to CRIT "to provide easy-to-use APIs for process transformation",
+//! * a binary codec ([`CheckpointImage::to_bytes`]) so checkpoints can be
+//!   stored on a tmpfs-like in-memory store and their sizes reported
+//!   (Figure 7's "image size" row), and
+//! * a textual decoder ([`ProcessImage::decode_text`]) mirroring
+//!   `crit decode`.
+
+mod codec;
+mod dump;
+mod edit;
+mod images;
+mod restore;
+mod text;
+
+pub use dump::{dump, dump_many, DumpOptions};
+pub use images::{
+    CheckpointImage, CoreImage, FdImage, FilesImage, MmImage, ModuleRef, PagemapImage,
+    PagesImage, ProcessImage, TcpConnImage, TcpImage, VmaImage,
+};
+pub use restore::{restore, restore_many, ModuleRegistry};
+
+/// Error type shared by dump, restore and editing operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CriuError {
+    /// The kernel rejected an operation.
+    Vm(dynacut_vm::VmError),
+    /// An address is not covered by any VMA in the image.
+    AddressNotMapped(u64),
+    /// A new VMA overlaps an existing one.
+    VmaOverlap(u64),
+    /// The image is malformed or truncated.
+    BadImage(String),
+    /// A module named in the image is missing from the registry.
+    UnknownModule(String),
+    /// A symbol could not be resolved during library injection.
+    UnresolvedSymbol(String),
+    /// Image editing produced an inconsistent state.
+    Inconsistent(String),
+}
+
+impl std::fmt::Display for CriuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CriuError::Vm(err) => write!(f, "kernel error: {err}"),
+            CriuError::AddressNotMapped(addr) => {
+                write!(f, "address {addr:#x} is not mapped in the image")
+            }
+            CriuError::VmaOverlap(addr) => write!(f, "new vma at {addr:#x} overlaps"),
+            CriuError::BadImage(reason) => write!(f, "malformed checkpoint image: {reason}"),
+            CriuError::UnknownModule(name) => write!(f, "module `{name}` not in registry"),
+            CriuError::UnresolvedSymbol(name) => write!(f, "cannot resolve symbol `{name}`"),
+            CriuError::Inconsistent(reason) => write!(f, "inconsistent image: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CriuError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CriuError::Vm(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<dynacut_vm::VmError> for CriuError {
+    fn from(err: dynacut_vm::VmError) -> Self {
+        CriuError::Vm(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_are_nonempty() {
+        let samples = [
+            CriuError::AddressNotMapped(0x10),
+            CriuError::VmaOverlap(0x20),
+            CriuError::BadImage("short".into()),
+            CriuError::UnknownModule("libc".into()),
+            CriuError::UnresolvedSymbol("f".into()),
+            CriuError::Inconsistent("pagemap".into()),
+        ];
+        for err in samples {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+}

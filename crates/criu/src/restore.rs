@@ -1,0 +1,204 @@
+//! Restoring a process from (possibly rewritten) images.
+
+use crate::images::*;
+use crate::CriuError;
+use dynacut_obj::{materialize, Image, PAGE_SIZE};
+use dynacut_vm::{
+    CpuState, FdTable, FileDesc, Flags, Kernel, LoadedModule, Pid, Process, VfsFile,
+};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Maps module names to their binaries, the restore-time analogue of the
+/// filesystem CRIU reads file-backed mappings from.
+#[derive(Debug, Clone, Default)]
+pub struct ModuleRegistry {
+    modules: BTreeMap<String, Arc<Image>>,
+}
+
+impl ModuleRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a binary under its image name.
+    pub fn insert(&mut self, image: Arc<Image>) {
+        self.modules.insert(image.name.clone(), image);
+    }
+
+    /// Looks up a binary by name.
+    pub fn get(&self, name: &str) -> Option<&Arc<Image>> {
+        self.modules.get(name)
+    }
+
+    /// Builds a registry from a process's loaded modules.
+    pub fn from_modules<'a>(modules: impl IntoIterator<Item = &'a LoadedModule>) -> Self {
+        let mut registry = ModuleRegistry::new();
+        for module in modules {
+            registry.insert(Arc::clone(&module.image));
+        }
+        registry
+    }
+}
+
+/// Restores a process from its image set into the kernel under its
+/// original pid.
+///
+/// Pages recorded in the pagemap are written verbatim (so image edits take
+/// effect). Executable VMAs with **no** dumped pages are reconstructed
+/// from the binary in `registry` — the stock-CRIU file-backed-page path
+/// that silently discards text rewrites (see
+/// [`DumpOptions`](crate::DumpOptions)).
+///
+/// # Errors
+///
+/// Fails if the pid is taken, a module is missing from the registry, or
+/// the images are inconsistent.
+pub fn restore(
+    kernel: &mut Kernel,
+    image: &ProcessImage,
+    registry: &ModuleRegistry,
+) -> Result<Pid, CriuError> {
+    let pid = image.core.pid;
+    let mut proc = Process::new(pid, &image.core.name);
+    proc.parent = image.core.parent;
+
+    // 1. VMAs.
+    for vma in &image.mm.vmas {
+        proc.mem
+            .map(vma.start, vma.end - vma.start, vma.perms, &vma.name)?;
+    }
+
+    // 2. Re-attach modules from the registry (also used to rebuild
+    //    file-backed text where pages were not dumped).
+    let mut modules = Vec::with_capacity(image.core.modules.len());
+    for module_ref in &image.core.modules {
+        let binary = registry
+            .get(&module_ref.name)
+            .ok_or_else(|| CriuError::UnknownModule(module_ref.name.clone()))?;
+        modules.push(LoadedModule {
+            image: Arc::clone(binary),
+            base: module_ref.base,
+        });
+    }
+
+    // 3. File-backed reconstruction for text not present in the pagemap
+    //    (stock-CRIU behaviour).
+    let dumped: std::collections::BTreeSet<u64> = image.pagemap.pages.iter().copied().collect();
+    let globals: BTreeMap<&str, u64> = modules
+        .iter()
+        .flat_map(|m| {
+            m.image
+                .symbols
+                .iter()
+                .map(move |(name, def)| (name.as_str(), m.base + def.offset))
+        })
+        .collect();
+    for module in &modules {
+        let segments = materialize(&module.image, module.base, |symbol| {
+            globals.get(symbol).copied()
+        })
+        .map_err(|err| CriuError::Inconsistent(err.to_string()))?;
+        for segment in &segments {
+            if !segment.perms.exec {
+                continue; // only text is file-backed in our model
+            }
+            let mut offset = 0usize;
+            while offset < segment.bytes.len() {
+                let page_base = segment.vaddr + offset as u64;
+                let chunk = ((PAGE_SIZE as usize).min(segment.bytes.len() - offset)).max(1);
+                // With stock CRIU options the page-fault handler always
+                // reconstructs file-backed text from the binary; dumped
+                // copies of text pages (if any) are irrelevant.
+                if !image.exec_pages_dumped || !dumped.contains(&page_base) {
+                    proc.mem
+                        .write_unchecked(page_base, &segment.bytes[offset..offset + chunk]);
+                }
+                offset += PAGE_SIZE as usize;
+            }
+        }
+    }
+    proc.modules = modules;
+
+    // 4. Dumped pages, verbatim.
+    if image.pages.bytes.len() != image.pagemap.pages.len() * PAGE_SIZE as usize {
+        return Err(CriuError::Inconsistent(format!(
+            "pages.img holds {} bytes but pagemap lists {} pages",
+            image.pages.bytes.len(),
+            image.pagemap.pages.len()
+        )));
+    }
+    for (index, &page_base) in image.pagemap.pages.iter().enumerate() {
+        if !image.exec_pages_dumped {
+            let exec = image.mm.vma_at(page_base).map(|v| v.perms.exec).unwrap_or(false);
+            if exec {
+                continue; // stock CRIU: text always comes from the binary
+            }
+        }
+        let start = index * PAGE_SIZE as usize;
+        proc.mem
+            .write_unchecked(page_base, &image.pages.bytes[start..start + PAGE_SIZE as usize]);
+    }
+
+    // 5. Registers and signal state.
+    proc.cpu = CpuState {
+        regs: image.core.regs,
+        pc: image.core.pc,
+        flags: Flags::from_bits(image.core.flags_bits),
+    };
+    proc.sigactions = image.core.sigactions;
+    proc.signal_depth = image.core.signal_depth;
+    proc.insns_retired = image.core.insns_retired;
+    proc.syscall_filter = image.core.syscall_filter;
+
+    // 6. Descriptors (listeners re-registered, connections re-attached).
+    let mut fds = FdTable::new();
+    let mut conn_ids = Vec::new();
+    for (fd, entry) in &image.files.fds {
+        let desc = match entry {
+            FdImage::Console => FileDesc::Console,
+            FdImage::File { path, pos } => FileDesc::File {
+                file: VfsFile {
+                    path: path.clone(),
+                    contents: kernel.vfs_contents(path).unwrap_or_default(),
+                },
+                pos: *pos,
+            },
+            FdImage::Socket => FileDesc::Socket,
+            FdImage::Listener { port } => {
+                kernel.restore_listener(*port);
+                FileDesc::Listener { port: *port }
+            }
+            FdImage::Conn { id } => {
+                conn_ids.push(*id);
+                FileDesc::Conn(*id)
+            }
+        };
+        fds.insert(*fd, desc);
+    }
+    proc.fds = fds;
+
+    // 7. Leave TCP repair mode.
+    kernel.unrepair_connections(&conn_ids);
+
+    kernel.insert_process(proc)?;
+    Ok(pid)
+}
+
+/// Restores every process of a checkpoint.
+///
+/// # Errors
+///
+/// Fails on the first process that cannot be restored.
+pub fn restore_many(
+    kernel: &mut Kernel,
+    checkpoint: &CheckpointImage,
+    registry: &ModuleRegistry,
+) -> Result<Vec<Pid>, CriuError> {
+    checkpoint
+        .procs
+        .iter()
+        .map(|image| restore(kernel, image, registry))
+        .collect()
+}

@@ -1,0 +1,122 @@
+//! Basic-block metadata.
+//!
+//! DynaCut's trace format, its `tracediff` analysis and its rewriter all
+//! speak in `<BB addr, BB size>` tuples (paper §3.1); [`BasicBlock`] is that
+//! tuple.
+
+use std::fmt;
+use std::ops::Range;
+
+/// A basic block: a straight-line code sequence with no branches in except
+/// to the entry and no branches out except at the exit (paper footnote 3).
+///
+/// Addresses are byte offsets — within a `.text` section at assembly time,
+/// or absolute virtual addresses once a module is loaded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BasicBlock {
+    /// Address of the first instruction byte.
+    pub addr: u64,
+    /// Size of the block in bytes.
+    pub size: u32,
+}
+
+impl BasicBlock {
+    /// Creates a block from its address and size.
+    pub fn new(addr: u64, size: u32) -> Self {
+        BasicBlock { addr, size }
+    }
+
+    /// The half-open byte range `[addr, addr + size)` the block occupies.
+    pub fn range(&self) -> Range<u64> {
+        self.addr..self.addr + u64::from(self.size)
+    }
+
+    /// Whether `addr` falls inside this block.
+    pub fn contains(&self, addr: u64) -> bool {
+        self.range().contains(&addr)
+    }
+
+    /// This block shifted to a new base address, as happens when the module
+    /// containing it is loaded at `base`.
+    pub fn rebased(&self, base: u64) -> BasicBlock {
+        BasicBlock {
+            addr: self.addr + base,
+            size: self.size,
+        }
+    }
+}
+
+impl fmt::Display for BasicBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb {:#x}+{}", self.addr, self.size)
+    }
+}
+
+/// Coalesces sorted, possibly-adjacent blocks into maximal contiguous byte
+/// ranges.
+///
+/// The rewriter uses this to turn a long block list into few memory writes
+/// (and, for page-unmap policies, into page ranges).
+///
+/// ```
+/// use dynacut_isa::{coalesce_blocks, BasicBlock};
+/// let blocks = [BasicBlock::new(0, 4), BasicBlock::new(4, 8), BasicBlock::new(100, 2)];
+/// assert_eq!(coalesce_blocks(&blocks), vec![0..12, 100..102]);
+/// ```
+pub fn coalesce_blocks(blocks: &[BasicBlock]) -> Vec<Range<u64>> {
+    let mut sorted: Vec<BasicBlock> = blocks.to_vec();
+    sorted.sort();
+    let mut out: Vec<Range<u64>> = Vec::new();
+    for block in sorted {
+        let range = block.range();
+        match out.last_mut() {
+            Some(last) if last.end >= range.start => {
+                last.end = last.end.max(range.end);
+            }
+            _ => out.push(range),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_and_contains() {
+        let block = BasicBlock::new(0x1000, 16);
+        assert_eq!(block.range(), 0x1000..0x1010);
+        assert!(block.contains(0x1000));
+        assert!(block.contains(0x100F));
+        assert!(!block.contains(0x1010));
+        assert!(!block.contains(0xFFF));
+    }
+
+    #[test]
+    fn rebase_shifts_only_the_address() {
+        let block = BasicBlock::new(0x40, 8).rebased(0x40_0000);
+        assert_eq!(block, BasicBlock::new(0x40_0040, 8));
+    }
+
+    #[test]
+    fn coalesce_merges_adjacent_and_overlapping() {
+        let blocks = [
+            BasicBlock::new(10, 5),
+            BasicBlock::new(0, 10),
+            BasicBlock::new(12, 10),
+            BasicBlock::new(40, 1),
+        ];
+        assert_eq!(coalesce_blocks(&blocks), vec![0..22, 40..41]);
+    }
+
+    #[test]
+    fn coalesce_empty_input() {
+        assert!(coalesce_blocks(&[]).is_empty());
+    }
+
+    #[test]
+    fn display_shows_addr_and_size() {
+        assert_eq!(BasicBlock::new(0x20, 3).to_string(), "bb 0x20+3");
+    }
+}

@@ -1,0 +1,287 @@
+//! Binary decoding of instructions.
+
+use crate::insn::{Cond, Opcode, Width, TRAP_OPCODE};
+use crate::{Insn, IsaError, Reg};
+
+fn reg(bytes: &[u8], at: usize) -> Result<Reg, IsaError> {
+    Reg::try_from(bytes[at])
+}
+
+fn imm32(bytes: &[u8], at: usize) -> i32 {
+    i32::from_le_bytes(bytes[at..at + 4].try_into().expect("bounds checked"))
+}
+
+fn imm64(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().expect("bounds checked"))
+}
+
+/// Length in bytes of the instruction starting with `opcode`, if the opcode
+/// is valid.
+fn length_of(opcode: u8) -> Option<usize> {
+    Some(match opcode {
+        x if x == Opcode::Nop as u8
+            || x == Opcode::Ret as u8
+            || x == Opcode::Syscall as u8
+            || x == Opcode::Halt as u8
+            || x == TRAP_OPCODE =>
+        {
+            1
+        }
+        x if x == Opcode::Jmpr as u8
+            || x == Opcode::Callr as u8
+            || x == Opcode::Push as u8
+            || x == Opcode::Pop as u8 =>
+        {
+            2
+        }
+        x if (Opcode::Mov as u8..=Opcode::Shr as u8).contains(&x) || x == Opcode::Cmp as u8 => 3,
+        x if x == Opcode::Jmp as u8
+            || (Opcode::Je as u8..=Opcode::Jae as u8).contains(&x)
+            || x == Opcode::Call as u8 =>
+        {
+            5
+        }
+        x if x == Opcode::Addi as u8
+            || x == Opcode::Muli as u8
+            || x == Opcode::Cmpi as u8
+            || x == Opcode::Lea as u8 =>
+        {
+            6
+        }
+        x if (Opcode::Ld1 as u8..=Opcode::St8 as u8).contains(&x) => 7,
+        x if x == Opcode::Movi as u8 => 10,
+        _ => return None,
+    })
+}
+
+/// Decodes the instruction at `offset` inside `bytes`.
+///
+/// Returns the instruction and its encoded length. Decoding **never reads
+/// past the declared instruction length**, so it is safe to point this at
+/// arbitrary process memory — exactly what the disassembler, the coverage
+/// tracer and the process rewriter do.
+///
+/// # Errors
+///
+/// * [`IsaError::BadOpcode`] if the first byte names no instruction,
+/// * [`IsaError::TruncatedInsn`] if fewer bytes remain than the instruction
+///   needs,
+/// * [`IsaError::BadRegister`] if a register operand byte is out of range.
+///
+/// ```
+/// use dynacut_isa::{decode, encode, Insn, Reg};
+/// let bytes = encode(&Insn::Pop(Reg::R9));
+/// let (insn, len) = decode(&bytes, 0)?;
+/// assert_eq!(insn, Insn::Pop(Reg::R9));
+/// assert_eq!(len, 2);
+/// # Ok::<(), dynacut_isa::IsaError>(())
+/// ```
+pub fn decode(bytes: &[u8], offset: usize) -> Result<(Insn, usize), IsaError> {
+    let avail = bytes.len().saturating_sub(offset);
+    if avail == 0 {
+        return Err(IsaError::TruncatedInsn {
+            offset,
+            needed: 1,
+            available: 0,
+        });
+    }
+    let opcode = bytes[offset];
+    let len = length_of(opcode).ok_or(IsaError::BadOpcode(opcode))?;
+    if avail < len {
+        return Err(IsaError::TruncatedInsn {
+            offset,
+            needed: len,
+            available: avail,
+        });
+    }
+    let b = &bytes[offset..offset + len];
+    let insn = match opcode {
+        x if x == Opcode::Nop as u8 => Insn::Nop,
+        x if x == Opcode::Movi as u8 => Insn::Movi(reg(b, 1)?, imm64(b, 2)),
+        x if x == Opcode::Mov as u8 => Insn::Mov(reg(b, 1)?, reg(b, 2)?),
+        x if x == Opcode::Add as u8 => Insn::Add(reg(b, 1)?, reg(b, 2)?),
+        x if x == Opcode::Sub as u8 => Insn::Sub(reg(b, 1)?, reg(b, 2)?),
+        x if x == Opcode::Mul as u8 => Insn::Mul(reg(b, 1)?, reg(b, 2)?),
+        x if x == Opcode::Divu as u8 => Insn::Divu(reg(b, 1)?, reg(b, 2)?),
+        x if x == Opcode::Modu as u8 => Insn::Modu(reg(b, 1)?, reg(b, 2)?),
+        x if x == Opcode::And as u8 => Insn::And(reg(b, 1)?, reg(b, 2)?),
+        x if x == Opcode::Or as u8 => Insn::Or(reg(b, 1)?, reg(b, 2)?),
+        x if x == Opcode::Xor as u8 => Insn::Xor(reg(b, 1)?, reg(b, 2)?),
+        x if x == Opcode::Shl as u8 => Insn::Shl(reg(b, 1)?, reg(b, 2)?),
+        x if x == Opcode::Shr as u8 => Insn::Shr(reg(b, 1)?, reg(b, 2)?),
+        x if x == Opcode::Addi as u8 => Insn::Addi(reg(b, 1)?, imm32(b, 2)),
+        x if x == Opcode::Muli as u8 => Insn::Muli(reg(b, 1)?, imm32(b, 2)),
+        x if x == Opcode::Cmp as u8 => Insn::Cmp(reg(b, 1)?, reg(b, 2)?),
+        x if x == Opcode::Cmpi as u8 => Insn::Cmpi(reg(b, 1)?, imm32(b, 2)),
+        x if x == Opcode::Lea as u8 => Insn::Lea(reg(b, 1)?, imm32(b, 2)),
+        x if (Opcode::Ld1 as u8..=Opcode::Ld8 as u8).contains(&x) => {
+            let width = match x - Opcode::Ld1 as u8 {
+                0 => Width::B1,
+                1 => Width::B2,
+                2 => Width::B4,
+                _ => Width::B8,
+            };
+            Insn::Ld(width, reg(b, 1)?, reg(b, 2)?, imm32(b, 3))
+        }
+        x if (Opcode::St1 as u8..=Opcode::St8 as u8).contains(&x) => {
+            let width = match x - Opcode::St1 as u8 {
+                0 => Width::B1,
+                1 => Width::B2,
+                2 => Width::B4,
+                _ => Width::B8,
+            };
+            Insn::St(width, reg(b, 1)?, imm32(b, 3), reg(b, 2)?)
+        }
+        x if x == Opcode::Jmp as u8 => Insn::Jmp(imm32(b, 1)),
+        x if (Opcode::Je as u8..=Opcode::Jae as u8).contains(&x) => {
+            let cond = Cond::ALL[(x - Opcode::Je as u8) as usize];
+            Insn::Jcc(cond, imm32(b, 1))
+        }
+        x if x == Opcode::Jmpr as u8 => Insn::Jmpr(reg(b, 1)?),
+        x if x == Opcode::Call as u8 => Insn::Call(imm32(b, 1)),
+        x if x == Opcode::Callr as u8 => Insn::Callr(reg(b, 1)?),
+        x if x == Opcode::Ret as u8 => Insn::Ret,
+        x if x == Opcode::Push as u8 => Insn::Push(reg(b, 1)?),
+        x if x == Opcode::Pop as u8 => Insn::Pop(reg(b, 1)?),
+        x if x == Opcode::Syscall as u8 => Insn::Syscall,
+        x if x == Opcode::Halt as u8 => Insn::Halt,
+        x if x == TRAP_OPCODE => Insn::Trap,
+        other => return Err(IsaError::BadOpcode(other)),
+    };
+    Ok((insn, len))
+}
+
+/// Decodes an entire byte slice as a contiguous instruction stream.
+///
+/// # Errors
+///
+/// Fails with the same errors as [`decode`] at the first undecodable
+/// position.
+pub fn decode_all(bytes: &[u8]) -> Result<Vec<(usize, Insn)>, IsaError> {
+    let mut out = Vec::new();
+    let mut offset = 0;
+    while offset < bytes.len() {
+        let (insn, len) = decode(bytes, offset)?;
+        out.push((offset, insn));
+        offset += len;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode;
+
+    fn sample_insns() -> Vec<Insn> {
+        let mut v = vec![
+            Insn::Nop,
+            Insn::Movi(Reg::R7, u64::MAX),
+            Insn::Mov(Reg::R1, Reg::R2),
+            Insn::Add(Reg::R1, Reg::R2),
+            Insn::Sub(Reg::R1, Reg::R2),
+            Insn::Mul(Reg::R1, Reg::R2),
+            Insn::Divu(Reg::R1, Reg::R2),
+            Insn::Modu(Reg::R1, Reg::R2),
+            Insn::And(Reg::R1, Reg::R2),
+            Insn::Or(Reg::R1, Reg::R2),
+            Insn::Xor(Reg::R1, Reg::R2),
+            Insn::Shl(Reg::R1, Reg::R2),
+            Insn::Shr(Reg::R1, Reg::R2),
+            Insn::Addi(Reg::R3, -123),
+            Insn::Muli(Reg::R3, 55),
+            Insn::Cmp(Reg::R4, Reg::R5),
+            Insn::Cmpi(Reg::R4, i32::MIN),
+            Insn::Lea(Reg::R6, 4096),
+            Insn::Jmp(-5),
+            Insn::Jmpr(Reg::R9),
+            Insn::Call(1_000_000),
+            Insn::Callr(Reg::R8),
+            Insn::Ret,
+            Insn::Push(Reg::R0),
+            Insn::Pop(Reg::R15),
+            Insn::Syscall,
+            Insn::Halt,
+            Insn::Trap,
+        ];
+        for width in [Width::B1, Width::B2, Width::B4, Width::B8] {
+            v.push(Insn::Ld(width, Reg::R1, Reg::R15, -32));
+            v.push(Insn::St(width, Reg::R15, 16, Reg::R2));
+        }
+        for cond in Cond::ALL {
+            v.push(Insn::Jcc(cond, 42));
+        }
+        v
+    }
+
+    #[test]
+    fn round_trip_every_instruction() {
+        for insn in sample_insns() {
+            let bytes = encode(&insn);
+            let (decoded, len) = decode(&bytes, 0).unwrap();
+            assert_eq!(decoded, insn);
+            assert_eq!(len, insn.len());
+        }
+    }
+
+    #[test]
+    fn round_trip_contiguous_stream() {
+        let insns = sample_insns();
+        let mut bytes = Vec::new();
+        for insn in &insns {
+            crate::encode_into(insn, &mut bytes);
+        }
+        let decoded = decode_all(&bytes).unwrap();
+        assert_eq!(decoded.len(), insns.len());
+        for ((_, got), want) in decoded.iter().zip(&insns) {
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_is_rejected() {
+        assert!(matches!(decode(&[0xEE], 0), Err(IsaError::BadOpcode(0xEE))));
+    }
+
+    #[test]
+    fn truncated_instruction_is_rejected() {
+        let bytes = encode(&Insn::Movi(Reg::R0, 7));
+        let err = decode(&bytes[..4], 0).unwrap_err();
+        assert!(matches!(
+            err,
+            IsaError::TruncatedInsn {
+                needed: 10,
+                available: 4,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn empty_input_is_truncated() {
+        assert!(matches!(
+            decode(&[], 0),
+            Err(IsaError::TruncatedInsn { available: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn trap_byte_decodes_anywhere() {
+        // DynaCut overwrites the first byte of a block with 0xCC; the
+        // decoder must recognise it regardless of surrounding garbage.
+        let bytes = [0x00, TRAP_OPCODE, 0x00];
+        let (insn, len) = decode(&bytes, 1).unwrap();
+        assert_eq!(insn, Insn::Trap);
+        assert_eq!(len, 1);
+    }
+
+    #[test]
+    fn bad_register_operand_is_rejected() {
+        // MOV with register byte 0x20.
+        let bytes = [Opcode::Mov as u8, 0x20, 0x00];
+        assert!(matches!(
+            decode(&bytes, 0),
+            Err(IsaError::BadRegister(0x20))
+        ));
+    }
+}

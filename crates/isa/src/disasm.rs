@@ -1,0 +1,81 @@
+//! Linear-sweep disassembler.
+
+use crate::{decode, Insn, IsaError};
+
+/// An iterator over `(offset, instruction)` pairs produced by [`disasm`].
+#[derive(Debug, Clone)]
+pub struct Disasm<'a> {
+    bytes: &'a [u8],
+    offset: usize,
+    failed: bool,
+}
+
+impl<'a> Iterator for Disasm<'a> {
+    type Item = Result<(usize, Insn), IsaError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed || self.offset >= self.bytes.len() {
+            return None;
+        }
+        match decode(self.bytes, self.offset) {
+            Ok((insn, len)) => {
+                let at = self.offset;
+                self.offset += len;
+                Some(Ok((at, insn)))
+            }
+            Err(err) => {
+                self.failed = true;
+                Some(Err(err))
+            }
+        }
+    }
+}
+
+/// Disassembles `bytes` as a contiguous instruction stream, yielding each
+/// instruction with its offset. Iteration stops after the first error.
+///
+/// ```
+/// use dynacut_isa::{disasm, encode_into, Insn, Reg};
+/// let mut bytes = Vec::new();
+/// encode_into(&Insn::Push(Reg::R1), &mut bytes);
+/// encode_into(&Insn::Ret, &mut bytes);
+/// let insns: Result<Vec<_>, _> = disasm(&bytes).collect();
+/// assert_eq!(insns?, vec![(0, Insn::Push(Reg::R1)), (2, Insn::Ret)]);
+/// # Ok::<(), dynacut_isa::IsaError>(())
+/// ```
+pub fn disasm(bytes: &[u8]) -> Disasm<'_> {
+    Disasm {
+        bytes,
+        offset: 0,
+        failed: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{encode_into, Reg};
+
+    #[test]
+    fn yields_offsets_and_instructions() {
+        let mut bytes = Vec::new();
+        encode_into(&Insn::Movi(Reg::R0, 5), &mut bytes);
+        encode_into(&Insn::Trap, &mut bytes);
+        let out: Vec<_> = disasm(&bytes).map(Result::unwrap).collect();
+        assert_eq!(out, vec![(0, Insn::Movi(Reg::R0, 5)), (10, Insn::Trap)]);
+    }
+
+    #[test]
+    fn stops_after_first_error() {
+        let bytes = [0x00, 0xEE, 0x00, 0x00];
+        let out: Vec<_> = disasm(&bytes).collect();
+        assert_eq!(out.len(), 2);
+        assert!(out[0].is_ok());
+        assert!(out[1].is_err());
+    }
+
+    #[test]
+    fn empty_input_yields_nothing() {
+        assert_eq!(disasm(&[]).count(), 0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Binary encoding of instructions.
+
+use crate::Insn;
+
+/// Encodes one instruction, appending its bytes to `out`.
+///
+/// The number of bytes appended always equals [`Insn::len`].
+pub fn encode_into(insn: &Insn, out: &mut Vec<u8>) {
+    let start = out.len();
+    out.push(insn.opcode());
+    match insn {
+        Insn::Nop | Insn::Ret | Insn::Syscall | Insn::Halt | Insn::Trap => {}
+        Insn::Movi(d, imm) => {
+            out.push((*d).into());
+            out.extend_from_slice(&imm.to_le_bytes());
+        }
+        Insn::Mov(d, s)
+        | Insn::Add(d, s)
+        | Insn::Sub(d, s)
+        | Insn::Mul(d, s)
+        | Insn::Divu(d, s)
+        | Insn::Modu(d, s)
+        | Insn::And(d, s)
+        | Insn::Or(d, s)
+        | Insn::Xor(d, s)
+        | Insn::Shl(d, s)
+        | Insn::Shr(d, s)
+        | Insn::Cmp(d, s) => {
+            out.push((*d).into());
+            out.push((*s).into());
+        }
+        Insn::Addi(d, imm) | Insn::Muli(d, imm) | Insn::Cmpi(d, imm) | Insn::Lea(d, imm) => {
+            out.push((*d).into());
+            out.extend_from_slice(&imm.to_le_bytes());
+        }
+        Insn::Ld(_, d, b, disp) => {
+            out.push((*d).into());
+            out.push((*b).into());
+            out.extend_from_slice(&disp.to_le_bytes());
+        }
+        Insn::St(_, b, disp, s) => {
+            out.push((*b).into());
+            out.push((*s).into());
+            out.extend_from_slice(&disp.to_le_bytes());
+        }
+        Insn::Jmp(disp) | Insn::Jcc(_, disp) | Insn::Call(disp) => {
+            out.extend_from_slice(&disp.to_le_bytes());
+        }
+        Insn::Jmpr(r) | Insn::Callr(r) | Insn::Push(r) | Insn::Pop(r) => {
+            out.push((*r).into());
+        }
+    }
+    debug_assert_eq!(out.len() - start, insn.len(), "encoding of {insn}");
+    // The width is recoverable from the opcode alone; assert the variants
+    // stayed in sync with the opcode table.
+    if let Insn::Ld(w, ..) | Insn::St(w, ..) = insn {
+        debug_assert!(w.bytes() <= 8);
+    }
+}
+
+/// Encodes one instruction into a fresh byte vector.
+///
+/// ```
+/// use dynacut_isa::{encode, Insn, Reg};
+/// let bytes = encode(&Insn::Push(Reg::R3));
+/// assert_eq!(bytes.len(), Insn::Push(Reg::R3).len());
+/// ```
+pub fn encode(insn: &Insn) -> Vec<u8> {
+    let mut out = Vec::with_capacity(insn.len());
+    encode_into(insn, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::{Cond, Width};
+    use crate::Reg;
+
+    #[test]
+    fn encoded_length_matches_declared_length() {
+        let samples = [
+            Insn::Nop,
+            Insn::Movi(Reg::R7, u64::MAX),
+            Insn::Mov(Reg::R1, Reg::R2),
+            Insn::Addi(Reg::R3, -1),
+            Insn::Cmp(Reg::R4, Reg::R5),
+            Insn::Lea(Reg::R6, 1024),
+            Insn::Ld(Width::B4, Reg::R1, Reg::R15, -32),
+            Insn::St(Width::B8, Reg::R15, 16, Reg::R2),
+            Insn::Jmp(-5),
+            Insn::Jcc(Cond::Be, 77),
+            Insn::Call(0),
+            Insn::Jmpr(Reg::R9),
+            Insn::Ret,
+            Insn::Push(Reg::R0),
+            Insn::Syscall,
+            Insn::Halt,
+            Insn::Trap,
+        ];
+        for insn in samples {
+            assert_eq!(encode(&insn).len(), insn.len(), "{insn}");
+        }
+    }
+
+    #[test]
+    fn first_byte_is_the_opcode() {
+        let insn = Insn::Movi(Reg::R0, 0xDEADBEEF);
+        assert_eq!(encode(&insn)[0], insn.opcode());
+    }
+
+    #[test]
+    fn immediates_are_little_endian() {
+        let bytes = encode(&Insn::Movi(Reg::R0, 0x0102030405060708));
+        assert_eq!(&bytes[2..], &[8, 7, 6, 5, 4, 3, 2, 1]);
+    }
+}

@@ -1,0 +1,129 @@
+//! General-purpose register names.
+
+use crate::IsaError;
+use std::fmt;
+
+/// One of the sixteen 64-bit general-purpose registers of the DCVM.
+///
+/// By software convention:
+///
+/// * `R0` carries the syscall number / first return value,
+/// * `R1`–`R5` carry syscall and function call arguments,
+/// * `R14` is the linker's scratch register (PLT stubs clobber it),
+/// * `R15` is the stack pointer.
+///
+/// ```
+/// use dynacut_isa::Reg;
+/// assert_eq!(Reg::SP, Reg::R15);
+/// assert_eq!(Reg::try_from(3u8)?, Reg::R3);
+/// # Ok::<(), dynacut_isa::IsaError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Reg {
+    R0 = 0,
+    R1 = 1,
+    R2 = 2,
+    R3 = 3,
+    R4 = 4,
+    R5 = 5,
+    R6 = 6,
+    R7 = 7,
+    R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
+    R12 = 12,
+    R13 = 13,
+    R14 = 14,
+    R15 = 15,
+}
+
+impl Reg {
+    /// The stack pointer alias (`R15`).
+    pub const SP: Reg = Reg::R15;
+    /// The linker scratch register alias (`R14`); PLT stubs clobber it.
+    pub const LT: Reg = Reg::R14;
+
+    /// All registers in index order.
+    pub const ALL: [Reg; 16] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::R12,
+        Reg::R13,
+        Reg::R14,
+        Reg::R15,
+    ];
+
+    /// The register's index in the machine register file, `0..=15`.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl TryFrom<u8> for Reg {
+    type Error = IsaError;
+
+    fn try_from(value: u8) -> Result<Self, Self::Error> {
+        Reg::ALL
+            .get(value as usize)
+            .copied()
+            .ok_or(IsaError::BadRegister(value))
+    }
+}
+
+impl From<Reg> for u8 {
+    fn from(value: Reg) -> Self {
+        value as u8
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_registers() {
+        for reg in Reg::ALL {
+            let byte: u8 = reg.into();
+            assert_eq!(Reg::try_from(byte).unwrap(), reg);
+        }
+    }
+
+    #[test]
+    fn out_of_range_register_is_rejected() {
+        assert!(matches!(Reg::try_from(16), Err(IsaError::BadRegister(16))));
+        assert!(matches!(
+            Reg::try_from(255),
+            Err(IsaError::BadRegister(255))
+        ));
+    }
+
+    #[test]
+    fn display_uses_lowercase_r() {
+        assert_eq!(Reg::R0.to_string(), "r0");
+        assert_eq!(Reg::SP.to_string(), "r15");
+    }
+
+    #[test]
+    fn aliases_point_at_documented_registers() {
+        assert_eq!(Reg::SP.index(), 15);
+        assert_eq!(Reg::LT.index(), 14);
+    }
+}

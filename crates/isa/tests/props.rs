@@ -1,0 +1,171 @@
+//! Property tests for the DCVM instruction set (DESIGN.md §5 invariants).
+
+use dynacut_isa::{
+    coalesce_blocks, decode, decode_all, encode, encode_into, Assembler, BasicBlock, Cond, Insn,
+    Reg, Width, TRAP_OPCODE,
+};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(|i| Reg::try_from(i).expect("in range"))
+}
+
+fn arb_width() -> impl Strategy<Value = Width> {
+    prop_oneof![
+        Just(Width::B1),
+        Just(Width::B2),
+        Just(Width::B4),
+        Just(Width::B8)
+    ]
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    proptest::sample::select(Cond::ALL.to_vec())
+}
+
+fn arb_insn() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        Just(Insn::Nop),
+        (arb_reg(), any::<u64>()).prop_map(|(r, imm)| Insn::Movi(r, imm)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Insn::Mov(a, b)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Insn::Add(a, b)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Insn::Sub(a, b)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Insn::Mul(a, b)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Insn::Divu(a, b)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Insn::Modu(a, b)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Insn::And(a, b)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Insn::Or(a, b)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Insn::Xor(a, b)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Insn::Shl(a, b)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Insn::Shr(a, b)),
+        (arb_reg(), any::<i32>()).prop_map(|(r, imm)| Insn::Addi(r, imm)),
+        (arb_reg(), any::<i32>()).prop_map(|(r, imm)| Insn::Muli(r, imm)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Insn::Cmp(a, b)),
+        (arb_reg(), any::<i32>()).prop_map(|(r, imm)| Insn::Cmpi(r, imm)),
+        (arb_reg(), any::<i32>()).prop_map(|(r, d)| Insn::Lea(r, d)),
+        (arb_width(), arb_reg(), arb_reg(), any::<i32>())
+            .prop_map(|(w, d, b, disp)| Insn::Ld(w, d, b, disp)),
+        (arb_width(), arb_reg(), any::<i32>(), arb_reg())
+            .prop_map(|(w, b, disp, s)| Insn::St(w, b, disp, s)),
+        any::<i32>().prop_map(Insn::Jmp),
+        (arb_cond(), any::<i32>()).prop_map(|(c, d)| Insn::Jcc(c, d)),
+        arb_reg().prop_map(Insn::Jmpr),
+        any::<i32>().prop_map(Insn::Call),
+        arb_reg().prop_map(Insn::Callr),
+        Just(Insn::Ret),
+        arb_reg().prop_map(Insn::Push),
+        arb_reg().prop_map(Insn::Pop),
+        Just(Insn::Syscall),
+        Just(Insn::Halt),
+        Just(Insn::Trap),
+    ]
+}
+
+proptest! {
+    /// Encode→decode is the identity and the length always matches.
+    #[test]
+    fn encode_decode_round_trip(insn in arb_insn()) {
+        let bytes = encode(&insn);
+        prop_assert_eq!(bytes.len(), insn.len());
+        let (decoded, len) = decode(&bytes, 0).expect("own encoding decodes");
+        prop_assert_eq!(decoded, insn);
+        prop_assert_eq!(len, insn.len());
+    }
+
+    /// Streams of instructions round-trip through decode_all.
+    #[test]
+    fn stream_round_trip(insns in proptest::collection::vec(arb_insn(), 0..64)) {
+        let mut bytes = Vec::new();
+        for insn in &insns {
+            encode_into(insn, &mut bytes);
+        }
+        let decoded = decode_all(&bytes).expect("own encoding decodes");
+        let got: Vec<Insn> = decoded.into_iter().map(|(_, i)| i).collect();
+        prop_assert_eq!(got, insns);
+    }
+
+    /// Decoding never reads past the declared length: truncating any
+    /// encoding by one byte yields TruncatedInsn for multi-byte
+    /// instructions, and single-byte instructions always decode.
+    #[test]
+    fn truncation_is_detected(insn in arb_insn()) {
+        let bytes = encode(&insn);
+        if bytes.len() > 1 {
+            let short = &bytes[..bytes.len() - 1];
+            prop_assert!(decode(short, 0).is_err());
+        } else {
+            prop_assert!(decode(&bytes, 0).is_ok());
+        }
+    }
+
+    /// 0xCC decodes to TRAP at any offset of any buffer.
+    #[test]
+    fn trap_decodes_anywhere(prefix in proptest::collection::vec(any::<u8>(), 0..32)) {
+        let mut bytes = prefix.clone();
+        bytes.push(TRAP_OPCODE);
+        let (insn, len) = decode(&bytes, prefix.len()).expect("trap always decodes");
+        prop_assert_eq!(insn, Insn::Trap);
+        prop_assert_eq!(len, 1);
+    }
+
+    /// Assembler block metadata partitions the text: disjoint, sorted,
+    /// exhaustive, and every block starts at an instruction boundary.
+    #[test]
+    fn assembler_blocks_partition_text(
+        insns in proptest::collection::vec(arb_insn(), 1..48),
+        label_points in proptest::collection::vec(any::<proptest::sample::Index>(), 0..6),
+    ) {
+        let mut asm = Assembler::new();
+        let mut wanted_labels = std::collections::BTreeSet::new();
+        for index in &label_points {
+            wanted_labels.insert(index.index(insns.len()));
+        }
+        for (i, insn) in insns.iter().enumerate() {
+            if wanted_labels.contains(&i) {
+                asm.label(&format!("l{i}"));
+            }
+            asm.push(*insn);
+        }
+        let text = asm.finish().expect("assembly succeeds");
+
+        let boundaries: std::collections::BTreeSet<u64> = decode_all(&text.bytes)
+            .expect("valid stream")
+            .iter()
+            .map(|(off, _)| *off as u64)
+            .collect();
+
+        let mut cursor = 0u64;
+        for block in &text.blocks {
+            prop_assert_eq!(block.addr, cursor, "contiguous partition");
+            prop_assert!(block.size > 0);
+            prop_assert!(boundaries.contains(&block.addr), "starts at insn boundary");
+            cursor = block.range().end;
+        }
+        prop_assert_eq!(cursor, text.bytes.len() as u64, "covers all text");
+    }
+
+    /// coalesce_blocks output is sorted, disjoint and covers exactly the
+    /// union of the inputs.
+    #[test]
+    fn coalesce_covers_union(blocks in proptest::collection::vec(
+        (0u64..10_000, 1u32..64).prop_map(|(a, s)| BasicBlock::new(a, s)),
+        0..40,
+    )) {
+        let ranges = coalesce_blocks(&blocks);
+        for pair in ranges.windows(2) {
+            prop_assert!(pair[0].end < pair[1].start, "sorted and disjoint");
+        }
+        let in_union = |addr: u64| blocks.iter().any(|b| b.contains(addr));
+        for range in &ranges {
+            for addr in [range.start, range.end - 1] {
+                prop_assert!(in_union(addr));
+            }
+        }
+        for block in &blocks {
+            prop_assert!(
+                ranges.iter().any(|r| r.start <= block.addr && block.range().end <= r.end),
+                "every block is inside one range"
+            );
+        }
+    }
+}

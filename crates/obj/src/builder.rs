@@ -1,0 +1,203 @@
+//! Module construction API.
+
+use crate::image::{Image, ObjectKind};
+use crate::link;
+use crate::ObjError;
+use dynacut_isa::TextImage;
+
+/// Where a data definition lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DataSection {
+    Rodata,
+    Data,
+    Bss,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct DataDef {
+    pub name: String,
+    pub section: DataSection,
+    /// Offset within its section.
+    pub offset: u64,
+    pub size: u64,
+}
+
+/// A pointer-sized cell inside `.data` that the loader fills with the
+/// absolute address of another symbol.
+#[derive(Debug, Clone)]
+pub(crate) struct DataPtr {
+    /// Offset within `.data` of the 8-byte cell.
+    pub offset: u64,
+    /// Symbol whose address is stored.
+    pub symbol: String,
+    /// Constant addend.
+    pub addend: i64,
+}
+
+/// Incrementally builds a module, then links it into an [`Image`].
+///
+/// See the crate-level example. The builder follows the non-consuming
+/// builder convention: configuration methods take `&mut self`, the terminal
+/// [`ModuleBuilder::link`] takes `&self`.
+#[derive(Debug)]
+pub struct ModuleBuilder {
+    pub(crate) name: String,
+    pub(crate) kind: ObjectKind,
+    pub(crate) text: TextImage,
+    pub(crate) rodata: Vec<u8>,
+    pub(crate) data: Vec<u8>,
+    pub(crate) bss_size: u64,
+    pub(crate) defs: Vec<DataDef>,
+    pub(crate) data_ptrs: Vec<DataPtr>,
+    pub(crate) entry: Option<String>,
+}
+
+impl ModuleBuilder {
+    /// Creates a builder for a module called `name`.
+    pub fn new(name: &str, kind: ObjectKind) -> Self {
+        ModuleBuilder {
+            name: name.to_owned(),
+            kind,
+            text: TextImage::default(),
+            rodata: Vec::new(),
+            data: Vec::new(),
+            bss_size: 0,
+            defs: Vec::new(),
+            data_ptrs: Vec::new(),
+            entry: None,
+        }
+    }
+
+    /// Sets the assembled text (replaces any previous text).
+    pub fn text(&mut self, text: TextImage) -> &mut Self {
+        self.text = text;
+        self
+    }
+
+    /// Defines a read-only data symbol with the given initial bytes.
+    /// Returns the offset of the symbol within `.rodata`.
+    pub fn rodata(&mut self, name: &str, bytes: &[u8]) -> u64 {
+        let offset = self.rodata.len() as u64;
+        self.rodata.extend_from_slice(bytes);
+        self.align_section(DataSection::Rodata);
+        self.defs.push(DataDef {
+            name: name.to_owned(),
+            section: DataSection::Rodata,
+            offset,
+            size: bytes.len() as u64,
+        });
+        offset
+    }
+
+    /// Defines a writable, initialised data symbol. Returns the offset of
+    /// the symbol within `.data`.
+    pub fn data(&mut self, name: &str, bytes: &[u8]) -> u64 {
+        let offset = self.data.len() as u64;
+        self.data.extend_from_slice(bytes);
+        self.align_section(DataSection::Data);
+        self.defs.push(DataDef {
+            name: name.to_owned(),
+            section: DataSection::Data,
+            offset,
+            size: bytes.len() as u64,
+        });
+        offset
+    }
+
+    /// Defines a zero-initialised symbol of `size` bytes in `.bss`.
+    pub fn bss(&mut self, name: &str, size: u64) -> &mut Self {
+        let offset = self.bss_size;
+        self.bss_size += size.max(1).div_ceil(8) * 8;
+        self.defs.push(DataDef {
+            name: name.to_owned(),
+            section: DataSection::Bss,
+            offset,
+            size,
+        });
+        self
+    }
+
+    /// Defines a pointer table in `.data`: one 8-byte cell per listed
+    /// symbol, each filled by the loader with that symbol's absolute
+    /// address (a function-pointer dispatch table, as in Redis's command
+    /// table).
+    pub fn ptr_table(&mut self, name: &str, symbols: &[&str]) -> &mut Self {
+        let offset = self.data.len() as u64;
+        for (i, symbol) in symbols.iter().enumerate() {
+            self.data.extend_from_slice(&0u64.to_le_bytes());
+            self.data_ptrs.push(DataPtr {
+                offset: offset + (i as u64) * 8,
+                symbol: (*symbol).to_owned(),
+                addend: 0,
+            });
+        }
+        self.defs.push(DataDef {
+            name: name.to_owned(),
+            section: DataSection::Data,
+            offset,
+            size: (symbols.len() as u64) * 8,
+        });
+        self
+    }
+
+    /// Declares the entry symbol (required for executables).
+    pub fn entry(&mut self, name: &str) -> &mut Self {
+        self.entry = Some(name.to_owned());
+        self
+    }
+
+    /// Links the module against the exported symbols of `libs`, producing
+    /// a loadable [`Image`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on unresolved or duplicate symbols, a missing/bad entry for an
+    /// executable, cross-module PC-relative data references, or relocation
+    /// overflow.
+    pub fn link(&self, libs: &[&Image]) -> Result<Image, ObjError> {
+        link::link(self, libs)
+    }
+
+    /// Pads a section to 8-byte alignment so subsequent symbols are
+    /// naturally aligned for `ld8`/`st8`.
+    fn align_section(&mut self, section: DataSection) {
+        let buf = match section {
+            DataSection::Rodata => &mut self.rodata,
+            DataSection::Data => &mut self.data,
+            DataSection::Bss => return,
+        };
+        while buf.len() % 8 != 0 {
+            buf.push(0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_offsets_are_eight_byte_aligned() {
+        let mut builder = ModuleBuilder::new("m", ObjectKind::Executable);
+        let a = builder.data("a", &[1, 2, 3]);
+        let b = builder.data("b", &[4]);
+        assert_eq!(a, 0);
+        assert_eq!(b, 8);
+    }
+
+    #[test]
+    fn bss_accumulates_rounded_sizes() {
+        let mut builder = ModuleBuilder::new("m", ObjectKind::Executable);
+        builder.bss("x", 3).bss("y", 16);
+        assert_eq!(builder.bss_size, 8 + 16);
+    }
+
+    #[test]
+    fn ptr_table_reserves_one_cell_per_symbol() {
+        let mut builder = ModuleBuilder::new("m", ObjectKind::Executable);
+        builder.ptr_table("handlers", &["f", "g", "h"]);
+        assert_eq!(builder.data.len(), 24);
+        assert_eq!(builder.data_ptrs.len(), 3);
+        assert_eq!(builder.data_ptrs[2].offset, 16);
+    }
+}

@@ -1,0 +1,216 @@
+//! Load-time placement: turning an [`Image`] plus a base address into
+//! memory segments with all relocations applied.
+
+use crate::image::{Image, RelocValue};
+use crate::{page_align, ObjError, Perms};
+
+/// One contiguous, uniformly-permissioned memory region produced by
+/// [`materialize`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentInit {
+    /// Absolute start address (page-aligned).
+    pub vaddr: u64,
+    /// Initialised bytes (may be shorter than the mapping).
+    pub bytes: Vec<u8>,
+    /// Zero-filled bytes following `bytes` (the `.bss` tail).
+    pub zero_len: u64,
+    /// Protection flags.
+    pub perms: Perms,
+    /// Human-readable name, e.g. `"nginx.text"`.
+    pub name: String,
+}
+
+impl SegmentInit {
+    /// Total mapping length in bytes, rounded up to a whole page.
+    pub fn map_len(&self) -> u64 {
+        page_align(self.bytes.len() as u64 + self.zero_len)
+    }
+
+    /// The absolute end address of the mapping.
+    pub fn end(&self) -> u64 {
+        self.vaddr + self.map_len()
+    }
+}
+
+/// Computes the memory segments for loading `image` at `base`, applying
+/// every load-time relocation.
+///
+/// `resolve` maps imported symbol names to absolute addresses (the role of
+/// the dynamic linker — or, for DynaCut's injected signal-handler library,
+/// of the process rewriter looking up libc symbols in the checkpointed
+/// process, paper §3.3).
+///
+/// # Errors
+///
+/// Returns [`ObjError::MissingImport`] if `resolve` cannot resolve an
+/// imported symbol, and [`ObjError::BadImage`] if a relocation site falls
+/// outside the module.
+pub fn materialize(
+    image: &Image,
+    base: u64,
+    resolve: impl Fn(&str) -> Option<u64>,
+) -> Result<Vec<SegmentInit>, ObjError> {
+    assert_eq!(base % crate::PAGE_SIZE, 0, "module base must be page-aligned");
+
+    // Build one flat module byte image (text | pad | rodata | pad | data),
+    // patch it, then split into segments.
+    let data_end = image.data_off + image.data.len() as u64;
+    let mut flat = vec![0u8; data_end as usize];
+    flat[..image.text.len()].copy_from_slice(&image.text);
+    let ro = image.rodata_off as usize;
+    flat[ro..ro + image.rodata.len()].copy_from_slice(&image.rodata);
+    let rw = image.data_off as usize;
+    flat[rw..rw + image.data.len()].copy_from_slice(&image.data);
+
+    for reloc in &image.dyn_relocs {
+        let value = match &reloc.value {
+            RelocValue::Local { offset, addend } => {
+                (base + offset).wrapping_add_signed(*addend)
+            }
+            RelocValue::Import { symbol, addend } => resolve(symbol)
+                .ok_or_else(|| ObjError::MissingImport {
+                    module: image.name.clone(),
+                    symbol: symbol.clone(),
+                })?
+                .wrapping_add_signed(*addend),
+        };
+        let site = reloc.site as usize;
+        if site + 8 > flat.len() {
+            return Err(ObjError::BadImage(format!(
+                "relocation site {:#x} outside module `{}`",
+                reloc.site, image.name
+            )));
+        }
+        flat[site..site + 8].copy_from_slice(&value.to_le_bytes());
+    }
+
+    let mut segments = Vec::new();
+    // Text: [0, rodata_off) r-x. Includes alignment padding so the segment
+    // is whole pages.
+    segments.push(SegmentInit {
+        vaddr: base,
+        bytes: flat[..image.text.len()].to_vec(),
+        zero_len: image.rodata_off - image.text.len() as u64,
+        perms: Perms::RX,
+        name: format!("{}.text", image.name),
+    });
+    // Rodata: [rodata_off, data_off) r--, may be empty.
+    if image.data_off > image.rodata_off {
+        segments.push(SegmentInit {
+            vaddr: base + image.rodata_off,
+            bytes: flat[ro..ro + image.rodata.len()].to_vec(),
+            zero_len: image.data_off - image.rodata_off - image.rodata.len() as u64,
+            perms: Perms::R,
+            name: format!("{}.rodata", image.name),
+        });
+    }
+    // Data + GOT + bss: rw-.
+    let data_span = image.data.len() as u64 + image.bss_size;
+    if data_span > 0 {
+        segments.push(SegmentInit {
+            vaddr: base + image.data_off,
+            bytes: flat[rw..rw + image.data.len()].to_vec(),
+            zero_len: image.bss_size,
+            perms: Perms::RW,
+            name: format!("{}.data", image.name),
+        });
+    }
+    segments.retain(|s| s.map_len() > 0);
+    Ok(segments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Image, ModuleBuilder, ObjectKind};
+    use dynacut_isa::{Assembler, Insn, Reg};
+
+    fn libc() -> Image {
+        let mut asm = Assembler::new();
+        asm.func("libc_write");
+        asm.push(Insn::Ret);
+        let mut builder = ModuleBuilder::new("libc", ObjectKind::SharedLib);
+        builder.text(asm.finish().unwrap());
+        builder.link(&[]).unwrap()
+    }
+
+    fn app(libc: &Image) -> Image {
+        let mut asm = Assembler::new();
+        asm.func("_start");
+        asm.call_ext("libc_write");
+        asm.movi_ext(Reg::R2, "counter", 0);
+        asm.push(Insn::Ret);
+        let mut builder = ModuleBuilder::new("app", ObjectKind::Executable);
+        builder.text(asm.finish().unwrap());
+        builder.data("greeting", b"hello world!");
+        builder.bss("counter", 8);
+        builder.entry("_start");
+        builder.link(&[libc]).unwrap()
+    }
+
+    #[test]
+    fn segments_are_page_aligned_and_disjoint() {
+        let libc = libc();
+        let image = app(&libc);
+        let segments = materialize(&image, 0x40_0000, |s| {
+            (s == "libc_write").then_some(0x7000_0000)
+        })
+        .unwrap();
+        assert_eq!(segments.len(), 2); // text (no rodata) + data
+        let mut prev_end = 0;
+        for segment in &segments {
+            assert_eq!(segment.vaddr % crate::PAGE_SIZE, 0);
+            assert!(segment.vaddr >= prev_end);
+            prev_end = segment.end();
+        }
+    }
+
+    #[test]
+    fn got_slot_receives_resolved_address() {
+        let libc = libc();
+        let image = app(&libc);
+        let segments = materialize(&image, 0x40_0000, |s| {
+            (s == "libc_write").then_some(0x7000_1234)
+        })
+        .unwrap();
+        let data_segment = segments.iter().find(|s| s.name == "app.data").unwrap();
+        let got_in_segment = (image.got_off - image.data_off) as usize;
+        let slot =
+            u64::from_le_bytes(data_segment.bytes[got_in_segment..got_in_segment + 8].try_into().unwrap());
+        assert_eq!(slot, 0x7000_1234);
+    }
+
+    #[test]
+    fn local_abs_reloc_gets_base_plus_offset() {
+        let libc = libc();
+        let image = app(&libc);
+        let base = 0x40_0000;
+        let segments = materialize(&image, base, |_| Some(0x7000_0000)).unwrap();
+        let text_segment = &segments[0];
+        // movi_ext site is at offset 2 of the second instruction:
+        // call(5 bytes) then movi (opcode+reg at +5,+6; imm at +7).
+        let imm = u64::from_le_bytes(text_segment.bytes[7..15].try_into().unwrap());
+        let counter = image.symbols["counter"];
+        assert_eq!(imm, base + counter.offset);
+    }
+
+    #[test]
+    fn missing_import_is_reported() {
+        let libc = libc();
+        let image = app(&libc);
+        let err = materialize(&image, 0x40_0000, |_| None).unwrap_err();
+        assert!(matches!(
+            err,
+            ObjError::MissingImport { symbol, .. } if symbol == "libc_write"
+        ));
+    }
+
+    #[test]
+    fn bss_becomes_zero_tail() {
+        let libc = libc();
+        let image = app(&libc);
+        let segments = materialize(&image, 0x40_0000, |_| Some(1)).unwrap();
+        let data_segment = segments.iter().find(|s| s.name == "app.data").unwrap();
+        assert_eq!(data_segment.zero_len, image.bss_size);
+    }
+}

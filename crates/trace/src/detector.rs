@@ -1,0 +1,103 @@
+//! Automatic initialization-end detection.
+//!
+//! The paper's workflow asks the *end-user* to nudge the tracer when the
+//! server has initialized (§3.1), and proposes syscall monitoring as the
+//! fully-automatic alternative (§5, future work). Both are available
+//! here: the manual path is [`Tracer::nudge`](crate::Tracer::nudge); this
+//! module implements the automatic one.
+
+use dynacut_vm::{Pid, Sysno};
+
+/// Detects the initialization → serving transition of a server process.
+#[derive(Debug, Clone)]
+pub enum InitDetector {
+    /// Init ends when the process first enters a blocking `accept` —
+    /// the syscall signature of an event loop starting (the analogue of
+    /// Nginx's `ngx_worker_process_cycle()` / Lighttpd's
+    /// `server_main_loop()` transition points cited from Ghavamnia et
+    /// al.).
+    FirstAccept,
+    /// Init ends when the process has issued no *setup* syscalls
+    /// (`open`, `mmap`, `fork`, `sigaction`, `bind`, `listen`) within the
+    /// last `window` observed syscalls — syscall quiescence.
+    SyscallQuiescence {
+        /// How many consecutive non-setup syscalls count as quiescent.
+        window: usize,
+    },
+}
+
+impl InitDetector {
+    /// Scans a syscall observation stream `(pid, syscall number)` and
+    /// returns the index at which the given process finished
+    /// initializing, if detectable.
+    pub fn detect(&self, observations: &[(Pid, u64)], pid: Pid) -> Option<usize> {
+        match self {
+            InitDetector::FirstAccept => observations
+                .iter()
+                .position(|&(p, nr)| p == pid && nr == Sysno::Accept as u64),
+            InitDetector::SyscallQuiescence { window } => {
+                let setup = [
+                    Sysno::Open as u64,
+                    Sysno::Mmap as u64,
+                    Sysno::Fork as u64,
+                    Sysno::Sigaction as u64,
+                    Sysno::Bind as u64,
+                    Sysno::Listen as u64,
+                ];
+                let mine: Vec<(usize, u64)> = observations
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &(p, _))| p == pid)
+                    .map(|(i, &(_, nr))| (i, nr))
+                    .collect();
+                let mut quiet = 0usize;
+                for &(index, nr) in &mine {
+                    if setup.contains(&nr) {
+                        quiet = 0;
+                    } else {
+                        quiet += 1;
+                        if quiet >= *window {
+                            return Some(index);
+                        }
+                    }
+                }
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_accept_finds_the_event_loop() {
+        let obs = vec![
+            (Pid(1), Sysno::Open as u64),
+            (Pid(1), Sysno::Bind as u64),
+            (Pid(2), Sysno::Accept as u64), // other pid
+            (Pid(1), Sysno::Listen as u64),
+            (Pid(1), Sysno::Accept as u64),
+        ];
+        assert_eq!(InitDetector::FirstAccept.detect(&obs, Pid(1)), Some(4));
+        assert_eq!(InitDetector::FirstAccept.detect(&obs, Pid(3)), None);
+    }
+
+    #[test]
+    fn quiescence_requires_a_full_window() {
+        let obs = vec![
+            (Pid(1), Sysno::Open as u64),
+            (Pid(1), Sysno::Read as u64),
+            (Pid(1), Sysno::Write as u64),
+            (Pid(1), Sysno::Mmap as u64), // setup again: reset
+            (Pid(1), Sysno::Read as u64),
+            (Pid(1), Sysno::Write as u64),
+            (Pid(1), Sysno::Read as u64),
+        ];
+        let detector = InitDetector::SyscallQuiescence { window: 3 };
+        assert_eq!(detector.detect(&obs, Pid(1)), Some(6));
+        let strict = InitDetector::SyscallQuiescence { window: 4 };
+        assert_eq!(strict.detect(&obs, Pid(1)), None);
+    }
+}

@@ -1,0 +1,29 @@
+//! # dynacut-trace — drcov-style execution-trace collection
+//!
+//! DynaCut identifies undesired code from **execution traces of basic
+//! blocks** recorded as `<BB addr, BB size>` tuples under DynamoRIO's
+//! `drcov` tool, extended with a *nudge* that dumps the coverage collected
+//! so far (the initialization phase) and clears the code cache (paper
+//! §3.1, §3.3). This crate reproduces that tooling for the DCVM:
+//!
+//! * [`Tracer`] — an execution [`Hook`] that maintains a per-process
+//!   module table and a deduplicated set of executed basic blocks, with a
+//!   basic-block cache so the per-instruction cost is one range check,
+//! * [`Tracer::nudge`] — dumps the current coverage as a [`TraceLog`] and
+//!   resets the cache, exactly the init/serving split protocol,
+//! * [`TraceLog`] — the drcov log: a module table plus block records,
+//!   with a textual serialisation ([`TraceLog::to_drcov_text`]) modelled
+//!   on the drcov format, and
+//! * [`InitDetector`] — the paper's future-work idea ("monitor specific
+//!   system calls to determine the end of the initialization phase"),
+//!   implemented as a syscall-quiescence watcher.
+//!
+//! [`Hook`]: dynacut_vm::Hook
+
+mod detector;
+mod log;
+mod tracer;
+
+pub use detector::InitDetector;
+pub use log::{BlockRecord, ModuleRecord, TraceError, TraceLog};
+pub use tracer::{Tracer, TracerHook};

@@ -1,0 +1,262 @@
+//! The coverage tracer hook.
+
+use crate::log::{BlockRecord, ModuleRecord, TraceLog};
+use dynacut_isa::BasicBlock;
+use dynacut_vm::{Hook, Kernel, Pid, VmError};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+
+#[derive(Debug, Clone)]
+struct ModuleSpan {
+    id: u16,
+    base: u64,
+    text_end: u64,
+    /// Module-relative blocks, sorted by address.
+    blocks: Vec<BasicBlock>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    /// Global module table (shared across processes; identified by name).
+    modules: Vec<ModuleRecord>,
+    /// Per-process text spans for fast pc → module lookup.
+    spans: BTreeMap<Pid, Vec<ModuleSpan>>,
+    /// Executed blocks since the last nudge.
+    seen: BTreeSet<BlockRecord>,
+    /// Per-process current-block cache: the half-open pc range of the
+    /// block the process is executing inside (drcov's code-cache trick).
+    cache: BTreeMap<Pid, (u64, u64)>,
+    /// Syscall numbers observed, with timestamps of the insn counter.
+    syscall_watch: Vec<(Pid, u64)>,
+}
+
+impl State {
+    fn record(&mut self, pid: Pid, pc: u64) {
+        if let Some(&(start, end)) = self.cache.get(&pid) {
+            if pc >= start && pc < end {
+                return;
+            }
+        }
+        let Some(spans) = self.spans.get(&pid) else {
+            return;
+        };
+        let Some(span) = spans.iter().find(|s| pc >= s.base && pc < s.text_end) else {
+            // Outside any tracked module (injected library, anon page):
+            // invalidate the cache so we re-check next time.
+            self.cache.remove(&pid);
+            return;
+        };
+        let offset = pc - span.base;
+        let index = match span.blocks.binary_search_by_key(&offset, |b| b.addr) {
+            Ok(index) => index,
+            Err(0) => {
+                self.cache.remove(&pid);
+                return;
+            }
+            Err(index) => index - 1,
+        };
+        let block = span.blocks[index];
+        if !block.contains(offset) {
+            self.cache.remove(&pid);
+            return;
+        }
+        self.seen.insert(BlockRecord {
+            module: span.id,
+            offset: block.addr as u32,
+            size: block.size,
+        });
+        self.cache
+            .insert(pid, (span.base + block.addr, span.base + block.range().end));
+    }
+
+    fn dump(&mut self, clear: bool) -> TraceLog {
+        let log = TraceLog {
+            modules: self.modules.clone(),
+            blocks: self.seen.clone(),
+        };
+        if clear {
+            self.seen.clear();
+            self.cache.clear();
+        }
+        log
+    }
+}
+
+/// The [`Hook`] half of the tracer; install with
+/// [`Kernel::set_hook`].
+#[derive(Debug)]
+pub struct TracerHook {
+    state: Rc<RefCell<State>>,
+}
+
+impl Hook for TracerHook {
+    fn on_insn(&mut self, pid: Pid, pc: u64) {
+        self.state.borrow_mut().record(pid, pc);
+    }
+
+    fn on_syscall(&mut self, pid: Pid, nr: u64) {
+        self.state.borrow_mut().syscall_watch.push((pid, nr));
+    }
+
+    fn on_fork(&mut self, parent: Pid, child: Pid) {
+        let mut state = self.state.borrow_mut();
+        if let Some(spans) = state.spans.get(&parent).cloned() {
+            state.spans.insert(child, spans);
+        }
+    }
+}
+
+/// The host-side half of the tracer: registration, nudges and dumps.
+///
+/// ```no_run
+/// use dynacut_trace::Tracer;
+/// use dynacut_vm::Kernel;
+///
+/// let mut kernel = Kernel::new();
+/// let tracer = Tracer::install(&mut kernel);
+/// // ... spawn a process, then:
+/// // tracer.track(&kernel, pid)?;
+/// // ... run the init phase, then the nudge:
+/// // let init_coverage = tracer.nudge();
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    state: Rc<RefCell<State>>,
+}
+
+impl Tracer {
+    /// Creates a tracer and installs its hook into the kernel.
+    pub fn install(kernel: &mut Kernel) -> Tracer {
+        let state = Rc::new(RefCell::new(State::default()));
+        kernel.set_hook(Box::new(TracerHook {
+            state: Rc::clone(&state),
+        }));
+        Tracer { state }
+    }
+
+    /// Starts tracking a process: reads its loaded modules from the kernel
+    /// and registers their text spans and block tables.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the process does not exist.
+    pub fn track(&self, kernel: &Kernel, pid: Pid) -> Result<(), VmError> {
+        let proc = kernel.process(pid)?;
+        let mut state = self.state.borrow_mut();
+        let mut spans = Vec::with_capacity(proc.modules.len());
+        for module in &proc.modules {
+            let name = &module.image.name;
+            let id = match state.modules.iter().position(|m| &m.name == name) {
+                Some(index) => index as u16,
+                None => {
+                    let id = state.modules.len() as u16;
+                    state.modules.push(ModuleRecord {
+                        id,
+                        base: module.base,
+                        end: module.base + module.image.text.len() as u64,
+                        name: name.clone(),
+                    });
+                    id
+                }
+            };
+            spans.push(ModuleSpan {
+                id,
+                base: module.base,
+                text_end: module.base + module.image.text.len() as u64,
+                blocks: module.image.blocks.clone(),
+            });
+        }
+        state.spans.insert(pid, spans);
+        Ok(())
+    }
+
+    /// Dumps the coverage collected so far and clears the cache — the
+    /// DynamoRIO-nudge protocol marking the end of the initialization
+    /// phase (paper §3.1: "the tool dumps the execution trace collected so
+    /// far … also clears the code cache and continues recording").
+    pub fn nudge(&self) -> TraceLog {
+        self.state.borrow_mut().dump(true)
+    }
+
+    /// Dumps the coverage collected so far without clearing.
+    pub fn snapshot(&self) -> TraceLog {
+        self.state.borrow_mut().dump(false)
+    }
+
+    /// Syscall observations drained for init-phase detection.
+    pub fn drain_syscalls(&self) -> Vec<(Pid, u64)> {
+        std::mem::take(&mut self.state.borrow_mut().syscall_watch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_state_with_module() -> State {
+        let mut state = State::default();
+        state.modules.push(ModuleRecord {
+            id: 0,
+            base: 0x1000,
+            end: 0x1100,
+            name: "m".into(),
+        });
+        state.spans.insert(
+            Pid(1),
+            vec![ModuleSpan {
+                id: 0,
+                base: 0x1000,
+                text_end: 0x1100,
+                blocks: vec![
+                    BasicBlock::new(0x00, 0x10),
+                    BasicBlock::new(0x10, 0x20),
+                    BasicBlock::new(0x30, 0xD0),
+                ],
+            }],
+        );
+        state
+    }
+
+    #[test]
+    fn record_dedups_within_block() {
+        let mut state = make_state_with_module();
+        state.record(Pid(1), 0x1000);
+        state.record(Pid(1), 0x1004);
+        state.record(Pid(1), 0x100F);
+        assert_eq!(state.seen.len(), 1);
+        state.record(Pid(1), 0x1010);
+        assert_eq!(state.seen.len(), 2);
+    }
+
+    #[test]
+    fn record_ignores_untracked_addresses() {
+        let mut state = make_state_with_module();
+        state.record(Pid(1), 0x9999_9999);
+        state.record(Pid(2), 0x1000); // untracked pid
+        assert!(state.seen.is_empty());
+    }
+
+    #[test]
+    fn mid_block_entry_is_attributed_to_containing_block() {
+        let mut state = make_state_with_module();
+        state.record(Pid(1), 0x1018); // inside block 0x10+0x20
+        assert!(state.seen.contains(&BlockRecord {
+            module: 0,
+            offset: 0x10,
+            size: 0x20
+        }));
+    }
+
+    #[test]
+    fn nudge_clears_cache_and_seen() {
+        let mut state = make_state_with_module();
+        state.record(Pid(1), 0x1000);
+        let log = state.dump(true);
+        assert_eq!(log.block_count(), 1);
+        assert!(state.seen.is_empty());
+        // Re-entering the same block is recorded again post-nudge.
+        state.record(Pid(1), 0x1000);
+        assert_eq!(state.seen.len(), 1);
+    }
+}

@@ -1,0 +1,110 @@
+//! Per-process CPU state.
+
+use dynacut_isa::Reg;
+
+/// Comparison flags set by `cmp`/`cmpi` and consumed by `jcc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Flags {
+    /// Operands were equal.
+    pub eq: bool,
+    /// First operand was less than the second, signed.
+    pub lt_signed: bool,
+    /// First operand was less than the second, unsigned.
+    pub lt_unsigned: bool,
+}
+
+impl Flags {
+    /// Packs the flags into a word (for signal frames and checkpoints).
+    pub fn to_bits(self) -> u64 {
+        (self.eq as u64) | (self.lt_signed as u64) << 1 | (self.lt_unsigned as u64) << 2
+    }
+
+    /// Unpacks flags from a word produced by [`Flags::to_bits`].
+    pub fn from_bits(bits: u64) -> Self {
+        Flags {
+            eq: bits & 1 != 0,
+            lt_signed: bits & 2 != 0,
+            lt_unsigned: bits & 4 != 0,
+        }
+    }
+
+    /// Computes flags for `cmp a, b`.
+    pub fn compare(a: u64, b: u64) -> Self {
+        Flags {
+            eq: a == b,
+            lt_signed: (a as i64) < (b as i64),
+            lt_unsigned: a < b,
+        }
+    }
+}
+
+/// A process's register file, program counter and flags.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CpuState {
+    /// The sixteen general-purpose registers.
+    pub regs: [u64; 16],
+    /// The program counter.
+    pub pc: u64,
+    /// Comparison flags.
+    pub flags: Flags,
+}
+
+impl CpuState {
+    /// Reads a register.
+    pub fn reg(&self, reg: Reg) -> u64 {
+        self.regs[reg.index()]
+    }
+
+    /// Writes a register.
+    pub fn set_reg(&mut self, reg: Reg, value: u64) {
+        self.regs[reg.index()] = value;
+    }
+
+    /// The stack pointer (`r15`).
+    pub fn sp(&self) -> u64 {
+        self.regs[Reg::SP.index()]
+    }
+
+    /// Sets the stack pointer (`r15`).
+    pub fn set_sp(&mut self, value: u64) {
+        self.regs[Reg::SP.index()] = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_round_trip_through_bits() {
+        for bits in 0..8u64 {
+            assert_eq!(Flags::from_bits(bits).to_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn compare_distinguishes_signed_and_unsigned() {
+        // -1 (as u64::MAX) vs 1: signed less, unsigned greater.
+        let flags = Flags::compare(u64::MAX, 1);
+        assert!(!flags.eq);
+        assert!(flags.lt_signed);
+        assert!(!flags.lt_unsigned);
+
+        let flags = Flags::compare(1, u64::MAX);
+        assert!(!flags.lt_signed);
+        assert!(flags.lt_unsigned);
+
+        let flags = Flags::compare(5, 5);
+        assert!(flags.eq);
+        assert!(!flags.lt_signed);
+        assert!(!flags.lt_unsigned);
+    }
+
+    #[test]
+    fn sp_is_register_fifteen() {
+        let mut cpu = CpuState::default();
+        cpu.set_sp(0xBEEF);
+        assert_eq!(cpu.regs[15], 0xBEEF);
+        assert_eq!(cpu.sp(), 0xBEEF);
+    }
+}

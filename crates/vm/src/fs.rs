@@ -1,0 +1,134 @@
+//! File descriptors and a minimal in-memory filesystem.
+//!
+//! The guest servers read configuration files during their initialization
+//! phase (the very code DynaCut later sheds), so the kernel provides a
+//! tiny virtual filesystem alongside socket descriptors.
+
+use crate::net::ConnId;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A file registered in the kernel's virtual filesystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VfsFile {
+    /// Full path, e.g. `"/etc/nginx.conf"`.
+    pub path: String,
+    /// File contents.
+    pub contents: Arc<Vec<u8>>,
+}
+
+/// What a file descriptor refers to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FileDesc {
+    /// Standard output/error sink; bytes are collected per process.
+    Console,
+    /// An open VFS file with a read cursor.
+    File {
+        /// The backing file.
+        file: VfsFile,
+        /// Current read offset.
+        pos: u64,
+    },
+    /// An unbound TCP socket.
+    Socket,
+    /// A listening TCP socket bound to a port.
+    Listener {
+        /// Bound port.
+        port: u16,
+    },
+    /// An established TCP connection.
+    Conn(ConnId),
+}
+
+/// A process's file-descriptor table.
+///
+/// Descriptor 0 is pre-opened as the console. `fork` clones the table
+/// (descriptors referring to the same connection share it, as on Linux).
+#[derive(Debug, Clone, Default)]
+pub struct FdTable {
+    entries: BTreeMap<u32, FileDesc>,
+    next: u32,
+}
+
+impl FdTable {
+    /// Creates a table with fd 0 opened on the console.
+    pub fn new() -> Self {
+        let mut table = FdTable {
+            entries: BTreeMap::new(),
+            next: 1,
+        };
+        table.entries.insert(0, FileDesc::Console);
+        table
+    }
+
+    /// Allocates the lowest free descriptor for `desc`.
+    pub fn alloc(&mut self, desc: FileDesc) -> u32 {
+        let fd = self.next;
+        self.entries.insert(fd, desc);
+        self.next += 1;
+        fd
+    }
+
+    /// Looks up a descriptor.
+    pub fn get(&self, fd: u32) -> Option<&FileDesc> {
+        self.entries.get(&fd)
+    }
+
+    /// Looks up a descriptor mutably.
+    pub fn get_mut(&mut self, fd: u32) -> Option<&mut FileDesc> {
+        self.entries.get_mut(&fd)
+    }
+
+    /// Closes a descriptor, returning what it referred to.
+    pub fn close(&mut self, fd: u32) -> Option<FileDesc> {
+        self.entries.remove(&fd)
+    }
+
+    /// Iterates over `(fd, desc)` pairs in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &FileDesc)> {
+        self.entries.iter().map(|(&fd, desc)| (fd, desc))
+    }
+
+    /// Replaces the descriptor stored at `fd` (used by checkpoint restore).
+    pub fn insert(&mut self, fd: u32, desc: FileDesc) {
+        self.entries.insert(fd, desc);
+        self.next = self.next.max(fd + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fd_zero_is_console() {
+        let table = FdTable::new();
+        assert_eq!(table.get(0), Some(&FileDesc::Console));
+    }
+
+    #[test]
+    fn alloc_returns_increasing_fds() {
+        let mut table = FdTable::new();
+        let a = table.alloc(FileDesc::Socket);
+        let b = table.alloc(FileDesc::Socket);
+        assert!(b > a);
+        assert!(table.get(a).is_some());
+    }
+
+    #[test]
+    fn close_removes_descriptor() {
+        let mut table = FdTable::new();
+        let fd = table.alloc(FileDesc::Socket);
+        assert_eq!(table.close(fd), Some(FileDesc::Socket));
+        assert!(table.get(fd).is_none());
+        assert_eq!(table.close(fd), None);
+    }
+
+    #[test]
+    fn insert_bumps_next_allocation() {
+        let mut table = FdTable::new();
+        table.insert(10, FileDesc::Socket);
+        let fd = table.alloc(FileDesc::Socket);
+        assert!(fd > 10);
+    }
+}

@@ -1,0 +1,61 @@
+//! Execution hooks for tracers.
+
+use crate::process::Pid;
+use crate::signal::Signal;
+
+/// Observer of guest execution, installed with
+/// [`Kernel::set_hook`](crate::Kernel::set_hook).
+///
+/// The drcov-style coverage collector in `dynacut-trace` implements this —
+/// it is the reproduction's stand-in for running the target binary under
+/// DynamoRIO (paper §3.3, "Trace Collection").
+pub trait Hook {
+    /// Called after each retired instruction with the pc it executed at.
+    fn on_insn(&mut self, pid: Pid, pc: u64);
+
+    /// Called on every syscall entry (used by the syscall-quiescence
+    /// init-phase detector).
+    fn on_syscall(&mut self, pid: Pid, nr: u64) {
+        let _ = (pid, nr);
+    }
+
+    /// Called when a signal is delivered to a guest handler or kills the
+    /// process.
+    fn on_signal(&mut self, pid: Pid, signal: Signal, handled: bool) {
+        let _ = (pid, signal, handled);
+    }
+
+    /// Called when the guest issues the `emit_event` syscall (the nudge /
+    /// phase-marker channel, mirroring DynamoRIO nudges).
+    fn on_event(&mut self, pid: Pid, code: u64) {
+        let _ = (pid, code);
+    }
+
+    /// Called when a process forks, with the child's pid.
+    fn on_fork(&mut self, parent: Pid, child: Pid) {
+        let _ = (parent, child);
+    }
+}
+
+/// A hook that observes nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullHook;
+
+impl Hook for NullHook {
+    fn on_insn(&mut self, _pid: Pid, _pc: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_hook_accepts_all_defaults() {
+        let mut hook = NullHook;
+        hook.on_insn(Pid(1), 0x40_0000);
+        hook.on_syscall(Pid(1), 2);
+        hook.on_signal(Pid(1), Signal::Sigtrap, true);
+        hook.on_event(Pid(1), 7);
+        hook.on_fork(Pid(1), Pid(2));
+    }
+}

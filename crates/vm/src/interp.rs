@@ -1,0 +1,464 @@
+//! The instruction interpreter: fetch, decode, execute, fault.
+
+use crate::cpu::Flags;
+use crate::hook::Hook;
+use crate::process::Process;
+use crate::signal::{
+    Signal, SIGFRAME_SIZE, SIG_FRAME_FAULT_ADDR, SIG_FRAME_FLAGS, SIG_FRAME_PC, SIG_FRAME_REGS,
+    SIG_FRAME_SIGNO,
+};
+use dynacut_isa::{decode, Cond, Insn, IsaError, Reg};
+
+/// Outcome of the pure-CPU part of execution.
+pub(crate) enum Exec {
+    Done,
+    Fault(Signal, u64),
+    Syscall,
+}
+
+/// Fetches and decodes the instruction at `pc`.
+///
+/// Returns the instruction and its length, or the fault signal to raise.
+pub(crate) fn fetch_insn(proc: &Process, pc: u64) -> Result<(Insn, usize), (Signal, u64)> {
+    let mut first = [0u8; 1];
+    if proc.mem.fetch_checked(pc, &mut first).is_err() {
+        return Err((Signal::Sigsegv, pc));
+    }
+    match decode(&first, 0) {
+        Ok((insn, len)) => Ok((insn, len)),
+        Err(IsaError::TruncatedInsn { needed, .. }) => {
+            let mut buf = vec![0u8; needed];
+            if proc.mem.fetch_checked(pc, &mut buf).is_err() {
+                return Err((Signal::Sigsegv, pc));
+            }
+            match decode(&buf, 0) {
+                Ok((insn, len)) => Ok((insn, len)),
+                Err(_) => Err((Signal::Sigill, pc)),
+            }
+        }
+        Err(_) => Err((Signal::Sigill, pc)),
+    }
+}
+
+/// Executes one decoded instruction against the process state.
+///
+/// On success the pc has been advanced (sequentially or to a branch
+/// target). Syscall dispatch and faults are returned to the caller.
+pub(crate) fn exec_insn(proc: &mut Process, insn: &Insn, len: usize) -> Exec {
+    let pc = proc.cpu.pc;
+    let next = pc + len as u64;
+    macro_rules! binop {
+        ($d:expr, $s:expr, $op:expr) => {{
+            let a = proc.cpu.reg(*$d);
+            let b = proc.cpu.reg(*$s);
+            proc.cpu.set_reg(*$d, $op(a, b));
+            proc.cpu.pc = next;
+        }};
+    }
+    match insn {
+        Insn::Nop => proc.cpu.pc = next,
+        Insn::Movi(d, imm) => {
+            proc.cpu.set_reg(*d, *imm);
+            proc.cpu.pc = next;
+        }
+        Insn::Mov(d, s) => {
+            let v = proc.cpu.reg(*s);
+            proc.cpu.set_reg(*d, v);
+            proc.cpu.pc = next;
+        }
+        Insn::Add(d, s) => binop!(d, s, |a: u64, b: u64| a.wrapping_add(b)),
+        Insn::Sub(d, s) => binop!(d, s, |a: u64, b: u64| a.wrapping_sub(b)),
+        Insn::Mul(d, s) => binop!(d, s, |a: u64, b: u64| a.wrapping_mul(b)),
+        Insn::Divu(d, s) => {
+            let b = proc.cpu.reg(*s);
+            if b == 0 {
+                return Exec::Fault(Signal::Sigfpe, pc);
+            }
+            let a = proc.cpu.reg(*d);
+            proc.cpu.set_reg(*d, a / b);
+            proc.cpu.pc = next;
+        }
+        Insn::Modu(d, s) => {
+            let b = proc.cpu.reg(*s);
+            if b == 0 {
+                return Exec::Fault(Signal::Sigfpe, pc);
+            }
+            let a = proc.cpu.reg(*d);
+            proc.cpu.set_reg(*d, a % b);
+            proc.cpu.pc = next;
+        }
+        Insn::And(d, s) => binop!(d, s, |a, b| a & b),
+        Insn::Or(d, s) => binop!(d, s, |a, b| a | b),
+        Insn::Xor(d, s) => binop!(d, s, |a, b| a ^ b),
+        Insn::Shl(d, s) => binop!(d, s, |a: u64, b: u64| a << (b & 63)),
+        Insn::Shr(d, s) => binop!(d, s, |a: u64, b: u64| a >> (b & 63)),
+        Insn::Addi(d, imm) => {
+            let a = proc.cpu.reg(*d);
+            proc.cpu.set_reg(*d, a.wrapping_add_signed(*imm as i64));
+            proc.cpu.pc = next;
+        }
+        Insn::Muli(d, imm) => {
+            let a = proc.cpu.reg(*d);
+            proc.cpu.set_reg(*d, a.wrapping_mul(*imm as i64 as u64));
+            proc.cpu.pc = next;
+        }
+        Insn::Cmp(a, b) => {
+            proc.cpu.flags = Flags::compare(proc.cpu.reg(*a), proc.cpu.reg(*b));
+            proc.cpu.pc = next;
+        }
+        Insn::Cmpi(a, imm) => {
+            proc.cpu.flags = Flags::compare(proc.cpu.reg(*a), *imm as i64 as u64);
+            proc.cpu.pc = next;
+        }
+        Insn::Lea(d, disp) => {
+            proc.cpu.set_reg(*d, next.wrapping_add_signed(*disp as i64));
+            proc.cpu.pc = next;
+        }
+        Insn::Ld(width, d, base, disp) => {
+            let addr = proc.cpu.reg(*base).wrapping_add_signed(*disp as i64);
+            let mut buf = [0u8; 8];
+            let n = width.bytes();
+            if proc.mem.read_checked(addr, &mut buf[..n]).is_err() {
+                return Exec::Fault(Signal::Sigsegv, addr);
+            }
+            proc.cpu.set_reg(*d, u64::from_le_bytes(buf));
+            proc.cpu.pc = next;
+        }
+        Insn::St(width, base, disp, s) => {
+            let addr = proc.cpu.reg(*base).wrapping_add_signed(*disp as i64);
+            let bytes = proc.cpu.reg(*s).to_le_bytes();
+            let n = width.bytes();
+            if proc.mem.write_checked(addr, &bytes[..n]).is_err() {
+                return Exec::Fault(Signal::Sigsegv, addr);
+            }
+            proc.cpu.pc = next;
+        }
+        Insn::Jmp(disp) => proc.cpu.pc = next.wrapping_add_signed(*disp as i64),
+        Insn::Jcc(cond, disp) => {
+            let flags = proc.cpu.flags;
+            let taken = match cond {
+                Cond::Eq => flags.eq,
+                Cond::Ne => !flags.eq,
+                Cond::Lt => flags.lt_signed,
+                Cond::Le => flags.lt_signed || flags.eq,
+                Cond::Gt => !flags.lt_signed && !flags.eq,
+                Cond::Ge => !flags.lt_signed,
+                Cond::B => flags.lt_unsigned,
+                Cond::Be => flags.lt_unsigned || flags.eq,
+                Cond::A => !flags.lt_unsigned && !flags.eq,
+                Cond::Ae => !flags.lt_unsigned,
+            };
+            proc.cpu.pc = if taken {
+                next.wrapping_add_signed(*disp as i64)
+            } else {
+                next
+            };
+        }
+        Insn::Jmpr(r) => proc.cpu.pc = proc.cpu.reg(*r),
+        Insn::Call(disp) => {
+            let sp = proc.cpu.sp().wrapping_sub(8);
+            if proc.mem.write_checked(sp, &next.to_le_bytes()).is_err() {
+                return Exec::Fault(Signal::Sigsegv, sp);
+            }
+            proc.cpu.set_sp(sp);
+            proc.cpu.pc = next.wrapping_add_signed(*disp as i64);
+        }
+        Insn::Callr(r) => {
+            let target = proc.cpu.reg(*r);
+            let sp = proc.cpu.sp().wrapping_sub(8);
+            if proc.mem.write_checked(sp, &next.to_le_bytes()).is_err() {
+                return Exec::Fault(Signal::Sigsegv, sp);
+            }
+            proc.cpu.set_sp(sp);
+            proc.cpu.pc = target;
+        }
+        Insn::Ret => {
+            let sp = proc.cpu.sp();
+            let mut buf = [0u8; 8];
+            if proc.mem.read_checked(sp, &mut buf).is_err() {
+                return Exec::Fault(Signal::Sigsegv, sp);
+            }
+            proc.cpu.set_sp(sp + 8);
+            proc.cpu.pc = u64::from_le_bytes(buf);
+        }
+        Insn::Push(r) => {
+            let sp = proc.cpu.sp().wrapping_sub(8);
+            let value = proc.cpu.reg(*r);
+            if proc.mem.write_checked(sp, &value.to_le_bytes()).is_err() {
+                return Exec::Fault(Signal::Sigsegv, sp);
+            }
+            proc.cpu.set_sp(sp);
+            proc.cpu.pc = next;
+        }
+        Insn::Pop(r) => {
+            let sp = proc.cpu.sp();
+            let mut buf = [0u8; 8];
+            if proc.mem.read_checked(sp, &mut buf).is_err() {
+                return Exec::Fault(Signal::Sigsegv, sp);
+            }
+            proc.cpu.set_reg(*r, u64::from_le_bytes(buf));
+            proc.cpu.set_sp(sp + 8);
+            proc.cpu.pc = next;
+        }
+        Insn::Syscall => {
+            proc.cpu.pc = next;
+            return Exec::Syscall;
+        }
+        Insn::Halt => return Exec::Fault(Signal::Sigill, pc),
+        Insn::Trap => return Exec::Fault(Signal::Sigtrap, pc),
+    }
+    Exec::Done
+}
+
+/// Delivers `signal` to the process: either sets up a handler frame on the
+/// guest stack or kills the process (default action).
+///
+/// `fault_addr` is the faulting instruction or data address, stored in the
+/// signal frame where the injected fault handler reads it (paper §3.2.2:
+/// "obtain the execution context … update the instruction pointer by
+/// adding an offset to the exception address").
+pub(crate) fn deliver_signal(
+    proc: &mut Process,
+    signal: Signal,
+    fault_addr: u64,
+    hook: Option<&mut (dyn Hook + '_)>,
+) {
+    let action = proc.sigactions[signal.number() as usize];
+    let handled = action.is_handled() && signal.catchable() && proc.signal_depth < 16;
+    if let Some(hook) = hook {
+        hook.on_signal(proc.pid, signal, handled);
+    }
+    if !handled {
+        proc.kill(signal);
+        return;
+    }
+    // Build the signal frame below the current stack pointer.
+    let frame = proc.cpu.sp().wrapping_sub(SIGFRAME_SIZE);
+    let mut bytes = Vec::with_capacity(SIGFRAME_SIZE as usize);
+    bytes.extend_from_slice(&proc.cpu.pc.to_le_bytes()); // SIG_FRAME_PC
+    bytes.extend_from_slice(&proc.cpu.flags.to_bits().to_le_bytes()); // SIG_FRAME_FLAGS
+    bytes.extend_from_slice(&fault_addr.to_le_bytes()); // SIG_FRAME_FAULT_ADDR
+    bytes.extend_from_slice(&signal.number().to_le_bytes()); // SIG_FRAME_SIGNO
+    for reg in proc.cpu.regs {
+        bytes.extend_from_slice(&reg.to_le_bytes()); // SIG_FRAME_REGS
+    }
+    debug_assert_eq!(bytes.len() as u64, SIGFRAME_SIZE);
+    if proc.mem.write_checked(frame, &bytes).is_err() {
+        // Double fault: cannot even build the frame.
+        proc.kill(Signal::Sigsegv);
+        return;
+    }
+    // Push the restorer as the handler's return address.
+    let sp = frame.wrapping_sub(8);
+    if proc
+        .mem
+        .write_checked(sp, &action.restorer.to_le_bytes())
+        .is_err()
+    {
+        proc.kill(Signal::Sigsegv);
+        return;
+    }
+    proc.cpu.set_sp(sp);
+    proc.cpu.set_reg(Reg::R1, signal.number());
+    proc.cpu.set_reg(Reg::R2, frame);
+    proc.cpu.pc = action.handler;
+    proc.signal_depth += 1;
+}
+
+/// Restores the context saved in the signal frame at `frame` (the
+/// `sigreturn` syscall).
+pub(crate) fn sigreturn(proc: &mut Process, frame: u64) -> Result<(), ()> {
+    let mut bytes = vec![0u8; SIGFRAME_SIZE as usize];
+    if proc.mem.read_checked(frame, &mut bytes).is_err() {
+        return Err(());
+    }
+    let word = |off: u64| -> u64 {
+        u64::from_le_bytes(bytes[off as usize..off as usize + 8].try_into().expect("in range"))
+    };
+    let _ = word(SIG_FRAME_FAULT_ADDR);
+    let _ = word(SIG_FRAME_SIGNO);
+    for i in 0..16 {
+        proc.cpu.regs[i] = word(SIG_FRAME_REGS + 8 * i as u64);
+    }
+    proc.cpu.flags = Flags::from_bits(word(SIG_FRAME_FLAGS));
+    proc.cpu.pc = word(SIG_FRAME_PC);
+    proc.signal_depth = proc.signal_depth.saturating_sub(1);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::Pid;
+    use crate::signal::SigAction;
+    use dynacut_obj::Perms;
+
+    fn proc_with_stack() -> Process {
+        let mut proc = Process::new(Pid(1), "t");
+        proc.mem
+            .map(0x1000, 0x2000, Perms::RW, "[stack]")
+            .unwrap();
+        proc.cpu.set_sp(0x3000);
+        proc
+    }
+
+    #[test]
+    fn arithmetic_and_flags() {
+        let mut proc = proc_with_stack();
+        proc.cpu.set_reg(Reg::R1, 10);
+        proc.cpu.set_reg(Reg::R2, 3);
+        assert!(matches!(
+            exec_insn(&mut proc, &Insn::Sub(Reg::R1, Reg::R2), 3),
+            Exec::Done
+        ));
+        assert_eq!(proc.cpu.reg(Reg::R1), 7);
+        assert!(matches!(
+            exec_insn(&mut proc, &Insn::Cmpi(Reg::R1, 7), 6),
+            Exec::Done
+        ));
+        assert!(proc.cpu.flags.eq);
+    }
+
+    #[test]
+    fn division_by_zero_faults() {
+        let mut proc = proc_with_stack();
+        proc.cpu.set_reg(Reg::R1, 10);
+        proc.cpu.set_reg(Reg::R2, 0);
+        assert!(matches!(
+            exec_insn(&mut proc, &Insn::Divu(Reg::R1, Reg::R2), 3),
+            Exec::Fault(Signal::Sigfpe, _)
+        ));
+    }
+
+    #[test]
+    fn push_pop_round_trip() {
+        let mut proc = proc_with_stack();
+        proc.cpu.set_reg(Reg::R3, 0xABCD);
+        exec_insn(&mut proc, &Insn::Push(Reg::R3), 2);
+        assert_eq!(proc.cpu.sp(), 0x3000 - 8);
+        exec_insn(&mut proc, &Insn::Pop(Reg::R4), 2);
+        assert_eq!(proc.cpu.reg(Reg::R4), 0xABCD);
+        assert_eq!(proc.cpu.sp(), 0x3000);
+    }
+
+    #[test]
+    fn call_and_ret() {
+        let mut proc = proc_with_stack();
+        proc.cpu.pc = 100;
+        exec_insn(&mut proc, &Insn::Call(50), 5);
+        assert_eq!(proc.cpu.pc, 105 + 50);
+        exec_insn(&mut proc, &Insn::Ret, 1);
+        assert_eq!(proc.cpu.pc, 105);
+        assert_eq!(proc.cpu.sp(), 0x3000);
+    }
+
+    #[test]
+    fn trap_faults_with_sigtrap_at_pc() {
+        let mut proc = proc_with_stack();
+        proc.cpu.pc = 0x42;
+        assert!(matches!(
+            exec_insn(&mut proc, &Insn::Trap, 1),
+            Exec::Fault(Signal::Sigtrap, 0x42)
+        ));
+        // pc unchanged so the frame records the trap site.
+        assert_eq!(proc.cpu.pc, 0x42);
+    }
+
+    #[test]
+    fn store_to_unmapped_faults_with_address() {
+        let mut proc = proc_with_stack();
+        proc.cpu.set_reg(Reg::R1, 0xDEAD_0000);
+        assert!(matches!(
+            exec_insn(
+                &mut proc,
+                &Insn::St(dynacut_isa::Width::B8, Reg::R1, 0, Reg::R2),
+                7
+            ),
+            Exec::Fault(Signal::Sigsegv, 0xDEAD_0000)
+        ));
+    }
+
+    #[test]
+    fn unhandled_signal_kills() {
+        let mut proc = proc_with_stack();
+        deliver_signal(&mut proc, Signal::Sigtrap, 0x42, None);
+        assert!(proc.is_exited());
+        assert_eq!(proc.fatal_signal, Some(Signal::Sigtrap));
+    }
+
+    #[test]
+    fn handled_signal_builds_frame_and_sigreturn_restores() {
+        let mut proc = proc_with_stack();
+        proc.sigactions[Signal::Sigtrap.number() as usize] = SigAction {
+            handler: 0x7000,
+            restorer: 0x7100,
+            mask: 0,
+        };
+        proc.cpu.pc = 0x1234;
+        proc.cpu.set_reg(Reg::R5, 99);
+        let before = proc.cpu.clone();
+
+        deliver_signal(&mut proc, Signal::Sigtrap, 0x1234, None);
+        assert!(!proc.is_exited());
+        assert_eq!(proc.cpu.pc, 0x7000);
+        assert_eq!(proc.cpu.reg(Reg::R1), Signal::Sigtrap.number());
+        let frame = proc.cpu.reg(Reg::R2);
+        assert_eq!(frame, before.sp() - SIGFRAME_SIZE);
+        assert_eq!(proc.signal_depth, 1);
+        // Return address below the frame is the restorer.
+        let mut ra = [0u8; 8];
+        proc.mem.read_checked(proc.cpu.sp(), &mut ra).unwrap();
+        assert_eq!(u64::from_le_bytes(ra), 0x7100);
+
+        // Handler edits the saved pc (+4), then sigreturn.
+        let mut saved_pc = [0u8; 8];
+        proc.mem
+            .read_checked(frame + SIG_FRAME_PC, &mut saved_pc)
+            .unwrap();
+        assert_eq!(u64::from_le_bytes(saved_pc), 0x1234);
+        proc.mem
+            .write_checked(frame + SIG_FRAME_PC, &0x1238u64.to_le_bytes())
+            .unwrap();
+        sigreturn(&mut proc, frame).unwrap();
+        assert_eq!(proc.cpu.pc, 0x1238);
+        assert_eq!(proc.cpu.reg(Reg::R5), 99);
+        assert_eq!(proc.cpu.sp(), before.sp());
+        assert_eq!(proc.signal_depth, 0);
+    }
+
+    #[test]
+    fn frame_records_fault_addr_and_signo() {
+        let mut proc = proc_with_stack();
+        proc.sigactions[Signal::Sigtrap.number() as usize] = SigAction {
+            handler: 0x7000,
+            restorer: 0x7100,
+            mask: 0,
+        };
+        proc.cpu.pc = 0x4444;
+        deliver_signal(&mut proc, Signal::Sigtrap, 0x4444, None);
+        let frame = proc.cpu.reg(Reg::R2);
+        let mut buf = [0u8; 8];
+        proc.mem
+            .read_checked(frame + SIG_FRAME_FAULT_ADDR, &mut buf)
+            .unwrap();
+        assert_eq!(u64::from_le_bytes(buf), 0x4444);
+        proc.mem
+            .read_checked(frame + SIG_FRAME_SIGNO, &mut buf)
+            .unwrap();
+        assert_eq!(u64::from_le_bytes(buf), Signal::Sigtrap.number());
+    }
+
+    #[test]
+    fn signal_with_unwritable_stack_double_faults() {
+        let mut proc = Process::new(Pid(1), "t");
+        proc.cpu.set_sp(0x10); // no stack mapped
+        proc.sigactions[Signal::Sigtrap.number() as usize] = SigAction {
+            handler: 0x7000,
+            restorer: 0x7100,
+            mask: 0,
+        };
+        deliver_signal(&mut proc, Signal::Sigtrap, 0, None);
+        assert!(proc.is_exited());
+        assert_eq!(proc.fatal_signal, Some(Signal::Sigsegv));
+    }
+}

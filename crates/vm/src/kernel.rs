@@ -1,0 +1,923 @@
+//! The kernel: scheduling, syscalls, networking, time, and the
+//! checkpoint/restore surface.
+
+use crate::fs::{FileDesc, VfsFile};
+use crate::hook::Hook;
+use crate::interp::{self, Exec};
+use crate::loader::{load_into, LoadSpec, MMAP_BASE};
+use crate::net::{ConnId, NetStack, TcpConn, TcpState};
+use crate::process::{Pid, ProcState, Process, WaitReason};
+use crate::signal::Signal;
+use crate::syscall::{err_ret, perms_from_bits, Sysno};
+use crate::VmError;
+use dynacut_isa::Reg;
+use dynacut_obj::{page_align, PAGE_SIZE};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Scheduling quantum, in instructions.
+const QUANTUM: u64 = 256;
+/// Fixed syscall cost in simulated nanoseconds.
+const SYSCALL_COST_NS: u64 = 50;
+
+/// A host-side handle to a client TCP connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientConn(pub ConnId);
+
+/// Why [`Kernel::run_for`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The time budget was consumed.
+    Deadline,
+    /// Every process has exited.
+    AllExited,
+    /// All remaining processes are blocked on I/O (or frozen) and no timer
+    /// can wake them; simulated time was advanced to the deadline.
+    Idle,
+}
+
+/// A process's final status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExitStatus {
+    /// The exit code (`128 + signo` for signal deaths).
+    pub code: u64,
+    /// The fatal signal, if the process was killed by one.
+    pub fatal_signal: Option<Signal>,
+}
+
+/// A guest-emitted phase marker (the `emit_event` syscall), used the way
+/// the paper uses DynamoRIO nudges and server log lines: to observe "the
+/// target server program has initialized" (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Kernel time at emission.
+    pub time_ns: u64,
+    /// Emitting process.
+    pub pid: Pid,
+    /// Application-defined code.
+    pub code: u64,
+}
+
+/// The DCVM kernel. See the crate-level docs for an overview.
+#[derive(Default)]
+pub struct Kernel {
+    procs: BTreeMap<Pid, Process>,
+    next_pid: u32,
+    net: NetStack,
+    vfs: BTreeMap<String, Arc<Vec<u8>>>,
+    clock_ns: u64,
+    hook: Option<Box<dyn Hook>>,
+    events: Vec<Event>,
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("procs", &self.procs.keys().collect::<Vec<_>>())
+            .field("clock_ns", &self.clock_ns)
+            .field("events", &self.events.len())
+            .finish()
+    }
+}
+
+impl Kernel {
+    /// Creates an empty kernel.
+    pub fn new() -> Self {
+        Kernel::default()
+    }
+
+    // ----- host configuration ------------------------------------------
+
+    /// Registers a file in the virtual filesystem.
+    pub fn add_file(&mut self, path: &str, contents: &[u8]) {
+        self.vfs.insert(path.to_owned(), Arc::new(contents.to_vec()));
+    }
+
+    /// Contents of a VFS file, if registered (used when restoring open
+    /// file descriptors from a checkpoint).
+    pub fn vfs_contents(&self, path: &str) -> Option<Arc<Vec<u8>>> {
+        self.vfs.get(path).cloned()
+    }
+
+    /// Installs an execution hook (coverage tracer). Replaces any previous
+    /// hook.
+    pub fn set_hook(&mut self, hook: Box<dyn Hook>) {
+        self.hook = Some(hook);
+    }
+
+    /// Removes and returns the installed hook.
+    pub fn take_hook(&mut self) -> Option<Box<dyn Hook>> {
+        self.hook.take()
+    }
+
+    // ----- processes ----------------------------------------------------
+
+    /// Loads a program and returns its pid.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the images cannot be mapped or linked imports cannot be
+    /// resolved.
+    pub fn spawn(&mut self, spec: &LoadSpec) -> Result<Pid, VmError> {
+        let pid = self.alloc_pid();
+        let mut proc = Process::new(pid, "loading");
+        load_into(&mut proc, spec)?;
+        self.procs.insert(pid, proc);
+        Ok(pid)
+    }
+
+    /// Allocates a fresh pid.
+    pub fn alloc_pid(&mut self) -> Pid {
+        self.next_pid += 1;
+        Pid(self.next_pid)
+    }
+
+    /// Immutable access to a process.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no such process exists.
+    pub fn process(&self, pid: Pid) -> Result<&Process, VmError> {
+        self.procs.get(&pid).ok_or(VmError::NoSuchProcess(pid))
+    }
+
+    /// Mutable access to a process (checkpoint/restore and rewriting use
+    /// this; prefer the syscall surface for guest-visible changes).
+    ///
+    /// # Errors
+    ///
+    /// Fails if no such process exists.
+    pub fn process_mut(&mut self, pid: Pid) -> Result<&mut Process, VmError> {
+        self.procs.get_mut(&pid).ok_or(VmError::NoSuchProcess(pid))
+    }
+
+    /// All pids currently known, in order.
+    pub fn pids(&self) -> Vec<Pid> {
+        self.procs.keys().copied().collect()
+    }
+
+    /// Stops scheduling a process (checkpoint freeze).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the process does not exist or has exited.
+    pub fn freeze(&mut self, pid: Pid) -> Result<(), VmError> {
+        let proc = self.process_mut(pid)?;
+        if proc.is_exited() {
+            return Err(VmError::BadProcessState {
+                pid,
+                expected: "alive",
+            });
+        }
+        proc.state = ProcState::Frozen;
+        Ok(())
+    }
+
+    /// Resumes a frozen process.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the process does not exist or is not frozen.
+    pub fn thaw(&mut self, pid: Pid) -> Result<(), VmError> {
+        let proc = self.process_mut(pid)?;
+        if proc.state != ProcState::Frozen {
+            return Err(VmError::BadProcessState {
+                pid,
+                expected: "frozen",
+            });
+        }
+        proc.state = ProcState::Runnable;
+        Ok(())
+    }
+
+    /// Removes a process entirely (the dump side of CRIU's
+    /// checkpoint-then-kill).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the process does not exist.
+    pub fn remove_process(&mut self, pid: Pid) -> Result<Process, VmError> {
+        self.procs.remove(&pid).ok_or(VmError::NoSuchProcess(pid))
+    }
+
+    /// Re-inserts a process built by the restore path. The pid must be
+    /// free.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the pid is already in use.
+    pub fn insert_process(&mut self, proc: Process) -> Result<(), VmError> {
+        if self.procs.contains_key(&proc.pid) {
+            return Err(VmError::BadProcessState {
+                pid: proc.pid,
+                expected: "a free pid slot",
+            });
+        }
+        self.next_pid = self.next_pid.max(proc.pid.0);
+        self.procs.insert(proc.pid, proc);
+        Ok(())
+    }
+
+    /// Queues a signal for a process from the host side.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the process does not exist.
+    pub fn post_signal(&mut self, pid: Pid, signal: Signal) -> Result<(), VmError> {
+        self.process_mut(pid)?.pending_signals.push_back(signal);
+        Ok(())
+    }
+
+    /// The process's exit status, if it has exited.
+    pub fn exit_status(&self, pid: Pid) -> Option<ExitStatus> {
+        let proc = self.procs.get(&pid)?;
+        proc.is_exited().then(|| ExitStatus {
+            code: proc.exit_code.unwrap_or(0),
+            fatal_signal: proc.fatal_signal,
+        })
+    }
+
+    // ----- time ---------------------------------------------------------
+
+    /// Current kernel time in nanoseconds.
+    pub fn clock_ns(&self) -> u64 {
+        self.clock_ns
+    }
+
+    /// Advances the clock without running anyone — used by the DynaCut
+    /// harness to account the measured host-side rewrite latency as guest
+    /// downtime (the Figure 8 freeze window).
+    pub fn advance_clock(&mut self, ns: u64) {
+        self.clock_ns += ns;
+    }
+
+    // ----- events -------------------------------------------------------
+
+    /// All phase-marker events emitted so far.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Removes and returns all recorded events.
+    pub fn drain_events(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.events)
+    }
+
+    // ----- client networking --------------------------------------------
+
+    /// Connects a host-side client to a listening guest port.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`VmError::ConnectionRefused`] if nothing listens there.
+    pub fn client_connect(&mut self, port: u16) -> Result<ClientConn, VmError> {
+        self.net
+            .connect(port)
+            .map(ClientConn)
+            .ok_or(VmError::ConnectionRefused(port))
+    }
+
+    /// Sends bytes from the client to the server. Bytes queue even while
+    /// the connection is in checkpoint repair mode.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection is unknown or closed.
+    pub fn client_send(&mut self, conn: ClientConn, bytes: &[u8]) -> Result<(), VmError> {
+        let tcp = self
+            .net
+            .conn_mut(conn.0)
+            .ok_or(VmError::BadConnection(conn.0 .0))?;
+        if tcp.state == TcpState::Closed {
+            return Err(VmError::BadConnection(conn.0 .0));
+        }
+        tcp.to_server.extend(bytes);
+        Ok(())
+    }
+
+    /// Receives everything the server has sent so far (may be empty).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection is unknown.
+    pub fn client_recv(&mut self, conn: ClientConn) -> Result<Vec<u8>, VmError> {
+        let tcp = self
+            .net
+            .conn_mut(conn.0)
+            .ok_or(VmError::BadConnection(conn.0 .0))?;
+        let out: Vec<u8> = tcp.to_client.drain(..).collect();
+        Ok(out)
+    }
+
+    /// Closes the client end.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection is unknown.
+    pub fn client_close(&mut self, conn: ClientConn) -> Result<(), VmError> {
+        if self.net.conn(conn.0).is_none() {
+            return Err(VmError::BadConnection(conn.0 .0));
+        }
+        self.net.close(conn.0);
+        self.net.reap();
+        Ok(())
+    }
+
+    /// Sends a request and runs the kernel until a response arrives or
+    /// `max_ns` of simulated time passes. Returns the response bytes.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection is unknown or closed.
+    pub fn client_request(
+        &mut self,
+        conn: ClientConn,
+        bytes: &[u8],
+        max_ns: u64,
+    ) -> Result<Vec<u8>, VmError> {
+        self.client_send(conn, bytes)?;
+        let deadline = self.clock_ns + max_ns;
+        loop {
+            let outcome = self.run_for(5_000.min(deadline.saturating_sub(self.clock_ns)).max(1));
+            let out = self.client_recv(conn)?;
+            if !out.is_empty() {
+                return Ok(out);
+            }
+            if self.clock_ns >= deadline || outcome == RunOutcome::AllExited {
+                return Ok(Vec::new());
+            }
+        }
+    }
+
+    // ----- checkpoint surface for connections ---------------------------
+
+    /// Connection ids referenced by a process's descriptor table.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the process does not exist.
+    pub fn conn_ids_of(&self, pid: Pid) -> Result<Vec<ConnId>, VmError> {
+        let proc = self.process(pid)?;
+        Ok(proc
+            .fds
+            .iter()
+            .filter_map(|(_, desc)| match desc {
+                FileDesc::Conn(id) => Some(*id),
+                _ => None,
+            })
+            .collect())
+    }
+
+    /// Puts connections into repair mode (dump) — the `TCP_REPAIR`
+    /// analogue.
+    pub fn repair_connections(&mut self, ids: &[ConnId]) {
+        self.net.enter_repair(ids);
+    }
+
+    /// Re-establishes repaired connections (restore).
+    pub fn unrepair_connections(&mut self, ids: &[ConnId]) {
+        self.net.leave_repair(ids);
+    }
+
+    /// Snapshot of a connection's state (for the CRIU tcp image).
+    pub fn conn_snapshot(&self, id: ConnId) -> Option<TcpConn> {
+        self.net.conn(id).cloned()
+    }
+
+    /// Ensures a listener exists on `port` (restore of a listening fd).
+    pub fn restore_listener(&mut self, port: u16) {
+        self.net.listen(port);
+    }
+
+    // ----- running ------------------------------------------------------
+
+    /// Runs the machine for up to `ns` nanoseconds of simulated time.
+    pub fn run_for(&mut self, ns: u64) -> RunOutcome {
+        let deadline = self.clock_ns.saturating_add(ns);
+        loop {
+            self.wake_blocked();
+            let runnable: Vec<Pid> = self
+                .procs
+                .values()
+                .filter(|p| p.is_runnable())
+                .map(|p| p.pid)
+                .collect();
+            if runnable.is_empty() {
+                if self.procs.values().all(|p| p.is_exited()) {
+                    return RunOutcome::AllExited;
+                }
+                // Earliest timer wake-up, if any.
+                let next_timer = self
+                    .procs
+                    .values()
+                    .filter_map(|p| match p.state {
+                        ProcState::Blocked(WaitReason::Until(t)) => Some(t),
+                        _ => None,
+                    })
+                    .min();
+                match next_timer {
+                    Some(t) if t < deadline => {
+                        self.clock_ns = t;
+                        continue;
+                    }
+                    _ => {
+                        self.clock_ns = deadline;
+                        return RunOutcome::Idle;
+                    }
+                }
+            }
+            for pid in runnable {
+                self.step_slice(pid, QUANTUM);
+                if self.clock_ns >= deadline {
+                    return RunOutcome::Deadline;
+                }
+            }
+        }
+    }
+
+    /// Runs until the guest emits event `code`, or `max_ns` passes.
+    /// Returns the event if seen.
+    pub fn run_until_event(&mut self, code: u64, max_ns: u64) -> Option<Event> {
+        let deadline = self.clock_ns.saturating_add(max_ns);
+        let mut scanned = self.events.len();
+        while self.clock_ns < deadline {
+            let outcome = self.run_for(10_000.min(deadline - self.clock_ns));
+            for event in &self.events[scanned..] {
+                if event.code == code {
+                    return Some(*event);
+                }
+            }
+            scanned = self.events.len();
+            if outcome == RunOutcome::AllExited {
+                break;
+            }
+        }
+        None
+    }
+
+    /// Runs until a process exits or `max_ns` passes.
+    pub fn run_until_exit(&mut self, pid: Pid, max_ns: u64) -> Option<ExitStatus> {
+        let deadline = self.clock_ns.saturating_add(max_ns);
+        while self.clock_ns < deadline {
+            if let Some(status) = self.exit_status(pid) {
+                return Some(status);
+            }
+            match self.run_for(10_000.min(deadline - self.clock_ns)) {
+                RunOutcome::AllExited => break,
+                RunOutcome::Idle => {
+                    if self.exit_status(pid).is_some() {
+                        break;
+                    }
+                }
+                RunOutcome::Deadline => {}
+            }
+        }
+        self.exit_status(pid)
+    }
+
+    fn wake_blocked(&mut self) {
+        let clock = self.clock_ns;
+        // Collect wake decisions first to appease the borrow checker.
+        let mut wake: Vec<Pid> = Vec::new();
+        for proc in self.procs.values() {
+            let ProcState::Blocked(reason) = proc.state else {
+                continue;
+            };
+            if !proc.pending_signals.is_empty() {
+                wake.push(proc.pid);
+                continue;
+            }
+            let ready = match reason {
+                WaitReason::Until(t) => clock >= t,
+                WaitReason::ReadFd(fd) => match proc.fds.get(fd) {
+                    Some(FileDesc::Conn(id)) => match self.net.conn(*id) {
+                        Some(conn) => {
+                            (!conn.to_server.is_empty() && conn.state == TcpState::Established)
+                                || conn.state == TcpState::Closed
+                        }
+                        None => true, // vanished: read will return 0
+                    },
+                    Some(FileDesc::File { .. }) => true,
+                    Some(FileDesc::Console) => false,
+                    _ => true, // bogus fd: let the syscall fail
+                },
+                WaitReason::Accept(fd) => match proc.fds.get(fd) {
+                    Some(FileDesc::Listener { port }) => self.net.has_backlog(*port),
+                    _ => true,
+                },
+            };
+            if ready {
+                wake.push(proc.pid);
+            }
+        }
+        for pid in wake {
+            if let Some(proc) = self.procs.get_mut(&pid) {
+                proc.state = ProcState::Runnable;
+            }
+        }
+    }
+
+    /// Runs one process for at most `budget` instructions.
+    fn step_slice(&mut self, pid: Pid, budget: u64) {
+        let mut hook = self.hook.take();
+        for _ in 0..budget {
+            let Some(proc) = self.procs.get_mut(&pid) else {
+                break;
+            };
+            if !proc.is_runnable() {
+                break;
+            }
+            // Deliver pending (asynchronous) signals first.
+            if let Some(signal) = proc.pending_signals.pop_front() {
+                let pc = proc.cpu.pc;
+                interp::deliver_signal(proc, signal, pc, hook.as_deref_mut());
+                if proc.is_exited() {
+                    break;
+                }
+            }
+            let pc = proc.cpu.pc;
+            let (insn, len) = match interp::fetch_insn(proc, pc) {
+                Ok(pair) => pair,
+                Err((signal, fault_addr)) => {
+                    interp::deliver_signal(proc, signal, fault_addr, hook.as_deref_mut());
+                    self.clock_ns += 1;
+                    continue;
+                }
+            };
+            match interp::exec_insn(proc, &insn, len) {
+                Exec::Done => {
+                    proc.insns_retired += 1;
+                    self.clock_ns += 1;
+                    if let Some(hook) = hook.as_deref_mut() {
+                        hook.on_insn(pid, pc);
+                    }
+                }
+                Exec::Fault(signal, fault_addr) => {
+                    interp::deliver_signal(proc, signal, fault_addr, hook.as_deref_mut());
+                    self.clock_ns += 1;
+                    if proc.is_exited() {
+                        break;
+                    }
+                }
+                Exec::Syscall => {
+                    proc.insns_retired += 1;
+                    self.clock_ns += SYSCALL_COST_NS;
+                    if let Some(hook) = hook.as_deref_mut() {
+                        hook.on_insn(pid, pc);
+                    }
+                    let blocked = self.do_syscall(pid, pc, hook.as_deref_mut());
+                    if blocked {
+                        break;
+                    }
+                }
+            }
+        }
+        self.hook = hook;
+    }
+
+    /// Dispatches the syscall whose number is in `r0`. Returns `true` if
+    /// the process blocked or exited (ending its time slice).
+    ///
+    /// `syscall_pc` is the address of the `syscall` instruction, used to
+    /// rewind restartable calls when they block.
+    fn do_syscall(
+        &mut self,
+        pid: Pid,
+        syscall_pc: u64,
+        mut hook: Option<&mut (dyn Hook + '_)>,
+    ) -> bool {
+        let clock = self.clock_ns;
+        let proc = self.procs.get_mut(&pid).expect("caller checked");
+        let nr = proc.cpu.reg(Reg::R0);
+        let args = [
+            proc.cpu.reg(Reg::R1),
+            proc.cpu.reg(Reg::R2),
+            proc.cpu.reg(Reg::R3),
+            proc.cpu.reg(Reg::R4),
+            proc.cpu.reg(Reg::R5),
+        ];
+        if let Some(hook) = hook.as_deref_mut() {
+            hook.on_syscall(pid, nr);
+        }
+        // Seccomp-style filtering (paper §5): a blocked syscall kills the
+        // process with SIGSYS, like `SECCOMP_RET_KILL`.
+        if !proc.syscall_allowed(nr) {
+            proc.kill(Signal::Sigsys);
+            return true;
+        }
+        let Some(sysno) = Sysno::from_raw(nr) else {
+            proc.cpu.set_reg(Reg::R0, err_ret(38)); // ENOSYS
+            return false;
+        };
+        match sysno {
+            Sysno::Exit => {
+                proc.exit(args[0]);
+                true
+            }
+            Sysno::Write => {
+                let (fd, ptr, len) = (args[0] as u32, args[1], args[2] as usize);
+                let mut buf = vec![0u8; len];
+                if proc.mem.read_checked(ptr, &mut buf).is_err() {
+                    proc.cpu.set_reg(Reg::R0, err_ret(14)); // EFAULT
+                    return false;
+                }
+                self.clock_ns += (len as u64) / 8;
+                match proc.fds.get(fd) {
+                    Some(FileDesc::Console) => {
+                        proc.console.extend_from_slice(&buf);
+                        proc.cpu.set_reg(Reg::R0, len as u64);
+                    }
+                    Some(FileDesc::Conn(id)) => {
+                        let id = *id;
+                        match self.net.conn_mut(id) {
+                            Some(conn) if conn.state != TcpState::Closed => {
+                                conn.to_client.extend(buf);
+                                proc.cpu.set_reg(Reg::R0, len as u64);
+                            }
+                            _ => proc.cpu.set_reg(Reg::R0, err_ret(32)), // EPIPE
+                        }
+                    }
+                    _ => proc.cpu.set_reg(Reg::R0, err_ret(9)), // EBADF
+                }
+                false
+            }
+            Sysno::Read => {
+                let (fd, ptr, len) = (args[0] as u32, args[1], args[2] as usize);
+                match proc.fds.get_mut(fd) {
+                    Some(FileDesc::File { file, pos }) => {
+                        let contents = &file.contents;
+                        let start = (*pos as usize).min(contents.len());
+                        let n = len.min(contents.len() - start);
+                        let chunk = contents[start..start + n].to_vec();
+                        *pos += n as u64;
+                        if proc.mem.write_checked(ptr, &chunk).is_err() {
+                            proc.cpu.set_reg(Reg::R0, err_ret(14));
+                            return false;
+                        }
+                        proc.cpu.set_reg(Reg::R0, n as u64);
+                        self.clock_ns += (n as u64) / 8;
+                        false
+                    }
+                    Some(FileDesc::Conn(id)) => {
+                        let id = *id;
+                        match self.net.conn_mut(id) {
+                            Some(conn) => {
+                                if conn.to_server.is_empty() || conn.state == TcpState::Repair {
+                                    if conn.state == TcpState::Closed {
+                                        proc.cpu.set_reg(Reg::R0, 0);
+                                        return false;
+                                    }
+                                    // Block and restart the syscall later.
+                                    proc.cpu.pc = syscall_pc;
+                                    proc.state =
+                                        ProcState::Blocked(WaitReason::ReadFd(fd));
+                                    return true;
+                                }
+                                let n = len.min(conn.to_server.len());
+                                let chunk: Vec<u8> = conn.to_server.drain(..n).collect();
+                                if proc.mem.write_checked(ptr, &chunk).is_err() {
+                                    proc.cpu.set_reg(Reg::R0, err_ret(14));
+                                    return false;
+                                }
+                                proc.cpu.set_reg(Reg::R0, n as u64);
+                                self.clock_ns += (n as u64) / 8;
+                                false
+                            }
+                            None => {
+                                proc.cpu.set_reg(Reg::R0, 0);
+                                false
+                            }
+                        }
+                    }
+                    Some(FileDesc::Console) => {
+                        proc.cpu.pc = syscall_pc;
+                        proc.state = ProcState::Blocked(WaitReason::ReadFd(fd));
+                        true
+                    }
+                    _ => {
+                        proc.cpu.set_reg(Reg::R0, err_ret(9));
+                        false
+                    }
+                }
+            }
+            Sysno::Open => {
+                let (ptr, len) = (args[0], args[1] as usize);
+                let mut buf = vec![0u8; len];
+                if proc.mem.read_checked(ptr, &mut buf).is_err() {
+                    proc.cpu.set_reg(Reg::R0, err_ret(14));
+                    return false;
+                }
+                let Ok(path) = String::from_utf8(buf) else {
+                    proc.cpu.set_reg(Reg::R0, err_ret(2)); // ENOENT
+                    return false;
+                };
+                match self.vfs.get(&path) {
+                    Some(contents) => {
+                        let fd = proc.fds.alloc(FileDesc::File {
+                            file: VfsFile {
+                                path,
+                                contents: Arc::clone(contents),
+                            },
+                            pos: 0,
+                        });
+                        proc.cpu.set_reg(Reg::R0, fd as u64);
+                    }
+                    None => proc.cpu.set_reg(Reg::R0, err_ret(2)),
+                }
+                false
+            }
+            Sysno::Close => {
+                let fd = args[0] as u32;
+                match proc.fds.close(fd) {
+                    Some(FileDesc::Conn(id)) => {
+                        self.net.close(id);
+                        proc.cpu.set_reg(Reg::R0, 0);
+                    }
+                    Some(_) => proc.cpu.set_reg(Reg::R0, 0),
+                    None => proc.cpu.set_reg(Reg::R0, err_ret(9)),
+                }
+                false
+            }
+            Sysno::Socket => {
+                let fd = proc.fds.alloc(FileDesc::Socket);
+                proc.cpu.set_reg(Reg::R0, fd as u64);
+                false
+            }
+            Sysno::Bind => {
+                let (fd, port) = (args[0] as u32, args[1] as u16);
+                match proc.fds.get_mut(fd) {
+                    Some(desc @ FileDesc::Socket) => {
+                        *desc = FileDesc::Listener { port };
+                        proc.cpu.set_reg(Reg::R0, 0);
+                    }
+                    _ => proc.cpu.set_reg(Reg::R0, err_ret(9)),
+                }
+                false
+            }
+            Sysno::Listen => {
+                let fd = args[0] as u32;
+                match proc.fds.get(fd) {
+                    Some(FileDesc::Listener { port }) => {
+                        self.net.listen(*port);
+                        proc.cpu.set_reg(Reg::R0, 0);
+                    }
+                    _ => proc.cpu.set_reg(Reg::R0, err_ret(9)),
+                }
+                false
+            }
+            Sysno::Accept => {
+                let fd = args[0] as u32;
+                match proc.fds.get(fd) {
+                    Some(FileDesc::Listener { port }) => {
+                        let port = *port;
+                        match self.net.accept(port) {
+                            Some(id) => {
+                                let conn_fd = proc.fds.alloc(FileDesc::Conn(id));
+                                proc.cpu.set_reg(Reg::R0, conn_fd as u64);
+                                false
+                            }
+                            None => {
+                                proc.cpu.pc = syscall_pc;
+                                proc.state = ProcState::Blocked(WaitReason::Accept(fd));
+                                true
+                            }
+                        }
+                    }
+                    _ => {
+                        proc.cpu.set_reg(Reg::R0, err_ret(9));
+                        false
+                    }
+                }
+            }
+            Sysno::Fork => {
+                let mut child = proc.clone();
+                let parent_pid = proc.pid;
+                let child_pid = {
+                    self.next_pid += 1;
+                    Pid(self.next_pid)
+                };
+                child.pid = child_pid;
+                child.parent = Some(parent_pid);
+                child.cpu.set_reg(Reg::R0, 0);
+                child.console.clear();
+                child.insns_retired = 0;
+                // Parent sees the child pid.
+                self.procs
+                    .get_mut(&parent_pid)
+                    .expect("parent exists")
+                    .cpu
+                    .set_reg(Reg::R0, child_pid.0 as u64);
+                self.procs.insert(child_pid, child);
+                if let Some(hook) = hook.as_deref_mut() {
+                    hook.on_fork(parent_pid, child_pid);
+                }
+                false
+            }
+            Sysno::Getpid => {
+                proc.cpu.set_reg(Reg::R0, pid.0 as u64);
+                false
+            }
+            Sysno::Nanosleep => {
+                let until = clock.saturating_add(args[0]);
+                proc.cpu.set_reg(Reg::R0, 0);
+                proc.state = ProcState::Blocked(WaitReason::Until(until));
+                true
+            }
+            Sysno::Sigaction => {
+                let (signo, handler, restorer, mask) = (args[0], args[1], args[2], args[3]);
+                match Signal::from_number(signo) {
+                    Some(signal) if signal.catchable() => {
+                        proc.sigactions[signo as usize] = crate::signal::SigAction {
+                            handler,
+                            restorer,
+                            mask,
+                        };
+                        proc.cpu.set_reg(Reg::R0, 0);
+                    }
+                    _ => proc.cpu.set_reg(Reg::R0, err_ret(22)), // EINVAL
+                }
+                false
+            }
+            Sysno::Sigreturn => {
+                if interp::sigreturn(proc, args[0]).is_err() {
+                    proc.kill(Signal::Sigsegv);
+                    return true;
+                }
+                false
+            }
+            Sysno::Mmap => {
+                let (hint, len, perm_bits) = (args[0], args[1], args[2]);
+                let len = page_align(len.max(1));
+                let perms = perms_from_bits(perm_bits);
+                let addr = if hint != 0 && hint % PAGE_SIZE == 0 {
+                    let free = proc
+                        .mem
+                        .vmas()
+                        .iter()
+                        .all(|vma| !vma.overlaps(hint, hint + len));
+                    if free {
+                        hint
+                    } else {
+                        proc.mem.find_free(MMAP_BASE, len)
+                    }
+                } else {
+                    proc.mem.find_free(MMAP_BASE, len)
+                };
+                match proc.mem.map(addr, len, perms, "anon") {
+                    Ok(()) => proc.cpu.set_reg(Reg::R0, addr),
+                    Err(_) => proc.cpu.set_reg(Reg::R0, err_ret(12)), // ENOMEM
+                }
+                false
+            }
+            Sysno::Munmap => {
+                let result = proc.mem.unmap(args[0], page_align(args[1].max(1)));
+                proc.cpu
+                    .set_reg(Reg::R0, if result.is_ok() { 0 } else { err_ret(22) });
+                false
+            }
+            Sysno::Mprotect => {
+                let perms = perms_from_bits(args[2]);
+                let result = proc.mem.protect(args[0], page_align(args[1].max(1)), perms);
+                proc.cpu
+                    .set_reg(Reg::R0, if result.is_ok() { 0 } else { err_ret(22) });
+                false
+            }
+            Sysno::ClockGettime => {
+                proc.cpu.set_reg(Reg::R0, clock);
+                false
+            }
+            Sysno::EmitEvent => {
+                let code = args[0];
+                proc.cpu.set_reg(Reg::R0, 0);
+                self.events.push(Event {
+                    time_ns: clock,
+                    pid,
+                    code,
+                });
+                if let Some(hook) = hook {
+                    hook.on_event(pid, code);
+                }
+                false
+            }
+            Sysno::Kill => {
+                let (target, signo) = (Pid(args[0] as u32), args[1]);
+                let Some(signal) = Signal::from_number(signo) else {
+                    proc.cpu.set_reg(Reg::R0, err_ret(22));
+                    return false;
+                };
+                proc.cpu.set_reg(Reg::R0, 0);
+                match self.procs.get_mut(&target) {
+                    Some(target_proc) => target_proc.pending_signals.push_back(signal),
+                    None => {
+                        self.procs
+                            .get_mut(&pid)
+                            .expect("caller exists")
+                            .cpu
+                            .set_reg(Reg::R0, err_ret(3)); // ESRCH
+                    }
+                }
+                false
+            }
+        }
+    }
+}

@@ -1,0 +1,450 @@
+//! Paged address spaces with VMA-granular permissions.
+
+use crate::{VmError, Vma};
+use dynacut_obj::{Perms, PAGE_SIZE};
+use std::collections::BTreeMap;
+
+/// What a guest access wanted to do; decides which permission bit applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Access {
+    Read,
+    Write,
+    Exec,
+}
+
+/// A process's virtual address space: a sorted list of [`Vma`]s plus a
+/// sparse page store.
+///
+/// Pages are materialised lazily on first write; reading an unpopulated
+/// page inside a mapped VMA yields zeros. The populated/unpopulated
+/// distinction is exactly what CRIU's `pagemap` image records, so the
+/// checkpoint layer can reproduce it faithfully.
+///
+/// ```
+/// use dynacut_vm::{AddressSpace, Perms, PAGE_SIZE};
+///
+/// # fn main() -> Result<(), dynacut_vm::VmError> {
+/// let mut space = AddressSpace::new();
+/// space.map(0x1000, 2 * PAGE_SIZE, Perms::RW, "heap")?;
+/// space.write_unchecked(0x1800, b"hello");
+/// assert!(space.page_present(0x1800));
+/// assert!(!space.page_present(0x2000), "second page still lazy");
+/// space.protect(0x2000, PAGE_SIZE, Perms::R)?;
+/// assert_eq!(space.vmas().len(), 2, "mprotect split the VMA");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AddressSpace {
+    vmas: Vec<Vma>,
+    pages: BTreeMap<u64, Box<[u8]>>,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Maps `[start, start+len)` with the given permissions.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the range is not page-aligned or overlaps an existing VMA.
+    pub fn map(&mut self, start: u64, len: u64, perms: Perms, name: &str) -> Result<(), VmError> {
+        if !start.is_multiple_of(PAGE_SIZE) {
+            return Err(VmError::Unaligned(start));
+        }
+        if len == 0 || !len.is_multiple_of(PAGE_SIZE) {
+            return Err(VmError::Unaligned(len));
+        }
+        let end = start + len;
+        if self.vmas.iter().any(|vma| vma.overlaps(start, end)) {
+            return Err(VmError::MappingOverlap { start, len });
+        }
+        self.vmas.push(Vma::new(start, end, perms, name));
+        self.vmas.sort_by_key(|vma| vma.start);
+        Ok(())
+    }
+
+    /// Unmaps every whole page intersecting `[start, start+len)`, splitting
+    /// VMAs as needed and discarding page contents.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the range is not page-aligned.
+    pub fn unmap(&mut self, start: u64, len: u64) -> Result<(), VmError> {
+        if !start.is_multiple_of(PAGE_SIZE) || !len.is_multiple_of(PAGE_SIZE) {
+            return Err(VmError::Unaligned(start | len));
+        }
+        let end = start + len;
+        let mut next: Vec<Vma> = Vec::with_capacity(self.vmas.len() + 1);
+        for vma in self.vmas.drain(..) {
+            if !vma.overlaps(start, end) {
+                next.push(vma);
+                continue;
+            }
+            if vma.start < start {
+                next.push(Vma::new(vma.start, start, vma.perms, &vma.name));
+            }
+            if vma.end > end {
+                next.push(Vma::new(end, vma.end, vma.perms, &vma.name));
+            }
+        }
+        next.sort_by_key(|vma| vma.start);
+        self.vmas = next;
+        let doomed: Vec<u64> = self
+            .pages
+            .range(start..end)
+            .map(|(&base, _)| base)
+            .collect();
+        for base in doomed {
+            self.pages.remove(&base);
+        }
+        Ok(())
+    }
+
+    /// Changes the permissions of `[start, start+len)`, splitting VMAs as
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the range is unaligned or not fully covered by VMAs.
+    pub fn protect(&mut self, start: u64, len: u64, perms: Perms) -> Result<(), VmError> {
+        if !start.is_multiple_of(PAGE_SIZE) || !len.is_multiple_of(PAGE_SIZE) {
+            return Err(VmError::Unaligned(start | len));
+        }
+        let end = start + len;
+        // Verify coverage first so the operation is atomic.
+        let mut cursor = start;
+        for vma in self.vmas.iter().filter(|v| v.overlaps(start, end)) {
+            if vma.start > cursor {
+                return Err(VmError::BadAccess {
+                    addr: cursor,
+                    kind: "mprotect",
+                });
+            }
+            cursor = cursor.max(vma.end);
+        }
+        if cursor < end {
+            return Err(VmError::BadAccess {
+                addr: cursor,
+                kind: "mprotect",
+            });
+        }
+        let mut next: Vec<Vma> = Vec::with_capacity(self.vmas.len() + 2);
+        for vma in self.vmas.drain(..) {
+            if !vma.overlaps(start, end) {
+                next.push(vma);
+                continue;
+            }
+            if vma.start < start {
+                next.push(Vma::new(vma.start, start, vma.perms, &vma.name));
+            }
+            let mid_start = vma.start.max(start);
+            let mid_end = vma.end.min(end);
+            next.push(Vma::new(mid_start, mid_end, perms, &vma.name));
+            if vma.end > end {
+                next.push(Vma::new(end, vma.end, vma.perms, &vma.name));
+            }
+        }
+        next.sort_by_key(|vma| vma.start);
+        self.vmas = next;
+        Ok(())
+    }
+
+    /// The VMA containing `addr`, if any.
+    pub fn vma_at(&self, addr: u64) -> Option<&Vma> {
+        match self.vmas.binary_search_by_key(&addr, |vma| vma.start) {
+            Ok(i) => Some(&self.vmas[i]),
+            Err(0) => None,
+            Err(i) => {
+                let vma = &self.vmas[i - 1];
+                vma.contains(addr).then_some(vma)
+            }
+        }
+    }
+
+    /// All VMAs in address order.
+    pub fn vmas(&self) -> &[Vma] {
+        &self.vmas
+    }
+
+    /// Finds `len` bytes of unmapped space at or above `hint`, page-aligned.
+    pub fn find_free(&self, hint: u64, len: u64) -> u64 {
+        let len = len.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        let mut candidate = hint.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        loop {
+            match self
+                .vmas
+                .iter()
+                .find(|vma| vma.overlaps(candidate, candidate + len))
+            {
+                None => return candidate,
+                Some(vma) => candidate = vma.end,
+            }
+        }
+    }
+
+    fn check(&self, addr: u64, len: u64, access: Access) -> Result<(), VmError> {
+        let mut cursor = addr;
+        let end = addr.checked_add(len).ok_or(VmError::BadAccess {
+            addr,
+            kind: access_name(access),
+        })?;
+        while cursor < end {
+            let vma = self.vma_at(cursor).ok_or(VmError::BadAccess {
+                addr: cursor,
+                kind: access_name(access),
+            })?;
+            let allowed = match access {
+                Access::Read => vma.perms.read,
+                Access::Write => vma.perms.write,
+                Access::Exec => vma.perms.exec,
+            };
+            if !allowed {
+                return Err(VmError::BadAccess {
+                    addr: cursor,
+                    kind: access_name(access),
+                });
+            }
+            cursor = vma.end.min(end);
+        }
+        Ok(())
+    }
+
+    /// Guest read (permission-checked).
+    pub(crate) fn read_checked(&self, addr: u64, buf: &mut [u8]) -> Result<(), VmError> {
+        self.check(addr, buf.len() as u64, Access::Read)?;
+        self.copy_out(addr, buf);
+        Ok(())
+    }
+
+    /// Guest write (permission-checked).
+    pub(crate) fn write_checked(&mut self, addr: u64, bytes: &[u8]) -> Result<(), VmError> {
+        self.check(addr, bytes.len() as u64, Access::Write)?;
+        self.copy_in(addr, bytes);
+        Ok(())
+    }
+
+    /// Instruction fetch (exec-permission-checked).
+    pub(crate) fn fetch_checked(&self, addr: u64, buf: &mut [u8]) -> Result<(), VmError> {
+        self.check(addr, buf.len() as u64, Access::Exec)?;
+        self.copy_out(addr, buf);
+        Ok(())
+    }
+
+    /// Host-side read ignoring permissions (checkpointing, debuggers).
+    /// Unmapped bytes read as zero.
+    pub fn read_unchecked(&self, addr: u64, buf: &mut [u8]) {
+        self.copy_out(addr, buf);
+    }
+
+    /// Host-side write ignoring permissions (loader, restore, rewriter).
+    pub fn write_unchecked(&mut self, addr: u64, bytes: &[u8]) {
+        self.copy_in(addr, bytes);
+    }
+
+    fn copy_out(&self, addr: u64, buf: &mut [u8]) {
+        let mut done = 0usize;
+        while done < buf.len() {
+            let cursor = addr + done as u64;
+            let page_base = cursor & !(PAGE_SIZE - 1);
+            let in_page = (cursor - page_base) as usize;
+            let chunk = ((PAGE_SIZE as usize) - in_page).min(buf.len() - done);
+            match self.pages.get(&page_base) {
+                Some(page) => buf[done..done + chunk].copy_from_slice(&page[in_page..in_page + chunk]),
+                None => buf[done..done + chunk].fill(0),
+            }
+            done += chunk;
+        }
+    }
+
+    fn copy_in(&mut self, addr: u64, bytes: &[u8]) {
+        let mut done = 0usize;
+        while done < bytes.len() {
+            let cursor = addr + done as u64;
+            let page_base = cursor & !(PAGE_SIZE - 1);
+            let in_page = (cursor - page_base) as usize;
+            let chunk = ((PAGE_SIZE as usize) - in_page).min(bytes.len() - done);
+            let page = self
+                .pages
+                .entry(page_base)
+                .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+            page[in_page..in_page + chunk].copy_from_slice(&bytes[done..done + chunk]);
+            done += chunk;
+        }
+    }
+
+    /// Whether the page containing `addr` has been populated (written).
+    pub fn page_present(&self, addr: u64) -> bool {
+        self.pages.contains_key(&(addr & !(PAGE_SIZE - 1)))
+    }
+
+    /// Iterates over populated pages as `(page_base, bytes)`.
+    pub fn populated_pages(&self) -> impl Iterator<Item = (u64, &[u8])> {
+        self.pages.iter().map(|(&base, page)| (base, &page[..]))
+    }
+
+    /// Number of populated pages.
+    pub fn populated_page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Drops the backing page (if populated) so its contents read as zero
+    /// again. The mapping itself remains. Used by the rewriter's
+    /// wipe-policy analogue of `madvise(MADV_DONTNEED)`.
+    pub fn drop_page(&mut self, addr: u64) {
+        self.pages.remove(&(addr & !(PAGE_SIZE - 1)));
+    }
+}
+
+fn access_name(access: Access) -> &'static str {
+    match access {
+        Access::Read => "read",
+        Access::Write => "write",
+        Access::Exec => "exec",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space_with(start: u64, len: u64, perms: Perms) -> AddressSpace {
+        let mut space = AddressSpace::new();
+        space.map(start, len, perms, "test").unwrap();
+        space
+    }
+
+    #[test]
+    fn map_rejects_unaligned_and_overlap() {
+        let mut space = AddressSpace::new();
+        assert!(matches!(
+            space.map(0x1001, PAGE_SIZE, Perms::RW, "x"),
+            Err(VmError::Unaligned(_))
+        ));
+        assert!(matches!(
+            space.map(0x1000, 100, Perms::RW, "x"),
+            Err(VmError::Unaligned(_))
+        ));
+        space.map(0x1000, 2 * PAGE_SIZE, Perms::RW, "a").unwrap();
+        assert!(matches!(
+            space.map(0x2000, PAGE_SIZE, Perms::RW, "b"),
+            Err(VmError::MappingOverlap { .. })
+        ));
+    }
+
+    #[test]
+    fn read_of_unwritten_page_is_zero() {
+        let space = space_with(0x1000, PAGE_SIZE, Perms::RW);
+        let mut buf = [0xFFu8; 8];
+        space.read_checked(0x1000, &mut buf).unwrap();
+        assert_eq!(buf, [0; 8]);
+        assert!(!space.page_present(0x1000));
+    }
+
+    #[test]
+    fn write_then_read_round_trips_across_pages() {
+        let mut space = space_with(0x1000, 2 * PAGE_SIZE, Perms::RW);
+        let data: Vec<u8> = (0..=255u8).cycle().take(5000).collect();
+        space.write_checked(0x1800, &data).unwrap();
+        let mut buf = vec![0u8; 5000];
+        space.read_checked(0x1800, &mut buf).unwrap();
+        assert_eq!(buf, data);
+        assert_eq!(space.populated_page_count(), 2);
+    }
+
+    #[test]
+    fn permissions_are_enforced() {
+        let mut space = space_with(0x1000, PAGE_SIZE, Perms::R);
+        let mut buf = [0u8; 4];
+        assert!(space.read_checked(0x1000, &mut buf).is_ok());
+        assert!(matches!(
+            space.write_checked(0x1000, &[1]),
+            Err(VmError::BadAccess { kind: "write", .. })
+        ));
+        assert!(matches!(
+            space.fetch_checked(0x1000, &mut buf),
+            Err(VmError::BadAccess { kind: "exec", .. })
+        ));
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let space = AddressSpace::new();
+        let mut buf = [0u8; 1];
+        assert!(space.read_checked(0x5000, &mut buf).is_err());
+    }
+
+    #[test]
+    fn access_spanning_two_vmas_checks_both() {
+        let mut space = AddressSpace::new();
+        space.map(0x1000, PAGE_SIZE, Perms::RW, "a").unwrap();
+        space.map(0x2000, PAGE_SIZE, Perms::R, "b").unwrap();
+        // Write across the boundary must fail because `b` is read-only.
+        let err = space.write_checked(0x1FFC, &[0; 8]).unwrap_err();
+        assert!(matches!(err, VmError::BadAccess { addr: 0x2000, .. }));
+        // Read across the boundary is fine.
+        let mut buf = [0u8; 8];
+        assert!(space.read_checked(0x1FFC, &mut buf).is_ok());
+    }
+
+    #[test]
+    fn unmap_splits_vma_and_drops_pages() {
+        let mut space = space_with(0x1000, 3 * PAGE_SIZE, Perms::RW);
+        space.write_checked(0x2000, &[7; 16]).unwrap();
+        space.unmap(0x2000, PAGE_SIZE).unwrap();
+        assert_eq!(space.vmas().len(), 2);
+        assert!(space.vma_at(0x2000).is_none());
+        assert!(space.vma_at(0x1000).is_some());
+        assert!(space.vma_at(0x3000).is_some());
+        assert!(!space.page_present(0x2000));
+        // Re-map and the old contents are gone.
+        space.map(0x2000, PAGE_SIZE, Perms::RW, "fresh").unwrap();
+        let mut buf = [0xFFu8; 16];
+        space.read_checked(0x2000, &mut buf).unwrap();
+        assert_eq!(buf, [0; 16]);
+    }
+
+    #[test]
+    fn protect_splits_vma() {
+        let mut space = space_with(0x1000, 3 * PAGE_SIZE, Perms::RX);
+        space.protect(0x2000, PAGE_SIZE, Perms::NONE).unwrap();
+        assert_eq!(space.vmas().len(), 3);
+        assert_eq!(space.vma_at(0x1000).unwrap().perms, Perms::RX);
+        assert_eq!(space.vma_at(0x2000).unwrap().perms, Perms::NONE);
+        assert_eq!(space.vma_at(0x3000).unwrap().perms, Perms::RX);
+        let mut buf = [0u8; 1];
+        assert!(space.fetch_checked(0x2000, &mut buf).is_err());
+    }
+
+    #[test]
+    fn protect_requires_full_coverage() {
+        let mut space = space_with(0x1000, PAGE_SIZE, Perms::RW);
+        assert!(space.protect(0x1000, 2 * PAGE_SIZE, Perms::R).is_err());
+        // Unchanged on failure.
+        assert_eq!(space.vma_at(0x1000).unwrap().perms, Perms::RW);
+    }
+
+    #[test]
+    fn find_free_skips_existing_mappings() {
+        let mut space = AddressSpace::new();
+        space.map(0x1000, PAGE_SIZE, Perms::RW, "a").unwrap();
+        space.map(0x3000, PAGE_SIZE, Perms::RW, "b").unwrap();
+        assert_eq!(space.find_free(0x1000, PAGE_SIZE), 0x2000);
+        assert_eq!(space.find_free(0x1000, 2 * PAGE_SIZE), 0x4000);
+        assert_eq!(space.find_free(0x9000, PAGE_SIZE), 0x9000);
+    }
+
+    #[test]
+    fn drop_page_zeroes_contents_but_keeps_mapping() {
+        let mut space = space_with(0x1000, PAGE_SIZE, Perms::RW);
+        space.write_checked(0x1000, &[9; 4]).unwrap();
+        space.drop_page(0x1000);
+        assert!(!space.page_present(0x1000));
+        let mut buf = [0xFFu8; 4];
+        space.read_checked(0x1000, &mut buf).unwrap();
+        assert_eq!(buf, [0; 4]);
+    }
+}

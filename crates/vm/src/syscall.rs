@@ -1,0 +1,137 @@
+//! Syscall numbers and argument conventions.
+//!
+//! The guest invokes the kernel with the `syscall` instruction: the number
+//! in `r0`, arguments in `r1..=r5`, the result back in `r0`. Errors are
+//! returned as `u64::MAX - errno` style negative values ([`err_ret`]).
+
+/// Syscall numbers of the DCVM kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u64)]
+pub enum Sysno {
+    /// `exit(code)` — terminate the calling process.
+    Exit = 0,
+    /// `write(fd, buf, len) -> n` — console, file or socket write.
+    Write = 1,
+    /// `read(fd, buf, len) -> n` — blocking read.
+    Read = 2,
+    /// `open(path_ptr, path_len) -> fd` — open a VFS file read-only.
+    Open = 3,
+    /// `close(fd)`.
+    Close = 4,
+    /// `socket() -> fd`.
+    Socket = 5,
+    /// `bind(fd, port)`.
+    Bind = 6,
+    /// `listen(fd)`.
+    Listen = 7,
+    /// `accept(fd) -> connfd` — blocking.
+    Accept = 8,
+    /// `fork() -> child_pid | 0`.
+    Fork = 9,
+    /// `getpid() -> pid`.
+    Getpid = 10,
+    /// `nanosleep(ns)`.
+    Nanosleep = 11,
+    /// `sigaction(signo, handler, restorer, mask)`.
+    Sigaction = 12,
+    /// `sigreturn(frame_ptr)` — restore context from a signal frame.
+    Sigreturn = 13,
+    /// `mmap(addr_hint, len, perms) -> addr` — anonymous mapping.
+    Mmap = 14,
+    /// `munmap(addr, len)`.
+    Munmap = 15,
+    /// `mprotect(addr, len, perms)`.
+    Mprotect = 16,
+    /// `clock_gettime() -> ns` — kernel time.
+    ClockGettime = 17,
+    /// `emit_event(code)` — phase marker for host tooling (nudge channel).
+    EmitEvent = 18,
+    /// `kill(pid, signo)`.
+    Kill = 19,
+}
+
+impl Sysno {
+    /// Converts a raw syscall number.
+    pub fn from_raw(raw: u64) -> Option<Sysno> {
+        use Sysno::*;
+        Some(match raw {
+            0 => Exit,
+            1 => Write,
+            2 => Read,
+            3 => Open,
+            4 => Close,
+            5 => Socket,
+            6 => Bind,
+            7 => Listen,
+            8 => Accept,
+            9 => Fork,
+            10 => Getpid,
+            11 => Nanosleep,
+            12 => Sigaction,
+            13 => Sigreturn,
+            14 => Mmap,
+            15 => Munmap,
+            16 => Mprotect,
+            17 => ClockGettime,
+            18 => EmitEvent,
+            19 => Kill,
+            _ => return None,
+        })
+    }
+}
+
+/// Encodes a syscall error as a "negative" return value.
+pub fn err_ret(errno: u64) -> u64 {
+    u64::MAX - errno
+}
+
+/// Whether a return value is an error (top bit heuristic like Linux's
+/// `-4095..-1` window).
+pub fn is_err(value: u64) -> bool {
+    value > u64::MAX - 4096
+}
+
+/// Perms encoding used by mmap/mprotect arguments: bit0 read, bit1 write,
+/// bit2 exec.
+pub fn perms_from_bits(bits: u64) -> dynacut_obj::Perms {
+    dynacut_obj::Perms {
+        read: bits & 1 != 0,
+        write: bits & 2 != 0,
+        exec: bits & 4 != 0,
+    }
+}
+
+/// Inverse of [`perms_from_bits`].
+pub fn perms_to_bits(perms: dynacut_obj::Perms) -> u64 {
+    (perms.read as u64) | (perms.write as u64) << 1 | (perms.exec as u64) << 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_numbers_round_trip() {
+        for raw in 0..20u64 {
+            let sysno = Sysno::from_raw(raw).expect("defined");
+            assert_eq!(sysno as u64, raw);
+        }
+        assert_eq!(Sysno::from_raw(20), None);
+        assert_eq!(Sysno::from_raw(u64::MAX), None);
+    }
+
+    #[test]
+    fn error_encoding_is_detectable() {
+        assert!(is_err(err_ret(1)));
+        assert!(is_err(err_ret(4095)));
+        assert!(!is_err(0));
+        assert!(!is_err(12345));
+    }
+
+    #[test]
+    fn perms_bits_round_trip() {
+        for bits in 0..8u64 {
+            assert_eq!(perms_to_bits(perms_from_bits(bits)), bits);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Virtual memory areas.
+
+use dynacut_obj::Perms;
+use std::fmt;
+use std::ops::Range;
+
+/// One virtual memory area: a page-aligned, uniformly-permissioned address
+/// range, as reported by `/proc/<pid>/maps` on Linux and stored in CRIU's
+/// `mm` image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Vma {
+    /// First address (page-aligned).
+    pub start: u64,
+    /// One past the last address (page-aligned).
+    pub end: u64,
+    /// Protection flags.
+    pub perms: Perms,
+    /// Human-readable mapping name (`"nginx.text"`, `"[stack]"`, …).
+    pub name: String,
+}
+
+impl Vma {
+    /// Creates a VMA covering `[start, end)`.
+    pub fn new(start: u64, end: u64, perms: Perms, name: &str) -> Self {
+        debug_assert!(start < end);
+        Vma {
+            start,
+            end,
+            perms,
+            name: name.to_owned(),
+        }
+    }
+
+    /// The address range covered.
+    pub fn range(&self) -> Range<u64> {
+        self.start..self.end
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Whether the VMA covers zero bytes (never true for a valid VMA).
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// Whether `addr` lies inside the VMA.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.start && addr < self.end
+    }
+
+    /// Whether this VMA overlaps `[start, end)`.
+    pub fn overlaps(&self, start: u64, end: u64) -> bool {
+        self.start < end && start < self.end
+    }
+}
+
+impl fmt::Display for Vma {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:012x}-{:012x} {} {}",
+            self.start, self.end, self.perms, self.name
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_and_overlaps() {
+        let vma = Vma::new(0x1000, 0x3000, Perms::RW, "heap");
+        assert!(vma.contains(0x1000));
+        assert!(vma.contains(0x2FFF));
+        assert!(!vma.contains(0x3000));
+        assert!(vma.overlaps(0x2000, 0x4000));
+        assert!(vma.overlaps(0x0, 0x1001));
+        assert!(!vma.overlaps(0x3000, 0x4000));
+        assert!(!vma.overlaps(0x0, 0x1000));
+    }
+
+    #[test]
+    fn display_resembles_proc_maps() {
+        let vma = Vma::new(0x40_0000, 0x40_1000, Perms::RX, "app.text");
+        assert_eq!(vma.to_string(), "000000400000-000000401000 r-x app.text");
+    }
+
+    #[test]
+    fn len_is_span() {
+        assert_eq!(Vma::new(0x1000, 0x4000, Perms::R, "x").len(), 0x3000);
+    }
+}

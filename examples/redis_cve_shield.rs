@@ -1,0 +1,117 @@
+//! Table 1 live: fire the modelled Redis exploits (STRALGO LCS integer
+//! overflow ≈ CVE-2021-32625, SETRANGE OOB ≈ CVE-2019-10192/3, CONFIG
+//! overflow ≈ CVE-2016-8339) against a vanilla server — watch it die —
+//! and against a DynaCut-shielded server — watch it shrug.
+//!
+//! ```text
+//! cargo run --example redis_cve_shield
+//! ```
+
+use dynacut::{Downtime, DynaCut, FaultPolicy, Feature, RewritePlan};
+use dynacut_apps::{libc::guest_libc, redis, EVENT_READY};
+use dynacut_criu::ModuleRegistry;
+use dynacut_vm::{Kernel, LoadSpec, Pid};
+use std::sync::Arc;
+
+struct Booted {
+    kernel: Kernel,
+    pid: Pid,
+    exe: Arc<dynacut_obj::Image>,
+    registry: ModuleRegistry,
+}
+
+fn boot() -> Booted {
+    let libc = guest_libc();
+    let exe = redis::image(&libc);
+    let mut kernel = Kernel::new();
+    kernel.add_file(redis::CONFIG_PATH, &redis::config_file());
+    let spec = LoadSpec::with_libs(exe, vec![libc]);
+    let mut registry = ModuleRegistry::new();
+    registry.insert(Arc::clone(&spec.exe));
+    for lib in &spec.libs {
+        registry.insert(Arc::clone(lib));
+    }
+    let exe = Arc::clone(&spec.exe);
+    let pid = kernel.spawn(&spec).expect("spawn");
+    kernel
+        .run_until_event(EVENT_READY, 100_000_000)
+        .expect("boot");
+    Booted {
+        kernel,
+        pid,
+        exe,
+        registry,
+    }
+}
+
+fn fire(booted: &mut Booted, exploit: &str) -> String {
+    let Ok(conn) = booted.kernel.client_connect(redis::PORT) else {
+        return "<connection refused: server dead>".into();
+    };
+    let reply = booted
+        .kernel
+        .client_request(conn, exploit.as_bytes(), 10_000_000)
+        .expect("request");
+    let _ = booted.kernel.client_close(conn);
+    if reply.is_empty() {
+        match booted.kernel.exit_status(booted.pid) {
+            Some(status) => format!(
+                "<server CRASHED: {}>",
+                status
+                    .fatal_signal
+                    .map(|s| s.to_string())
+                    .unwrap_or_else(|| format!("exit {}", status.code))
+            ),
+            None => "<no reply>".into(),
+        }
+    } else {
+        String::from_utf8_lossy(&reply).trim_end().to_owned()
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let exploits: [(&str, &str, String); 3] = [
+        (
+            "CVE-2021-32625/29477",
+            "rd_cmd_stralgo",
+            format!("STRALGO {} {}\n", "a".repeat(32), "b".repeat(32)),
+        ),
+        (
+            "CVE-2019-10192/10193",
+            "rd_cmd_setrange",
+            "SETRANGE 5000 xyz\n".to_owned(),
+        ),
+        (
+            "CVE-2016-8339",
+            "rd_cmd_config",
+            format!("CONFIG {}\n", "v".repeat(64)),
+        ),
+    ];
+
+    for (cve, handler, exploit) in &exploits {
+        println!("== {cve} ==");
+        // Vanilla server: the exploit lands.
+        let mut vanilla = boot();
+        println!("  vanilla:  {}", fire(&mut vanilla, exploit));
+
+        // Shielded server: the vulnerable command is blocked at run time.
+        let mut shielded = boot();
+        let mut dynacut = DynaCut::new(shielded.registry.clone());
+        let feature = Feature::from_function(handler, &shielded.exe, handler)
+            .unwrap()
+            .redirect_to_function(&shielded.exe, redis::ERROR_HANDLER)
+            .unwrap();
+        let plan = RewritePlan::new()
+            .disable(feature)
+            .with_fault_policy(FaultPolicy::Redirect)
+            .with_downtime(Downtime::None);
+        let pid = shielded.pid;
+        dynacut.customize(&mut shielded.kernel, &[pid], &plan)?;
+        println!("  shielded: {}", fire(&mut shielded, exploit));
+        // The shielded server still serves everything else.
+        println!("  shielded: {}", fire(&mut shielded, "SET k v\n"));
+        println!("  shielded: {}\n", fire(&mut shielded, "GET k\n"));
+    }
+    println!("blocked commands can be re-enabled instantly when a patched build ships.");
+    Ok(())
+}

@@ -1,0 +1,2 @@
+//! DynaCut reproduction umbrella crate: hosts cross-crate integration tests and examples.
+pub use dynacut;
