@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# CI gate: release build, full test suite, lint-clean clippy.
+# Run from anywhere; everything executes at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings

@@ -4,7 +4,10 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use dynacut_bench::workloads::{boot_server, Server};
-use dynacut_criu::{dump_many, restore_many, CheckpointImage, DumpOptions};
+use dynacut_criu::{
+    dump_incremental, dump_many, mark_clean_after_dump, pre_dump, restore_many, CheckpointImage,
+    CkptId, DumpOptions,
+};
 
 fn bench_checkpoint(c: &mut Criterion) {
     let mut group = c.benchmark_group("checkpoint_phases");
@@ -94,6 +97,63 @@ fn bench_checkpoint(c: &mut Criterion) {
                     DumpOptions::stock_criu(),
                 )
                 .expect("dump")
+            },
+            BatchSize::PerIteration,
+        );
+    });
+
+    // Incremental: a dirty-page delta against a clean baseline after a
+    // bit of client traffic — the payload is the residue, not the image.
+    group.bench_function("dump_incremental_redis", |b| {
+        b.iter_batched(
+            || {
+                let mut workload = boot_server(Server::Redis, false);
+                let pids = workload.pids.clone();
+                for &pid in &pids {
+                    workload.kernel.freeze(pid).unwrap();
+                }
+                let parent = dump_many(&mut workload.kernel, &pids, DumpOptions::default())
+                    .expect("baseline");
+                mark_clean_after_dump(&mut workload.kernel, &pids).unwrap();
+                for &pid in &pids {
+                    workload.kernel.thaw(pid).unwrap();
+                }
+                workload.exercise_redis_workload(6);
+                for &pid in &pids {
+                    workload.kernel.freeze(pid).unwrap();
+                }
+                (workload, parent)
+            },
+            |(mut workload, parent)| {
+                dump_incremental(
+                    &mut workload.kernel,
+                    &workload.pids.clone(),
+                    DumpOptions::default(),
+                    CkptId(0),
+                    &parent,
+                )
+                .expect("delta")
+            },
+            BatchSize::PerIteration,
+        );
+    });
+
+    // The freeze-window half of the two-phase protocol: clean pages were
+    // pre-copied while the guest ran; `complete` moves only the residue.
+    group.bench_function("pre_dump_complete_redis", |b| {
+        b.iter_batched(
+            || {
+                let mut workload = boot_server(Server::Redis, false);
+                let pre = pre_dump(&mut workload.kernel, &workload.pids.clone()).expect("pre-dump");
+                workload.exercise_redis_workload(6);
+                for &pid in &workload.pids.clone() {
+                    workload.kernel.freeze(pid).unwrap();
+                }
+                (workload, pre)
+            },
+            |(mut workload, pre)| {
+                pre.complete(&mut workload.kernel, &workload.pids.clone(), DumpOptions::default())
+                    .expect("complete")
             },
             BatchSize::PerIteration,
         );

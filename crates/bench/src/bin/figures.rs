@@ -9,7 +9,7 @@ use dynacut_bench::experiments;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures <fig2|fig4|fig6|fig7|fig8|fig9|fig10|table1|plt|ablation|all> [more...]"
+        "usage: figures <fig2|fig4|fig6|fig7|fig8|fig8-incremental|fig9|fig10|table1|plt|ablation|all> [more...]"
     );
     std::process::exit(2);
 }
@@ -22,7 +22,17 @@ fn main() {
     let mut targets: Vec<&str> = args.iter().map(String::as_str).collect();
     if targets.contains(&"all") {
         targets = vec![
-            "fig2", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "table1", "plt", "ablation",
+            "fig2",
+            "fig4",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig8-incremental",
+            "fig9",
+            "fig10",
+            "table1",
+            "plt",
+            "ablation",
         ];
     }
     for (index, target) in targets.iter().enumerate() {
@@ -35,6 +45,7 @@ fn main() {
             "fig6" => experiments::fig6::print(),
             "fig7" => experiments::fig7::print(),
             "fig8" => experiments::fig8::print(),
+            "fig8-incremental" => experiments::fig8_incremental::print(),
             "fig9" => experiments::fig9::print(),
             "fig10" => experiments::fig10::print(),
             "table1" => experiments::table1::print(),

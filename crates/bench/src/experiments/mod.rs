@@ -9,6 +9,7 @@ pub mod fig4;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod fig8_incremental;
 pub mod fig9;
 pub mod plt;
 pub mod table1;

@@ -5,7 +5,10 @@ use crate::original::OriginalText;
 use crate::plan::{Downtime, FaultPolicy, RewritePlan};
 use crate::rewrite::{disable_in_image, enable_in_image, remove_blocks_in_image};
 use crate::DynacutError;
-use dynacut_criu::{dump_many, restore_many, DumpOptions, ModuleRegistry};
+use dynacut_criu::{
+    dump_many, mark_clean_after_dump, pre_dump, restore_many, CheckpointImage, CheckpointStore,
+    CkptId, DeltaImage, DumpOptions, ModuleRegistry,
+};
 use dynacut_vm::{Kernel, Pid, SigAction, Signal};
 use std::time::{Duration, Instant};
 
@@ -50,6 +53,20 @@ pub struct CustomizeReport {
     pub image_bytes: usize,
     /// Base address the handler library was injected at, per process.
     pub handler_bases: Vec<(Pid, u64)>,
+    /// Page bytes copied while the processes were frozen. Without
+    /// incremental mode this is the whole page payload; with
+    /// [`DynaCut::with_incremental`] the pre-dump moves clean pages
+    /// before the freeze and only the dirty residue lands here.
+    pub frozen_page_bytes: usize,
+    /// Page bytes the pre-dump copied while the guest was still running
+    /// (zero without incremental mode).
+    pub prewritten_page_bytes: usize,
+    /// Page bytes the checkpoint occupies in the store: the delta payload
+    /// when a parent baseline existed, the full payload otherwise. `None`
+    /// without incremental mode (nothing is stored).
+    pub stored_page_bytes: Option<usize>,
+    /// Id of the stored checkpoint (incremental mode only).
+    pub checkpoint_id: Option<CkptId>,
 }
 
 /// The DynaCut framework handle: a module registry (the "binaries on
@@ -58,6 +75,15 @@ pub struct CustomizeReport {
 pub struct DynaCut {
     registry: ModuleRegistry,
     dump_options: DumpOptions,
+    /// Incremental checkpointing: pre-dump clean pages while the guest
+    /// runs and store dirty-page deltas against the previous baseline.
+    incremental: bool,
+    /// Delta-chain checkpoint store (incremental mode only).
+    store: CheckpointStore,
+    /// The checkpoint the current dirty bitmap is clean against: the
+    /// edited image restored by the previous customization. Cleared when
+    /// a failed cycle leaves the bitmap swept without a stored image.
+    baseline: Option<(CkptId, CheckpointImage)>,
     injections: u64,
     /// Per-pid accumulated redirect table (blocked addr → resume addr):
     /// every injected handler carries the union of all still-blocked
@@ -74,6 +100,9 @@ impl DynaCut {
         DynaCut {
             registry,
             dump_options: DumpOptions::default(),
+            incremental: false,
+            store: CheckpointStore::new(),
+            baseline: None,
             injections: 0,
             redirect_state: std::collections::BTreeMap::new(),
             verify_state: std::collections::BTreeMap::new(),
@@ -85,6 +114,21 @@ impl DynaCut {
     pub fn with_dump_options(mut self, options: DumpOptions) -> Self {
         self.dump_options = options;
         self
+    }
+
+    /// Enables incremental checkpointing for disable/enable cycles: each
+    /// customization pre-dumps clean pages while the guest still runs
+    /// (shrinking the freeze window to the dirty residue) and stores the
+    /// checkpoint as a dirty-page delta against the previous one. Full
+    /// dumps remain the default.
+    pub fn with_incremental(mut self) -> Self {
+        self.incremental = true;
+        self
+    }
+
+    /// The checkpoint store accumulated by incremental customizations.
+    pub fn store(&self) -> &CheckpointStore {
+        &self.store
     }
 
     /// The registry of binaries.
@@ -117,11 +161,46 @@ impl DynaCut {
 
         // --- checkpoint -------------------------------------------------
         let t_checkpoint = Instant::now();
+        // Incremental mode, phase one: copy clean pages while the guest
+        // still runs, so the freeze below only has to move the dirty
+        // residue. The pre-dump sweeps the dirty bitmap, so the previous
+        // baseline stops matching it here; a new one is stored after a
+        // successful restore.
+        let mut last_baseline = None;
+        let predump = if self.incremental {
+            let pre = pre_dump(kernel, pids)?;
+            // From the sweep until a new baseline is stored below, the
+            // bitmap matches no stored checkpoint; keep `baseline` empty
+            // across every intermediate error path.
+            last_baseline = self.baseline.take();
+            Some(pre)
+        } else {
+            None
+        };
         for &pid in pids {
             kernel.freeze(pid)?;
         }
-        let mut checkpoint = match dump_many(kernel, pids, self.dump_options) {
-            Ok(checkpoint) => checkpoint,
+        let dumped = match &predump {
+            Some(pre) => pre
+                .complete(kernel, pids, self.dump_options)
+                .map(|(checkpoint, stats)| {
+                    (
+                        checkpoint,
+                        stats.frozen_page_bytes,
+                        stats.prewritten_page_bytes,
+                    )
+                }),
+            None => dump_many(kernel, pids, self.dump_options).map(|checkpoint| {
+                let frozen = checkpoint.pages_bytes();
+                (checkpoint, frozen, 0)
+            }),
+        };
+        let mut checkpoint = match dumped {
+            Ok((checkpoint, frozen, prewritten)) => {
+                report.frozen_page_bytes = frozen;
+                report.prewritten_page_bytes = prewritten;
+                checkpoint
+            }
             Err(err) => {
                 for &pid in pids {
                     let _ = kernel.thaw(pid);
@@ -280,6 +359,27 @@ impl DynaCut {
         }
         restore_many(kernel, &checkpoint, &self.registry)?;
         report.timings.restore = t_restore.elapsed();
+
+        if self.incremental {
+            // The restored memory now equals the edited checkpoint on
+            // every clean page, so sweep the bitmap and make that image
+            // the new baseline — stored as a dirty-page delta when the
+            // chain has a parent.
+            mark_clean_after_dump(kernel, pids)?;
+            let id = match last_baseline.take() {
+                Some((parent_id, parent)) => {
+                    let delta = DeltaImage::diff(parent_id, &parent, &checkpoint);
+                    report.stored_page_bytes = Some(delta.pages_bytes());
+                    self.store.put_delta(delta)?
+                }
+                None => {
+                    report.stored_page_bytes = Some(checkpoint.pages_bytes());
+                    self.store.put_full(checkpoint.clone())
+                }
+            };
+            report.checkpoint_id = Some(id);
+            self.baseline = Some((id, checkpoint));
+        }
 
         match plan.downtime {
             Downtime::Fixed(ns) => kernel.advance_clock(ns),

@@ -1,13 +1,20 @@
 //! Binary serialisation of checkpoint images (the protobuf-format
 //! analogue; stored on the harness's tmpfs-like in-memory store).
+//!
+//! Full checkpoints ([`CheckpointImage`]) and incremental deltas
+//! ([`DeltaImage`]) share the per-image encoders below; a delta is the
+//! same record with a parent reference, a dirty-page index and a
+//! dirty-only page payload.
 
 use crate::images::*;
+use crate::incremental::{CkptId, DeltaImage, DeltaProcessImage};
 use crate::CriuError;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use dynacut_obj::Perms;
 use dynacut_vm::{ConnId, Pid, SigAction, Signal};
 
 const MAGIC: &[u8; 4] = b"DCR1";
+const DELTA_MAGIC: &[u8; 4] = b"DCD1";
 
 fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
@@ -73,6 +80,12 @@ impl Reader {
             exec: bits & 4 != 0,
         })
     }
+    fn magic(&mut self, expected: &[u8; 4]) -> Result<(), CriuError> {
+        if self.0.remaining() < 4 || &self.0.split_to(4)[..] != expected {
+            return Err(CriuError::BadImage("bad magic".into()));
+        }
+        Ok(())
+    }
 }
 
 impl CheckpointImage {
@@ -96,9 +109,7 @@ impl CheckpointImage {
     /// Fails with [`CriuError::BadImage`] on malformed input.
     pub fn from_bytes(raw: &[u8]) -> Result<CheckpointImage, CriuError> {
         let mut reader = Reader(Bytes::copy_from_slice(raw));
-        if reader.0.remaining() < 4 || &reader.0.split_to(4)[..] != MAGIC {
-            return Err(CriuError::BadImage("bad magic".into()));
-        }
+        reader.magic(MAGIC)?;
         let time_ns = reader.u64()?;
         let count = reader.u32()?;
         let mut procs = Vec::with_capacity((count as usize).min(4096));
@@ -109,84 +120,134 @@ impl CheckpointImage {
     }
 }
 
+impl DeltaImage {
+    /// Serialises the delta to bytes. The layout mirrors
+    /// [`CheckpointImage::to_bytes`] with a distinct magic, the parent
+    /// id, and a per-process dirty-page index in front of the (dirty-only)
+    /// page payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        buf.put_slice(DELTA_MAGIC);
+        buf.put_u64_le(self.parent.0);
+        buf.put_u64_le(self.time_ns);
+        buf.put_u32_le(self.procs.len() as u32);
+        for image in &self.procs {
+            buf.put_u8(image.exec_pages_dumped as u8);
+            encode_core(&mut buf, &image.core);
+            encode_mm(&mut buf, &image.mm);
+            encode_pagemap(&mut buf, &image.pagemap);
+            encode_pagemap(&mut buf, &image.dirty);
+            put_vec(&mut buf, &image.pages.bytes);
+            encode_files(&mut buf, &image.files);
+            encode_tcp(&mut buf, &image.tcp);
+        }
+        buf.to_vec()
+    }
+
+    /// Parses a delta previously produced by [`DeltaImage::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`CriuError::BadImage`] on malformed input.
+    pub fn from_bytes(raw: &[u8]) -> Result<DeltaImage, CriuError> {
+        let mut reader = Reader(Bytes::copy_from_slice(raw));
+        reader.magic(DELTA_MAGIC)?;
+        let parent = CkptId(reader.u64()?);
+        let time_ns = reader.u64()?;
+        let count = reader.u32()?;
+        let mut procs = Vec::with_capacity((count as usize).min(4096));
+        for _ in 0..count {
+            let exec_pages_dumped = reader.u8()? != 0;
+            let core = decode_core(&mut reader)?;
+            let mm = decode_mm(&mut reader)?;
+            let pagemap = decode_pagemap(&mut reader)?;
+            let dirty = decode_pagemap(&mut reader)?;
+            let pages = PagesImage {
+                bytes: reader.vec()?,
+            };
+            let files = decode_files(&mut reader)?;
+            let tcp = decode_tcp(&mut reader)?;
+            procs.push(DeltaProcessImage {
+                core,
+                mm,
+                pagemap,
+                dirty,
+                pages,
+                files,
+                tcp,
+                exec_pages_dumped,
+            });
+        }
+        Ok(DeltaImage {
+            parent,
+            procs,
+            time_ns,
+        })
+    }
+}
+
 fn encode_proc(buf: &mut BytesMut, image: &ProcessImage) {
     buf.put_u8(image.exec_pages_dumped as u8);
-    // core
-    buf.put_u32_le(image.core.pid.0);
-    match image.core.parent {
+    encode_core(buf, &image.core);
+    encode_mm(buf, &image.mm);
+    encode_pagemap(buf, &image.pagemap);
+    put_vec(buf, &image.pages.bytes);
+    encode_files(buf, &image.files);
+    encode_tcp(buf, &image.tcp);
+}
+
+fn decode_proc(reader: &mut Reader) -> Result<ProcessImage, CriuError> {
+    let exec_pages_dumped = reader.u8()? != 0;
+    let core = decode_core(reader)?;
+    let mm = decode_mm(reader)?;
+    let pagemap = decode_pagemap(reader)?;
+    let pages = PagesImage {
+        bytes: reader.vec()?,
+    };
+    let files = decode_files(reader)?;
+    let tcp = decode_tcp(reader)?;
+    Ok(ProcessImage {
+        core,
+        mm,
+        pagemap,
+        pages,
+        files,
+        tcp,
+        exec_pages_dumped,
+    })
+}
+
+fn encode_core(buf: &mut BytesMut, core: &CoreImage) {
+    buf.put_u32_le(core.pid.0);
+    match core.parent {
         Some(pid) => {
             buf.put_u8(1);
             buf.put_u32_le(pid.0);
         }
         None => buf.put_u8(0),
     }
-    put_str(buf, &image.core.name);
-    for reg in image.core.regs {
+    put_str(buf, &core.name);
+    for reg in core.regs {
         buf.put_u64_le(reg);
     }
-    buf.put_u64_le(image.core.pc);
-    buf.put_u64_le(image.core.flags_bits);
-    for action in image.core.sigactions {
+    buf.put_u64_le(core.pc);
+    buf.put_u64_le(core.flags_bits);
+    for action in core.sigactions {
         buf.put_u64_le(action.handler);
         buf.put_u64_le(action.restorer);
         buf.put_u64_le(action.mask);
     }
-    buf.put_u32_le(image.core.signal_depth);
-    buf.put_u64_le(image.core.insns_retired);
-    buf.put_u64_le(image.core.syscall_filter);
-    buf.put_u32_le(image.core.modules.len() as u32);
-    for module in &image.core.modules {
+    buf.put_u32_le(core.signal_depth);
+    buf.put_u64_le(core.insns_retired);
+    buf.put_u64_le(core.syscall_filter);
+    buf.put_u32_le(core.modules.len() as u32);
+    for module in &core.modules {
         put_str(buf, &module.name);
         buf.put_u64_le(module.base);
     }
-    // mm
-    buf.put_u32_le(image.mm.vmas.len() as u32);
-    for vma in &image.mm.vmas {
-        buf.put_u64_le(vma.start);
-        buf.put_u64_le(vma.end);
-        put_perms(buf, vma.perms);
-        put_str(buf, &vma.name);
-    }
-    // pagemap + pages
-    buf.put_u32_le(image.pagemap.pages.len() as u32);
-    for page in &image.pagemap.pages {
-        buf.put_u64_le(*page);
-    }
-    put_vec(buf, &image.pages.bytes);
-    // files
-    buf.put_u32_le(image.files.fds.len() as u32);
-    for (fd, entry) in &image.files.fds {
-        buf.put_u32_le(*fd);
-        match entry {
-            FdImage::Console => buf.put_u8(0),
-            FdImage::File { path, pos } => {
-                buf.put_u8(1);
-                put_str(buf, path);
-                buf.put_u64_le(*pos);
-            }
-            FdImage::Socket => buf.put_u8(2),
-            FdImage::Listener { port } => {
-                buf.put_u8(3);
-                buf.put_u16_le(*port);
-            }
-            FdImage::Conn { id } => {
-                buf.put_u8(4);
-                buf.put_u64_le(id.0);
-            }
-        }
-    }
-    // tcp
-    buf.put_u32_le(image.tcp.conns.len() as u32);
-    for conn in &image.tcp.conns {
-        buf.put_u64_le(conn.id.0);
-        buf.put_u16_le(conn.port);
-        put_vec(buf, &conn.to_server);
-        put_vec(buf, &conn.to_client);
-    }
 }
 
-fn decode_proc(reader: &mut Reader) -> Result<ProcessImage, CriuError> {
-    let exec_pages_dumped = reader.u8()? != 0;
+fn decode_core(reader: &mut Reader) -> Result<CoreImage, CriuError> {
     let pid = Pid(reader.u32()?);
     let parent = match reader.u8()? {
         0 => None,
@@ -216,6 +277,32 @@ fn decode_proc(reader: &mut Reader) -> Result<ProcessImage, CriuError> {
         let base = reader.u64()?;
         modules.push(ModuleRef { name, base });
     }
+    Ok(CoreImage {
+        pid,
+        parent,
+        name,
+        regs,
+        pc,
+        flags_bits,
+        sigactions,
+        signal_depth,
+        insns_retired,
+        modules,
+        syscall_filter,
+    })
+}
+
+fn encode_mm(buf: &mut BytesMut, mm: &MmImage) {
+    buf.put_u32_le(mm.vmas.len() as u32);
+    for vma in &mm.vmas {
+        buf.put_u64_le(vma.start);
+        buf.put_u64_le(vma.end);
+        put_perms(buf, vma.perms);
+        put_str(buf, &vma.name);
+    }
+}
+
+fn decode_mm(reader: &mut Reader) -> Result<MmImage, CriuError> {
     let vma_count = reader.u32()?;
     let mut vmas = Vec::with_capacity((vma_count as usize).min(4096));
     for _ in 0..vma_count {
@@ -230,12 +317,50 @@ fn decode_proc(reader: &mut Reader) -> Result<ProcessImage, CriuError> {
             name,
         });
     }
+    Ok(MmImage { vmas })
+}
+
+fn encode_pagemap(buf: &mut BytesMut, pagemap: &PagemapImage) {
+    buf.put_u32_le(pagemap.pages.len() as u32);
+    for page in &pagemap.pages {
+        buf.put_u64_le(*page);
+    }
+}
+
+fn decode_pagemap(reader: &mut Reader) -> Result<PagemapImage, CriuError> {
     let page_count = reader.u32()?;
     let mut pages = Vec::with_capacity((page_count as usize).min(4096));
     for _ in 0..page_count {
         pages.push(reader.u64()?);
     }
-    let page_bytes = reader.vec()?;
+    Ok(PagemapImage { pages })
+}
+
+fn encode_files(buf: &mut BytesMut, files: &FilesImage) {
+    buf.put_u32_le(files.fds.len() as u32);
+    for (fd, entry) in &files.fds {
+        buf.put_u32_le(*fd);
+        match entry {
+            FdImage::Console => buf.put_u8(0),
+            FdImage::File { path, pos } => {
+                buf.put_u8(1);
+                put_str(buf, path);
+                buf.put_u64_le(*pos);
+            }
+            FdImage::Socket => buf.put_u8(2),
+            FdImage::Listener { port } => {
+                buf.put_u8(3);
+                buf.put_u16_le(*port);
+            }
+            FdImage::Conn { id } => {
+                buf.put_u8(4);
+                buf.put_u64_le(id.0);
+            }
+        }
+    }
+}
+
+fn decode_files(reader: &mut Reader) -> Result<FilesImage, CriuError> {
     let fd_count = reader.u32()?;
     let mut fds = Vec::with_capacity((fd_count as usize).min(4096));
     for _ in 0..fd_count {
@@ -258,6 +383,20 @@ fn decode_proc(reader: &mut Reader) -> Result<ProcessImage, CriuError> {
         };
         fds.push((fd, entry));
     }
+    Ok(FilesImage { fds })
+}
+
+fn encode_tcp(buf: &mut BytesMut, tcp: &TcpImage) {
+    buf.put_u32_le(tcp.conns.len() as u32);
+    for conn in &tcp.conns {
+        buf.put_u64_le(conn.id.0);
+        buf.put_u16_le(conn.port);
+        put_vec(buf, &conn.to_server);
+        put_vec(buf, &conn.to_client);
+    }
+}
+
+fn decode_tcp(reader: &mut Reader) -> Result<TcpImage, CriuError> {
     let conn_count = reader.u32()?;
     let mut conns = Vec::with_capacity((conn_count as usize).min(4096));
     for _ in 0..conn_count {
@@ -272,25 +411,5 @@ fn decode_proc(reader: &mut Reader) -> Result<ProcessImage, CriuError> {
             to_client,
         });
     }
-    Ok(ProcessImage {
-        core: CoreImage {
-            pid,
-            parent,
-            name,
-            regs,
-            pc,
-            flags_bits,
-            sigactions,
-            signal_depth,
-            insns_retired,
-            modules,
-            syscall_filter,
-        },
-        mm: MmImage { vmas },
-        pagemap: PagemapImage { pages },
-        pages: PagesImage { bytes: page_bytes },
-        files: FilesImage { fds },
-        tcp: TcpImage { conns },
-        exec_pages_dumped,
-    })
+    Ok(TcpImage { conns })
 }

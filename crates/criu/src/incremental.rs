@@ -1,0 +1,492 @@
+//! Incremental (dirty-page) checkpointing.
+//!
+//! The paper's rewrite loop freezes the application for the whole
+//! checkpoint→edit→restore round trip. Most of that window is spent
+//! copying pages that have not changed since the previous checkpoint.
+//! This module reproduces the two CRIU mechanisms that shrink it:
+//!
+//! * **Incremental dumps** ([`dump_incremental`]): using the kernel's
+//!   dirty-page bitmap (the soft-dirty analogue,
+//!   [`AddressSpace::dirty_pages`]), a dump emits a [`DeltaImage`] that
+//!   references a parent checkpoint and carries page *data* only for the
+//!   pages written since that parent was taken. A delta chain
+//!   materializes ([`materialize_chain`]) to an image **bit-identical**
+//!   to the full dump taken at the same instant.
+//! * **Pre-dump** ([`pre_dump`]): the two-phase protocol that copies the
+//!   current page contents while the guest is still running, then
+//!   freezes only to collect the *dirty residue* — pages written between
+//!   the pre-copy and the freeze — plus registers, sigactions and
+//!   TCP-repair state. [`PreDump::complete`] reports how many page bytes
+//!   actually had to be copied inside the freeze window.
+//!
+//! Baseline contract: the dirty bitmap means "written since the last
+//! [`AddressSpace::mark_clean`] sweep". [`pre_dump`] sweeps as part of
+//! its atomic pre-copy; plain dumps do **not** sweep (a failed dump must
+//! not invalidate the baseline) — callers establish a new baseline
+//! explicitly with [`mark_clean_after_dump`] once a dump is safely
+//! stored. [`dump_incremental`]'s `parent` must be the checkpoint that
+//! established the current baseline, otherwise the delta under-reports.
+//!
+//! [`AddressSpace::dirty_pages`]: dynacut_vm::AddressSpace::dirty_pages
+//! [`AddressSpace::mark_clean`]: dynacut_vm::AddressSpace::mark_clean
+
+use crate::dump::{dump, dump_many, DumpOptions};
+use crate::images::*;
+use crate::CriuError;
+use dynacut_obj::PAGE_SIZE;
+use dynacut_vm::{Kernel, Pid};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Identifier of a checkpoint in a [`CheckpointStore`] (sequential).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CkptId(pub u64);
+
+impl std::fmt::Display for CkptId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ckpt-{}", self.0)
+    }
+}
+
+/// The per-process part of a [`DeltaImage`].
+///
+/// Everything except page *data* is recorded in full (registers, VMAs,
+/// descriptors, TCP state are tiny next to memory). The `pagemap` lists
+/// **all** populated pages at delta time — so pages dropped or unmapped
+/// since the parent disappear on materialization — while `pages` holds
+/// data only for the `dirty` subset; clean pages are looked up in the
+/// parent at materialization time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaProcessImage {
+    /// Registers and signal state (full copy).
+    pub core: CoreImage,
+    /// VMA list (full copy).
+    pub mm: MmImage,
+    /// All populated pages at delta time, sorted.
+    pub pagemap: PagemapImage,
+    /// The subset of `pagemap` whose data ships in `pages`, sorted.
+    pub dirty: PagemapImage,
+    /// Page data for `dirty` only, in the same order.
+    pub pages: PagesImage,
+    /// Descriptor table (full copy).
+    pub files: FilesImage,
+    /// TCP connections (full copy).
+    pub tcp: TcpImage,
+    /// Mirrors [`ProcessImage::exec_pages_dumped`].
+    pub exec_pages_dumped: bool,
+}
+
+/// An incremental checkpoint: a parent reference plus per-process deltas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaImage {
+    /// The checkpoint this delta applies on top of.
+    pub parent: CkptId,
+    /// Per-process deltas, in pid order.
+    pub procs: Vec<DeltaProcessImage>,
+    /// Kernel time at dump.
+    pub time_ns: u64,
+}
+
+impl DeltaImage {
+    /// Total size of the dirty-page payload, in bytes — the number this
+    /// whole module exists to shrink relative to
+    /// [`CheckpointImage::pages_bytes`].
+    pub fn pages_bytes(&self) -> usize {
+        self.procs.iter().map(|p| p.pages.bytes.len()).sum()
+    }
+
+    /// Builds a delta by comparing two materialized checkpoints byte for
+    /// byte: a page is dirty if it is absent from `parent` or its
+    /// contents differ. Useful when the kernel-side dirty bitmap is not
+    /// available for the interval (e.g. diffing two stored images);
+    /// [`dump_incremental`] is the live-process path.
+    pub fn diff(parent_id: CkptId, parent: &CheckpointImage, current: &CheckpointImage) -> Self {
+        let page = PAGE_SIZE as usize;
+        let procs = current
+            .procs
+            .iter()
+            .map(|image| {
+                let parent_proc = parent.proc_image(image.core.pid);
+                let mut dirty = PagemapImage::default();
+                let mut pages = PagesImage::default();
+                for (index, &base) in image.pagemap.pages.iter().enumerate() {
+                    let bytes = &image.pages.bytes[index * page..(index + 1) * page];
+                    let same_in_parent = parent_proc.is_some_and(|p| {
+                        p.pagemap
+                            .pages
+                            .binary_search(&base)
+                            .is_ok_and(|i| &p.pages.bytes[i * page..(i + 1) * page] == bytes)
+                    });
+                    if !same_in_parent {
+                        dirty.pages.push(base);
+                        pages.bytes.extend_from_slice(bytes);
+                    }
+                }
+                DeltaProcessImage {
+                    core: image.core.clone(),
+                    mm: image.mm.clone(),
+                    pagemap: image.pagemap.clone(),
+                    dirty,
+                    pages,
+                    files: image.files.clone(),
+                    tcp: image.tcp.clone(),
+                    exec_pages_dumped: image.exec_pages_dumped,
+                }
+            })
+            .collect();
+        DeltaImage {
+            parent: parent_id,
+            procs,
+            time_ns: current.time_ns,
+        }
+    }
+}
+
+/// Applies one delta on top of a materialized parent checkpoint.
+///
+/// Processes absent from the delta are dropped (they exited before the
+/// delta was taken); processes absent from the parent must be fully
+/// dirty.
+///
+/// # Errors
+///
+/// Fails with [`CriuError::BadImage`] if the delta is internally
+/// inconsistent, or [`CriuError::Inconsistent`] if a clean page cannot be
+/// found in the parent.
+pub fn apply_delta(
+    parent: &CheckpointImage,
+    delta: &DeltaImage,
+) -> Result<CheckpointImage, CriuError> {
+    let page = PAGE_SIZE as usize;
+    let mut procs = Vec::with_capacity(delta.procs.len());
+    for d in &delta.procs {
+        if d.pages.bytes.len() != d.dirty.pages.len() * page {
+            return Err(CriuError::BadImage(format!(
+                "delta pages hold {} bytes but {} dirty pages are listed",
+                d.pages.bytes.len(),
+                d.dirty.pages.len()
+            )));
+        }
+        for base in &d.dirty.pages {
+            if d.pagemap.pages.binary_search(base).is_err() {
+                return Err(CriuError::BadImage(format!(
+                    "dirty page {base:#x} is not in the delta pagemap"
+                )));
+            }
+        }
+        let parent_proc = parent.proc_image(d.core.pid);
+        let mut bytes = Vec::with_capacity(d.pagemap.pages.len() * page);
+        for &base in &d.pagemap.pages {
+            if let Ok(index) = d.dirty.pages.binary_search(&base) {
+                bytes.extend_from_slice(&d.pages.bytes[index * page..(index + 1) * page]);
+                continue;
+            }
+            let source = parent_proc.ok_or_else(|| {
+                CriuError::Inconsistent(format!(
+                    "pid {} is new in the delta but page {base:#x} is not dirty",
+                    d.core.pid.0
+                ))
+            })?;
+            let index = source.pagemap.pages.binary_search(&base).map_err(|_| {
+                CriuError::Inconsistent(format!(
+                    "clean page {base:#x} is missing from the parent checkpoint"
+                ))
+            })?;
+            bytes.extend_from_slice(&source.pages.bytes[index * page..(index + 1) * page]);
+        }
+        procs.push(ProcessImage {
+            core: d.core.clone(),
+            mm: d.mm.clone(),
+            pagemap: d.pagemap.clone(),
+            pages: PagesImage { bytes },
+            files: d.files.clone(),
+            tcp: d.tcp.clone(),
+            exec_pages_dumped: d.exec_pages_dumped,
+        });
+    }
+    Ok(CheckpointImage {
+        procs,
+        time_ns: delta.time_ns,
+    })
+}
+
+/// Materializes a delta chain: applies each delta of `deltas`, in order,
+/// on top of `parent`. The result is bit-identical to the full dump that
+/// would have been taken at the last delta's instant.
+///
+/// # Errors
+///
+/// Propagates [`apply_delta`] failures.
+pub fn materialize_chain<'a>(
+    parent: &CheckpointImage,
+    deltas: impl IntoIterator<Item = &'a DeltaImage>,
+) -> Result<CheckpointImage, CriuError> {
+    let mut current = parent.clone();
+    for delta in deltas {
+        current = apply_delta(&current, delta)?;
+    }
+    Ok(current)
+}
+
+/// Dumps processes as a [`DeltaImage`] against `parent`, carrying page
+/// data only for pages the kernel's dirty bitmap flags — plus pages
+/// absent from the parent's pagemap, which have no clean copy to fall
+/// back on (e.g. binary-reconstructed text after a restore).
+///
+/// `parent` must be the checkpoint that established the current clean
+/// baseline (the bitmap was swept when it was stored, via [`pre_dump`]
+/// or [`mark_clean_after_dump`]). Like [`dump`], this does **not** sweep
+/// the bitmap; sweep once the delta is safely stored.
+///
+/// # Errors
+///
+/// Fails if any process is missing or not frozen.
+pub fn dump_incremental(
+    kernel: &mut Kernel,
+    pids: &[Pid],
+    options: DumpOptions,
+    parent_id: CkptId,
+    parent: &CheckpointImage,
+) -> Result<DeltaImage, CriuError> {
+    let page = PAGE_SIZE as usize;
+    let mut procs = Vec::with_capacity(pids.len());
+    let mut time_ns = kernel.clock_ns();
+    for &pid in pids {
+        let dirty_now: BTreeSet<u64> = kernel.process(pid)?.mem.dirty_pages().collect();
+        let full = dump(kernel, pid, options)?;
+        time_ns = kernel.clock_ns();
+        let parent_proc = parent.proc_image(pid);
+        let mut dirty = PagemapImage::default();
+        let mut pages = PagesImage::default();
+        for (index, &base) in full.pagemap.pages.iter().enumerate() {
+            let in_parent = parent_proc
+                .map(|p| p.pagemap.pages.binary_search(&base).is_ok())
+                .unwrap_or(false);
+            if dirty_now.contains(&base) || !in_parent {
+                dirty.pages.push(base);
+                pages
+                    .bytes
+                    .extend_from_slice(&full.pages.bytes[index * page..(index + 1) * page]);
+            }
+        }
+        procs.push(DeltaProcessImage {
+            core: full.core,
+            mm: full.mm,
+            pagemap: full.pagemap,
+            dirty,
+            pages,
+            files: full.files,
+            tcp: full.tcp,
+            exec_pages_dumped: full.exec_pages_dumped,
+        });
+    }
+    Ok(DeltaImage {
+        parent: parent_id,
+        procs,
+        time_ns,
+    })
+}
+
+/// Sweeps the dirty bitmap of each process, establishing the checkpoint
+/// just taken as the clean baseline for future [`dump_incremental`]
+/// calls. Call this only after the dump is safely stored — a dump that
+/// failed (or was discarded) must leave the old baseline intact.
+///
+/// # Errors
+///
+/// Fails if a process does not exist.
+pub fn mark_clean_after_dump(kernel: &mut Kernel, pids: &[Pid]) -> Result<(), CriuError> {
+    for &pid in pids {
+        kernel.process_mut(pid)?.mem.mark_clean();
+    }
+    Ok(())
+}
+
+/// Page contents copied by [`pre_dump`] while the guest was running.
+#[derive(Debug, Clone)]
+pub struct PreDump {
+    snapshots: BTreeMap<Pid, BTreeMap<u64, Vec<u8>>>,
+}
+
+/// How many page bytes [`PreDump::complete`] copied in each phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PreDumpStats {
+    /// Bytes copied inside the freeze window: the dirty residue plus
+    /// pages populated after the pre-copy. This is the term the freeze
+    /// window scales with (registers/sigactions/TCP state are O(1)).
+    pub frozen_page_bytes: usize,
+    /// Bytes served from the pre-copy, i.e. moved while the guest ran.
+    pub prewritten_page_bytes: usize,
+}
+
+impl PreDumpStats {
+    /// Total page payload of the completed dump.
+    pub fn total_page_bytes(&self) -> usize {
+        self.frozen_page_bytes + self.prewritten_page_bytes
+    }
+}
+
+/// Phase one of the two-phase dump: copies every populated page of every
+/// process **without requiring a freeze**, then sweeps the dirty bitmap
+/// so [`PreDump::complete`] can identify the residue written afterwards.
+///
+/// # Errors
+///
+/// Fails if a process does not exist.
+pub fn pre_dump(kernel: &mut Kernel, pids: &[Pid]) -> Result<PreDump, CriuError> {
+    let mut snapshots = BTreeMap::new();
+    for &pid in pids {
+        let mem = &mut kernel.process_mut(pid)?.mem;
+        let pages: BTreeMap<u64, Vec<u8>> = mem
+            .populated_pages()
+            .map(|(base, bytes)| (base, bytes.to_vec()))
+            .collect();
+        mem.mark_clean();
+        snapshots.insert(pid, pages);
+    }
+    Ok(PreDump { snapshots })
+}
+
+impl PreDump {
+    /// Total bytes copied during the pre-dump phase.
+    pub fn page_bytes(&self) -> usize {
+        self.snapshots.values().map(|pages| pages.len() * PAGE_SIZE as usize).sum()
+    }
+
+    /// Phase two: with the processes now frozen, produces a
+    /// [`CheckpointImage`] bit-identical to a plain [`dump_many`] at this
+    /// instant, copying only the dirty residue inside the freeze window.
+    /// Returns the checkpoint plus the phase accounting.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any process is missing or not frozen.
+    pub fn complete(
+        &self,
+        kernel: &mut Kernel,
+        pids: &[Pid],
+        options: DumpOptions,
+    ) -> Result<(CheckpointImage, PreDumpStats), CriuError> {
+        let checkpoint = dump_many(kernel, pids, options)?;
+        let page = PAGE_SIZE as usize;
+        let mut stats = PreDumpStats::default();
+        for image in &checkpoint.procs {
+            let mem = &kernel.process(image.core.pid)?.mem;
+            let snapshot = self.snapshots.get(&image.core.pid);
+            for (index, &base) in image.pagemap.pages.iter().enumerate() {
+                let prewritten = !mem.page_dirty(base)
+                    && snapshot.and_then(|pages| pages.get(&base)).is_some();
+                if prewritten {
+                    // The clean page the freeze-window copy skips must
+                    // match what the pre-dump copied — the invariant the
+                    // dirty bitmap guarantees.
+                    debug_assert_eq!(
+                        snapshot.and_then(|pages| pages.get(&base)).map(|b| &b[..]),
+                        Some(&image.pages.bytes[index * page..(index + 1) * page]),
+                    );
+                    stats.prewritten_page_bytes += page;
+                } else {
+                    stats.frozen_page_bytes += page;
+                }
+            }
+        }
+        Ok((checkpoint, stats))
+    }
+}
+
+/// One entry of a [`CheckpointStore`].
+#[derive(Debug, Clone)]
+pub enum StoredCheckpoint {
+    /// A self-contained checkpoint.
+    Full(CheckpointImage),
+    /// A delta referencing an earlier entry.
+    Delta(DeltaImage),
+}
+
+impl StoredCheckpoint {
+    /// Page payload bytes this entry occupies in the store.
+    pub fn pages_bytes(&self) -> usize {
+        match self {
+            StoredCheckpoint::Full(image) => image.pages_bytes(),
+            StoredCheckpoint::Delta(delta) => delta.pages_bytes(),
+        }
+    }
+}
+
+/// The tmpfs-like checkpoint store, extended to hold delta chains.
+/// Entries get sequential [`CkptId`]s; a delta's parent must already be
+/// stored, so chains always resolve backwards.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointStore {
+    entries: Vec<StoredCheckpoint>,
+}
+
+impl CheckpointStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores a full checkpoint, returning its id.
+    pub fn put_full(&mut self, image: CheckpointImage) -> CkptId {
+        self.entries.push(StoredCheckpoint::Full(image));
+        CkptId(self.entries.len() as u64 - 1)
+    }
+
+    /// Stores a delta, validating that its parent exists.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`CriuError::MissingParent`] if the parent id is not in
+    /// the store.
+    pub fn put_delta(&mut self, delta: DeltaImage) -> Result<CkptId, CriuError> {
+        if delta.parent.0 as usize >= self.entries.len() {
+            return Err(CriuError::MissingParent(delta.parent));
+        }
+        self.entries.push(StoredCheckpoint::Delta(delta));
+        Ok(CkptId(self.entries.len() as u64 - 1))
+    }
+
+    /// Looks up an entry.
+    pub fn get(&self, id: CkptId) -> Option<&StoredCheckpoint> {
+        self.entries.get(id.0 as usize)
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total page payload across all entries — what the store's "tmpfs"
+    /// actually holds, the sum a full-dump-only policy would inflate.
+    pub fn stored_pages_bytes(&self) -> usize {
+        self.entries.iter().map(|entry| entry.pages_bytes()).sum()
+    }
+
+    /// Materializes the checkpoint `id` by walking its delta chain back
+    /// to the nearest full checkpoint and replaying the deltas in order.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`CriuError::MissingParent`] if `id` or any ancestor is
+    /// absent, or propagates [`apply_delta`] failures.
+    pub fn materialize(&self, id: CkptId) -> Result<CheckpointImage, CriuError> {
+        let mut chain: Vec<&DeltaImage> = Vec::new();
+        let mut cursor = id;
+        let base = loop {
+            match self.get(cursor) {
+                None => return Err(CriuError::MissingParent(cursor)),
+                Some(StoredCheckpoint::Full(image)) => break image,
+                Some(StoredCheckpoint::Delta(delta)) => {
+                    chain.push(delta);
+                    cursor = delta.parent;
+                }
+            }
+        };
+        materialize_chain(base, chain.into_iter().rev())
+    }
+}

@@ -20,9 +20,15 @@
 //!   [`ProcessImage::add_vma`], [`ProcessImage::unmap_range`],
 //!   [`ProcessImage::set_sigaction`], …) — the API surface the paper added
 //!   to CRIT "to provide easy-to-use APIs for process transformation",
-//! * a binary codec ([`CheckpointImage::to_bytes`]) so checkpoints can be
-//!   stored on a tmpfs-like in-memory store and their sizes reported
-//!   (Figure 7's "image size" row), and
+//! * a binary codec ([`CheckpointImage::to_bytes`],
+//!   [`DeltaImage::to_bytes`]) so checkpoints can be stored on a
+//!   tmpfs-like in-memory store and their sizes reported (Figure 7's
+//!   "image size" row),
+//! * **incremental checkpointing** ([`dump_incremental`], [`pre_dump`],
+//!   [`CheckpointStore`]) — dirty-page deltas and the two-phase pre-dump
+//!   protocol that shrink the rewrite freeze window; a delta chain
+//!   materializes bit-identically to the full dump taken at the same
+//!   instant, and
 //! * a textual decoder ([`ProcessImage::decode_text`]) mirroring
 //!   `crit decode`.
 
@@ -30,6 +36,7 @@ mod codec;
 mod dump;
 mod edit;
 mod images;
+mod incremental;
 mod restore;
 mod text;
 
@@ -38,7 +45,12 @@ pub use images::{
     CheckpointImage, CoreImage, FdImage, FilesImage, MmImage, ModuleRef, PagemapImage,
     PagesImage, ProcessImage, TcpConnImage, TcpImage, VmaImage,
 };
-pub use restore::{restore, restore_many, ModuleRegistry};
+pub use incremental::{
+    apply_delta, dump_incremental, mark_clean_after_dump, materialize_chain, pre_dump,
+    CheckpointStore, CkptId, DeltaImage, DeltaProcessImage, PreDump, PreDumpStats,
+    StoredCheckpoint,
+};
+pub use restore::{restore, restore_chain, restore_many, ModuleRegistry};
 
 /// Error type shared by dump, restore and editing operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,6 +70,8 @@ pub enum CriuError {
     UnresolvedSymbol(String),
     /// Image editing produced an inconsistent state.
     Inconsistent(String),
+    /// A delta references a checkpoint that is not in the store.
+    MissingParent(CkptId),
 }
 
 impl std::fmt::Display for CriuError {
@@ -72,6 +86,9 @@ impl std::fmt::Display for CriuError {
             CriuError::UnknownModule(name) => write!(f, "module `{name}` not in registry"),
             CriuError::UnresolvedSymbol(name) => write!(f, "cannot resolve symbol `{name}`"),
             CriuError::Inconsistent(reason) => write!(f, "inconsistent image: {reason}"),
+            CriuError::MissingParent(id) => {
+                write!(f, "delta parent {id} is not in the checkpoint store")
+            }
         }
     }
 }
@@ -104,6 +121,7 @@ mod tests {
             CriuError::UnknownModule("libc".into()),
             CriuError::UnresolvedSymbol("f".into()),
             CriuError::Inconsistent("pagemap".into()),
+            CriuError::MissingParent(CkptId(7)),
         ];
         for err in samples {
             assert!(!err.to_string().is_empty());

@@ -202,3 +202,23 @@ pub fn restore_many(
         .map(|image| restore(kernel, image, registry))
         .collect()
 }
+
+/// Restores from an incremental chain: materializes `parent` plus each
+/// delta of `deltas` in order, then restores every process of the result.
+/// The restored state is bit-identical to restoring the full dump the
+/// chain stands in for.
+///
+/// # Errors
+///
+/// Fails if the chain does not apply (see
+/// [`materialize_chain`](crate::materialize_chain)) or any process cannot
+/// be restored.
+pub fn restore_chain<'a>(
+    kernel: &mut Kernel,
+    parent: &CheckpointImage,
+    deltas: impl IntoIterator<Item = &'a crate::DeltaImage>,
+    registry: &ModuleRegistry,
+) -> Result<Vec<Pid>, CriuError> {
+    let materialized = crate::materialize_chain(parent, deltas)?;
+    restore_many(kernel, &materialized, registry)
+}

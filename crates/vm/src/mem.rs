@@ -2,7 +2,7 @@
 
 use crate::{VmError, Vma};
 use dynacut_obj::{Perms, PAGE_SIZE};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// What a guest access wanted to do; decides which permission bit applies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,6 +20,14 @@ pub(crate) enum Access {
 /// distinction is exactly what CRIU's `pagemap` image records, so the
 /// checkpoint layer can reproduce it faithfully.
 ///
+/// The space additionally keeps a **dirty-page bitmap** (the soft-dirty
+/// analogue incremental checkpointing relies on): every write — guest
+/// stores, the loader, restore, rewriter patches — marks the touched
+/// pages dirty, and the checkpoint layer sweeps the bitmap with
+/// [`mark_clean`](AddressSpace::mark_clean) once a dump has established
+/// a new baseline. `dirty_pages() ⊆ populated_pages()` always holds:
+/// unmapping or dropping a page clears its dirty bit too.
+///
 /// ```
 /// use dynacut_vm::{AddressSpace, Perms, PAGE_SIZE};
 ///
@@ -29,6 +37,9 @@ pub(crate) enum Access {
 /// space.write_unchecked(0x1800, b"hello");
 /// assert!(space.page_present(0x1800));
 /// assert!(!space.page_present(0x2000), "second page still lazy");
+/// assert_eq!(space.dirty_pages().collect::<Vec<_>>(), vec![0x1000]);
+/// space.mark_clean();
+/// assert_eq!(space.dirty_page_count(), 0, "swept after a dump");
 /// space.protect(0x2000, PAGE_SIZE, Perms::R)?;
 /// assert_eq!(space.vmas().len(), 2, "mprotect split the VMA");
 /// # Ok(())
@@ -38,6 +49,7 @@ pub(crate) enum Access {
 pub struct AddressSpace {
     vmas: Vec<Vma>,
     pages: BTreeMap<u64, Box<[u8]>>,
+    dirty: BTreeSet<u64>,
 }
 
 impl AddressSpace {
@@ -100,6 +112,7 @@ impl AddressSpace {
             .collect();
         for base in doomed {
             self.pages.remove(&base);
+            self.dirty.remove(&base);
         }
         Ok(())
     }
@@ -272,6 +285,7 @@ impl AddressSpace {
                 .entry(page_base)
                 .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
             page[in_page..in_page + chunk].copy_from_slice(&bytes[done..done + chunk]);
+            self.dirty.insert(page_base);
             done += chunk;
         }
     }
@@ -295,7 +309,35 @@ impl AddressSpace {
     /// again. The mapping itself remains. Used by the rewriter's
     /// wipe-policy analogue of `madvise(MADV_DONTNEED)`.
     pub fn drop_page(&mut self, addr: u64) {
-        self.pages.remove(&(addr & !(PAGE_SIZE - 1)));
+        let base = addr & !(PAGE_SIZE - 1);
+        self.pages.remove(&base);
+        self.dirty.remove(&base);
+    }
+
+    /// Iterates over the bases of pages written since the last
+    /// [`mark_clean`](AddressSpace::mark_clean) sweep, in address order.
+    ///
+    /// Every dirty page is populated (`dirty_pages() ⊆ populated_pages()`):
+    /// unmapping or dropping a page clears its dirty bit.
+    pub fn dirty_pages(&self) -> impl Iterator<Item = u64> + '_ {
+        self.dirty.iter().copied()
+    }
+
+    /// Number of dirty pages.
+    pub fn dirty_page_count(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Whether the page containing `addr` is dirty.
+    pub fn page_dirty(&self, addr: u64) -> bool {
+        self.dirty.contains(&(addr & !(PAGE_SIZE - 1)))
+    }
+
+    /// Clears the dirty bitmap. The checkpoint layer calls this once a
+    /// dump has established a new on-disk baseline, so the next
+    /// incremental dump only carries pages written after this point.
+    pub fn mark_clean(&mut self) {
+        self.dirty.clear();
     }
 }
 
@@ -446,5 +488,71 @@ mod tests {
         let mut buf = [0xFFu8; 4];
         space.read_checked(0x1000, &mut buf).unwrap();
         assert_eq!(buf, [0; 4]);
+    }
+
+    #[test]
+    fn writes_mark_pages_dirty_and_mark_clean_sweeps() {
+        let mut space = space_with(0x1000, 4 * PAGE_SIZE, Perms::RW);
+        assert_eq!(space.dirty_page_count(), 0);
+        // A write straddling a page boundary dirties both pages.
+        space
+            .write_checked(0x2000 - 2, &[1, 2, 3, 4])
+            .unwrap();
+        assert_eq!(space.dirty_pages().collect::<Vec<_>>(), vec![0x1000, 0x2000]);
+        assert!(space.page_dirty(0x1fff));
+        assert!(!space.page_dirty(0x3000));
+        space.mark_clean();
+        assert_eq!(space.dirty_page_count(), 0);
+        assert!(space.page_present(0x1000), "sweep keeps contents");
+        // Rewriting the same bytes re-dirties the page.
+        space.write_unchecked(0x1000, &[7]);
+        assert_eq!(space.dirty_pages().collect::<Vec<_>>(), vec![0x1000]);
+    }
+
+    #[test]
+    fn unmap_and_drop_page_clear_dirty_bits() {
+        let mut space = space_with(0x1000, 3 * PAGE_SIZE, Perms::RW);
+        space.write_unchecked(0x1000, &[1]);
+        space.write_unchecked(0x2000, &[2]);
+        space.write_unchecked(0x3000, &[3]);
+        space.unmap(0x2000, PAGE_SIZE).unwrap();
+        assert_eq!(space.dirty_pages().collect::<Vec<_>>(), vec![0x1000, 0x3000]);
+        space.drop_page(0x3000);
+        assert_eq!(space.dirty_pages().collect::<Vec<_>>(), vec![0x1000]);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// Invariant: the dirty set is always a subset of the populated
+        /// set, across arbitrary interleavings of writes, page drops,
+        /// unmaps, and clean sweeps.
+        #[test]
+        fn dirty_is_subset_of_populated(
+            ops in proptest::collection::vec((0u8..4, 0u64..8), 1..64)
+        ) {
+            use proptest::prelude::*;
+            let mut space = space_with(0x1000, 8 * PAGE_SIZE, Perms::RW);
+            for (op, page) in ops {
+                let addr = 0x1000 + page * PAGE_SIZE;
+                match op {
+                    0 => space.write_unchecked(addr, &[page as u8; 16]),
+                    1 => space.drop_page(addr),
+                    2 => space.mark_clean(),
+                    _ => {
+                        space.unmap(addr, PAGE_SIZE).unwrap();
+                        space.map(addr, PAGE_SIZE, Perms::RW, "test").unwrap();
+                    }
+                }
+                let populated: std::collections::BTreeSet<u64> =
+                    space.populated_pages().map(|(base, _)| base).collect();
+                for base in space.dirty_pages() {
+                    prop_assert!(
+                        populated.contains(&base),
+                        "dirty page {base:#x} not populated"
+                    );
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,243 @@
+//! Offline vendored subset of the `bytes` crate.
+//!
+//! The workspace cannot reach a crates registry, so this crate provides
+//! the small slice of the `bytes` 1.x API the codecs actually use:
+//! [`Bytes`], [`BytesMut`], and the [`Buf`]/[`BufMut`] traits with the
+//! little-endian accessors. Semantics match the upstream crate for this
+//! subset; the zero-copy reference counting is replaced by plain `Vec`
+//! storage, which is irrelevant for correctness.
+
+/// Read-side cursor over an immutable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Splits off and returns the first `at` unread bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `at` bytes remain, as upstream does.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.remaining(), "split_to out of bounds");
+        let out = Bytes {
+            data: self.data[self.pos..self.pos + at].to_vec(),
+            pos: 0,
+        };
+        self.pos += at;
+        out
+    }
+
+    /// The unread bytes as a vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.pos..].to_vec()
+    }
+
+    /// Length of the unread portion.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+/// Growable byte buffer used by the encoders.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// The accumulated bytes as a vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+
+    /// Freezes the buffer into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Read access to a byte cursor (subset of `bytes::Buf`).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Reads one byte, advancing the cursor.
+    fn get_u8(&mut self) -> u8;
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16;
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+    /// Reads a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64 {
+        self.get_u64_le() as i64
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let out = self.data[self.pos];
+        self.pos += 1;
+        out
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        let raw: [u8; 2] = self.data[self.pos..self.pos + 2].try_into().unwrap();
+        self.pos += 2;
+        u16::from_le_bytes(raw)
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let raw: [u8; 4] = self.data[self.pos..self.pos + 4].try_into().unwrap();
+        self.pos += 4;
+        u32::from_le_bytes(raw)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let raw: [u8; 8] = self.data[self.pos..self.pos + 8].try_into().unwrap();
+        self.pos += 8;
+        u64::from_le_bytes(raw)
+    }
+}
+
+/// Write access to a growable buffer (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+    /// Appends one byte.
+    fn put_u8(&mut self, value: u8);
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, value: u16);
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, value: u32);
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, value: u64);
+    /// Appends a little-endian `i64`.
+    fn put_i64_le(&mut self, value: i64) {
+        self.put_u64_le(value as u64);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    fn put_u8(&mut self, value: u8) {
+        self.data.push(value);
+    }
+
+    fn put_u16_le(&mut self, value: u16) {
+        self.data.extend_from_slice(&value.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, value: u32) {
+        self.data.extend_from_slice(&value.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, value: u64) {
+        self.data.extend_from_slice(&value.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(0xAB);
+        buf.put_u16_le(0x1234);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(0x0123_4567_89AB_CDEF);
+        buf.put_slice(b"tail");
+        let mut bytes = buf.freeze();
+        assert_eq!(bytes.remaining(), 1 + 2 + 4 + 8 + 4);
+        assert_eq!(bytes.get_u8(), 0xAB);
+        assert_eq!(bytes.get_u16_le(), 0x1234);
+        assert_eq!(bytes.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(bytes.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(bytes.split_to(4).to_vec(), b"tail");
+        assert!(bytes.is_empty());
+    }
+
+    #[test]
+    fn split_to_advances_cursor() {
+        let mut bytes = Bytes::copy_from_slice(b"abcdef");
+        let head = bytes.split_to(2);
+        assert_eq!(&head[..], b"ab");
+        assert_eq!(&bytes[..], b"cdef");
+        assert_eq!(bytes.to_vec(), b"cdef");
+    }
+}

@@ -1,0 +1,201 @@
+//! Offline vendored subset of the `criterion` crate.
+//!
+//! Provides the API surface the bench targets use — benchmark groups,
+//! `iter`/`iter_batched`, `BatchSize`, `BenchmarkId` and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple
+//! fixed-iteration timing loop instead of criterion's statistical
+//! engine. Results print as `group/name: mean <duration> (N iters)`.
+
+use std::time::{Duration, Instant};
+
+/// How batched setup output is sized; accepted for API compatibility
+/// (every batch runs one routine invocation here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// One setup per routine invocation.
+    PerIteration,
+    /// Small batches.
+    SmallInput,
+    /// Large batches.
+    LargeInput,
+}
+
+/// Identifier for a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from a parameter value.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// A function-plus-parameter id.
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<I: std::fmt::Display, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iterations: self.sample_size as u64,
+            elapsed: Duration::ZERO,
+            performed: 0,
+        };
+        f(&mut bencher);
+        bencher.report(&self.name, &id.to_string());
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            iterations: self.sample_size as u64,
+            elapsed: Duration::ZERO,
+            performed: 0,
+        };
+        f(&mut bencher, input);
+        bencher.report(&self.name, &id.to_string());
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+    performed: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.performed += self.iterations;
+    }
+
+    /// Times `routine` with a fresh un-timed `setup` product per call.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+        self.performed += self.iterations;
+    }
+
+    fn report(&self, group: &str, name: &str) {
+        if self.performed == 0 {
+            println!("{group}/{name}: no iterations recorded");
+            return;
+        }
+        let mean = self.elapsed / self.performed as u32;
+        println!("{group}/{name}: mean {mean:?} ({} iters)", self.performed);
+    }
+}
+
+/// Declares a benchmark group function, as upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_benchers_run_the_closures() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(3);
+        let mut plain = 0u64;
+        let mut batched = 0u64;
+        group.bench_function("plain", |b| b.iter(|| plain += 1));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &seven| {
+            b.iter_batched(|| seven, |v| batched += v, BatchSize::PerIteration)
+        });
+        group.finish();
+        assert_eq!(plain, 3);
+        assert_eq!(batched, 21);
+    }
+}

@@ -1,0 +1,315 @@
+//! The [`Strategy`] trait and the built-in strategies.
+
+use crate::TestRng;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+/// A recipe for generating values of one type (subset of
+/// `proptest::strategy::Strategy`; no shrinking).
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `map`.
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, map }
+    }
+
+    /// Type-erases the strategy so heterogeneous strategies of one value
+    /// type can be unioned (see [`crate::prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        let source = self;
+        BoxedStrategy(Rc::new(move |rng| source.generate(rng)))
+    }
+}
+
+/// Values with a canonical strategy, reachable through [`any`].
+pub trait Arbitrary {
+    /// Draws one canonical value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T` (full value range for integers).
+pub fn any<T: Arbitrary + Debug>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary + Debug> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_ints {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.source.generate(rng))
+    }
+}
+
+/// A type-erased strategy (see [`Strategy::boxed`]).
+#[derive(Clone)]
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Uniform choice between type-erased alternatives (the `prop_oneof!`
+/// backing type).
+#[derive(Debug, Clone)]
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over `options` (must be non-empty).
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! of zero strategies");
+        Union { options }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let pick = rng.below(self.options.len() as u64) as usize;
+        self.options[pick].generate(rng)
+    }
+}
+
+macro_rules! range_strategies {
+    ($($ty:ty),*) => {$(
+        impl Strategy for std::ops::Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128 as u64;
+                (self.start as i128 + rng.below(span) as i128) as $ty
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $ty;
+                }
+                (start as i128 + rng.below(span + 1) as i128) as $ty
+            }
+        }
+    )*};
+}
+
+range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident . $index:tt),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$index.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+    (A.0, B.1, C.2, D.3, E.4, F.5);
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8);
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9);
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10);
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10, L.11);
+}
+
+/// One parsed element of a character-class string pattern.
+#[derive(Debug, Clone)]
+enum PatternPiece {
+    /// A `[lo-hi]` class (or single literal char) with repeat bounds.
+    Class { lo: u8, hi: u8, min: u32, max: u32 },
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatternPiece> {
+    let bytes = pattern.as_bytes();
+    let mut pieces = Vec::new();
+    let mut cursor = 0usize;
+    while cursor < bytes.len() {
+        let (lo, hi) = if bytes[cursor] == b'[' {
+            let close = pattern[cursor..]
+                .find(']')
+                .map(|i| cursor + i)
+                .unwrap_or_else(|| panic!("unclosed class in pattern {pattern:?}"));
+            let class = &bytes[cursor + 1..close];
+            cursor = close + 1;
+            match class {
+                [lo, b'-', hi] => (*lo, *hi),
+                [single] => (*single, *single),
+                _ => panic!("unsupported character class in pattern {pattern:?}"),
+            }
+        } else {
+            let ch = bytes[cursor];
+            cursor += 1;
+            (ch, ch)
+        };
+        let (min, max) = if cursor < bytes.len() && bytes[cursor] == b'{' {
+            let close = pattern[cursor..]
+                .find('}')
+                .map(|i| cursor + i)
+                .unwrap_or_else(|| panic!("unclosed repeat in pattern {pattern:?}"));
+            let body = &pattern[cursor + 1..close];
+            cursor = close + 1;
+            match body.split_once(',') {
+                Some((min, max)) => (
+                    min.trim().parse().expect("repeat min"),
+                    max.trim().parse().expect("repeat max"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("repeat count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(lo <= hi && min <= max, "degenerate pattern {pattern:?}");
+        pieces.push(PatternPiece::Class { lo, hi, min, max });
+    }
+    pieces
+}
+
+/// String patterns double as strategies, as in upstream proptest. Only
+/// the simple character-class shape the test suites use is supported,
+/// e.g. `"[a-z]{1,12}"`.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse_pattern(self) {
+            let PatternPiece::Class { lo, hi, min, max } = piece;
+            let count = min + rng.below(u64::from(max - min) + 1) as u32;
+            for _ in 0..count {
+                out.push((lo + rng.below(u64::from(hi - lo) + 1) as u8) as char);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_draws_every_option() {
+        let union = Union::new(vec![Just(1u8).boxed(), Just(2u8).boxed(), Just(3u8).boxed()]);
+        let mut rng = TestRng::seed_from_u64(5);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..64 {
+            seen.insert(union.generate(&mut rng));
+        }
+        assert_eq!(seen.into_iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn signed_ranges_cover_negative_spans() {
+        let mut rng = TestRng::seed_from_u64(6);
+        for _ in 0..256 {
+            let v = (-100i32..-50).generate(&mut rng);
+            assert!((-100..-50).contains(&v));
+        }
+    }
+
+    #[test]
+    fn full_inclusive_range_does_not_overflow() {
+        let mut rng = TestRng::seed_from_u64(7);
+        let _ = (0u64..=u64::MAX).generate(&mut rng);
+        let v = (1u8..=255).generate(&mut rng);
+        assert!(v >= 1);
+    }
+
+    #[test]
+    fn pattern_with_fixed_repeat_and_literals() {
+        let mut rng = TestRng::seed_from_u64(8);
+        let s = "x[0-9]{3}".generate(&mut rng);
+        assert_eq!(s.len(), 4);
+        assert!(s.starts_with('x'));
+        assert!(s[1..].bytes().all(|b| b.is_ascii_digit()));
+    }
+}

@@ -1,0 +1,201 @@
+//! Case running, configuration, and the user-facing macros.
+
+/// Per-suite configuration (subset of upstream's `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered the inputs; the case is retried.
+    Reject(String),
+    /// A `prop_assert*!` failed; the test fails.
+    Fail(String),
+}
+
+/// Deterministic seed for one `(test, attempt)` pair.
+pub fn case_seed(test_name: &str, attempt: u32) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::hash::DefaultHasher::new();
+    test_name.hash(&mut hasher);
+    attempt.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Defines property tests. Mirrors upstream `proptest!`: an optional
+/// `#![proptest_config(..)]` header followed by `#[test]` functions
+/// whose arguments are drawn from strategies via `name in strategy`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal per-item expansion of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($param:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let __test_name = concat!(module_path!(), "::", stringify!($name));
+            let mut __accepted: u32 = 0;
+            let mut __attempt: u32 = 0;
+            while __accepted < __config.cases {
+                assert!(
+                    __attempt < __config.cases.saturating_mul(64).saturating_add(1024),
+                    "proptest: too many prop_assume! rejections in {}",
+                    __test_name,
+                );
+                let mut __rng = $crate::TestRng::seed_from_u64(
+                    $crate::test_runner::case_seed(__test_name, __attempt),
+                );
+                __attempt += 1;
+                let mut __inputs: ::std::vec::Vec<::std::string::String> =
+                    ::std::vec::Vec::new();
+                $(
+                    let $param = {
+                        let __value =
+                            $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                        __inputs.push(format!(
+                            "{} = {:?}",
+                            stringify!($param).trim_start_matches("mut "),
+                            &__value
+                        ));
+                        __value
+                    };
+                )+
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match __result {
+                    ::std::result::Result::Ok(()) => __accepted += 1,
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    ) => {}
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(__message),
+                    ) => {
+                        panic!(
+                            "proptest: minimal failing input (no shrinking) for {}:\n  {}\n{}",
+                            __test_name,
+                            __inputs.join("\n  "),
+                            __message,
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts inside a property test body; on failure the case fails with
+/// the generated inputs reported.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion for property test bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__left, __right) => {
+                $crate::prop_assert!(
+                    *__left == *__right,
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), __left, __right,
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__left, __right) => {
+                $crate::prop_assert!(
+                    *__left == *__right,
+                    "{}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)+), __left, __right,
+                );
+            }
+        }
+    };
+}
+
+/// Inequality assertion for property test bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__left, __right) => {
+                $crate::prop_assert!(
+                    *__left != *__right,
+                    "assertion failed: {} != {}\n  both: {:?}",
+                    stringify!($left), stringify!($right), __left,
+                );
+            }
+        }
+    };
+}
+
+/// Filters the generated inputs: a failing assumption rejects the case
+/// without failing the test.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
