@@ -7,3 +7,11 @@ cd "$(dirname "$0")"
 cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Transactional-customize error paths: the fault-injection hooks only
+# exist behind the feature gate, so the rollback suites need their own run.
+cargo test -q -p dynacut-vm -p dynacut-criu -p dynacut --features fault-injection
+cargo clippy -p dynacut-vm -p dynacut-criu -p dynacut --features fault-injection --all-targets -- -D warnings
+
+# API docs must build warning-free.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet

@@ -25,6 +25,26 @@ pub enum DynacutError {
     /// The plan is contradictory (e.g. the same block disabled and
     /// enabled).
     BadPlan(String),
+    /// `allow_syscalls` names a syscall number the per-process filter
+    /// bitmask cannot represent (≥ [`dynacut_vm::SYSCALL_FILTER_BITS`]).
+    SyscallOutOfRange(u64),
+    /// An armed test fault fired at this phase of the customize cycle
+    /// (see [`dynacut_vm::fault`]); only possible under the
+    /// `fault-injection` feature.
+    FaultInjected(dynacut_vm::fault::FaultPhase),
+}
+
+impl DynacutError {
+    /// The phase an armed test fault fired at, if this error came from
+    /// one — whether it fired in this crate or inside the checkpoint
+    /// layer. `None` for real errors.
+    pub fn injected_phase(&self) -> Option<dynacut_vm::fault::FaultPhase> {
+        match self {
+            DynacutError::FaultInjected(phase) => Some(*phase),
+            DynacutError::Criu(dynacut_criu::CriuError::FaultInjected(phase)) => Some(*phase),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for DynacutError {
@@ -40,6 +60,14 @@ impl fmt::Display for DynacutError {
             }
             DynacutError::Handler(err) => write!(f, "fault-handler build error: {err}"),
             DynacutError::BadPlan(reason) => write!(f, "bad rewrite plan: {reason}"),
+            DynacutError::SyscallOutOfRange(sysno) => write!(
+                f,
+                "syscall number {sysno} cannot be allowed: the filter bitmask holds {} bits",
+                dynacut_vm::SYSCALL_FILTER_BITS
+            ),
+            DynacutError::FaultInjected(phase) => {
+                write!(f, "injected fault fired at phase `{phase}`")
+            }
         }
     }
 }

@@ -60,6 +60,23 @@ impl Default for Downtime {
     }
 }
 
+impl Downtime {
+    /// Nanoseconds to charge to the guest clock for a customization whose
+    /// host-side phases took `measured`. Saturates instead of overflowing:
+    /// a pathological measurement (or scale factor) charges `u64::MAX`
+    /// rather than wrapping around to a tiny — or negative-looking —
+    /// downtime.
+    pub fn charge_ns(&self, measured: std::time::Duration) -> u64 {
+        match self {
+            Downtime::Fixed(ns) => *ns,
+            Downtime::MeasuredTimes(scale) => u64::try_from(measured.as_nanos())
+                .unwrap_or(u64::MAX)
+                .saturating_mul(*scale),
+            Downtime::None => 0,
+        }
+    }
+}
+
 /// Everything one `DynaCut` invocation should do to the target process.
 ///
 /// ```
@@ -88,12 +105,14 @@ pub struct RewritePlan {
     pub fault_policy: FaultPolicy,
     /// Guest-visible downtime accounting.
     pub downtime: Downtime,
-    /// If set, restrict the process to exactly these syscalls (plus
-    /// `sigreturn`, which signal delivery requires) — dynamic seccomp
-    /// filtering via process rewriting (paper §5, after Ghavamnia et
-    /// al.'s temporal syscall specialization). A blocked call kills the
-    /// process with `SIGSYS`.
-    pub allow_syscalls: Option<Vec<dynacut_vm::Sysno>>,
+    /// If set, restrict the process to exactly these raw syscall numbers
+    /// (plus `sigreturn`, which signal delivery requires) — dynamic
+    /// seccomp filtering via process rewriting (paper §5, after
+    /// Ghavamnia et al.'s temporal syscall specialization). A blocked
+    /// call kills the process with `SIGSYS`. Numbers must be below
+    /// [`dynacut_vm::SYSCALL_FILTER_BITS`];
+    /// [`validate`](RewritePlan::validate) rejects the plan otherwise.
+    pub allow_syscalls: Option<Vec<u64>>,
 }
 
 impl RewritePlan {
@@ -141,6 +160,16 @@ impl RewritePlan {
     /// Restricts the process to the given syscalls after the rewrite
     /// (`sigreturn` is always added — signal delivery depends on it).
     pub fn restrict_syscalls(mut self, allowed: &[dynacut_vm::Sysno]) -> Self {
+        self.allow_syscalls = Some(allowed.iter().map(|sysno| *sysno as u64).collect());
+        self
+    }
+
+    /// Like [`restrict_syscalls`](RewritePlan::restrict_syscalls) but
+    /// takes raw syscall numbers, e.g. from an external seccomp profile.
+    /// Out-of-range numbers are rejected by
+    /// [`validate`](RewritePlan::validate), not here, so a bad profile
+    /// surfaces as a typed error instead of a shift overflow.
+    pub fn restrict_syscalls_raw(mut self, allowed: &[u64]) -> Self {
         self.allow_syscalls = Some(allowed.to_vec());
         self
     }
@@ -149,8 +178,17 @@ impl RewritePlan {
     ///
     /// # Errors
     ///
-    /// Fails if a block appears both in a disabled and an enabled feature.
+    /// Fails if a block appears both in a disabled and an enabled
+    /// feature, or if `allow_syscalls` names a syscall number the filter
+    /// bitmask cannot represent.
     pub fn validate(&self) -> Result<(), crate::DynacutError> {
+        if let Some(allowed) = &self.allow_syscalls {
+            for &sysno in allowed {
+                if sysno >= u64::from(dynacut_vm::SYSCALL_FILTER_BITS) {
+                    return Err(crate::DynacutError::SyscallOutOfRange(sysno));
+                }
+            }
+        }
         for disabled in &self.disable {
             for enabled in &self.enable {
                 if disabled.module != enabled.module {
@@ -197,5 +235,51 @@ mod tests {
             .disable(Feature::new("a", "app", vec![BasicBlock::new(0x10, 4)]))
             .enable(Feature::new("b", "app", vec![BasicBlock::new(0x20, 4)]));
         assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    fn out_of_range_syscall_is_rejected_with_typed_error() {
+        let bits = u64::from(dynacut_vm::SYSCALL_FILTER_BITS);
+        for sysno in [bits, bits + 1, u64::MAX] {
+            let plan = RewritePlan::new().restrict_syscalls_raw(&[0, sysno]);
+            assert_eq!(
+                plan.validate(),
+                Err(crate::DynacutError::SyscallOutOfRange(sysno)),
+                "sysno {sysno} must be rejected"
+            );
+        }
+        let plan = RewritePlan::new().restrict_syscalls_raw(&[0, bits - 1]);
+        assert!(plan.validate().is_ok(), "in-range numbers pass");
+    }
+
+    #[test]
+    fn restrict_syscalls_maps_enum_to_raw_numbers() {
+        use dynacut_vm::Sysno;
+        let plan = RewritePlan::new().restrict_syscalls(&[Sysno::Read, Sysno::Write]);
+        assert_eq!(
+            plan.allow_syscalls,
+            Some(vec![Sysno::Read as u64, Sysno::Write as u64])
+        );
+        assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    fn measured_downtime_saturates_instead_of_overflowing() {
+        use std::time::Duration;
+        let one_sec = Duration::from_secs(1);
+        assert_eq!(Downtime::Fixed(7).charge_ns(one_sec), 7);
+        assert_eq!(Downtime::None.charge_ns(one_sec), 0);
+        assert_eq!(
+            Downtime::MeasuredTimes(3).charge_ns(one_sec),
+            3_000_000_000
+        );
+        // A huge scale factor must clamp, not wrap.
+        assert_eq!(
+            Downtime::MeasuredTimes(u64::MAX).charge_ns(one_sec),
+            u64::MAX
+        );
+        // A measurement wider than u64 nanoseconds clamps too.
+        let huge = Duration::from_secs(u64::MAX);
+        assert_eq!(Downtime::MeasuredTimes(2).charge_ns(huge), u64::MAX);
     }
 }

@@ -2,13 +2,14 @@
 
 use crate::handler::{build_fault_handler, build_verifier_library, VERIFIER_EVENT_BIT};
 use crate::original::OriginalText;
-use crate::plan::{Downtime, FaultPolicy, RewritePlan};
+use crate::plan::{FaultPolicy, RewritePlan};
 use crate::rewrite::{disable_in_image, enable_in_image, remove_blocks_in_image};
 use crate::DynacutError;
 use dynacut_criu::{
-    dump_many, mark_clean_after_dump, pre_dump, restore_many, CheckpointImage, CheckpointStore,
-    CkptId, DeltaImage, DumpOptions, ModuleRegistry,
+    dump_many, mark_clean_after_dump, pre_dump, CheckpointImage, CheckpointStore, CkptId,
+    DeltaImage, DumpOptions, ModuleRegistry, RestoreTransaction,
 };
+use dynacut_vm::fault::{self, FaultPhase};
 use dynacut_vm::{Kernel, Pid, SigAction, Signal};
 use std::time::{Duration, Instant};
 
@@ -67,6 +68,15 @@ pub struct CustomizeReport {
     pub stored_page_bytes: Option<usize>,
     /// Id of the stored checkpoint (incremental mode only).
     pub checkpoint_id: Option<CkptId>,
+}
+
+/// Pre-customization state one `customize` attempt must restore on
+/// failure (DESIGN §5): which pids it froze, the dirty-page bits the
+/// pre-dump swept, and the incremental baseline it displaced.
+struct TxnJournal {
+    frozen: Vec<Pid>,
+    saved_dirty: Vec<(Pid, Vec<u64>)>,
+    last_baseline: Option<(CkptId, CheckpointImage)>,
 }
 
 /// The DynaCut framework handle: a module registry (the "binaries on
@@ -145,11 +155,20 @@ impl DynaCut {
     /// of each phase are measured and reported; guest-visible downtime is
     /// charged to the kernel clock per [`RewritePlan::downtime`].
     ///
+    /// The whole cycle is **transactional** (DESIGN §5): on any error —
+    /// before, during, or after the restore swap — the kernel is rolled
+    /// back to exactly its pre-customization state (processes alive and
+    /// thawed to their prior scheduler states, TCP connections out of
+    /// repair mode, dirty bitmaps and the incremental baseline restored)
+    /// and this session's accumulated state (registry, redirect/verifier
+    /// tables, injection counter) is left untouched, so retrying the same
+    /// plan afterwards behaves as if the failed attempt never happened.
+    ///
     /// # Errors
     ///
     /// Fails on plan validation, missing processes/modules, or
-    /// image-editing errors. On error before restore, the original
-    /// processes are thawed and left untouched.
+    /// image-editing errors. The kernel is always left as described
+    /// above.
     pub fn customize(
         &mut self,
         kernel: &mut Kernel,
@@ -159,26 +178,48 @@ impl DynaCut {
         plan.validate()?;
         let mut report = CustomizeReport::default();
 
+        // Everything this attempt needs to undo on failure. Captured
+        // before the first mutation; consumed by `rollback` (failure) or
+        // dropped (success).
+        let mut journal = TxnJournal {
+            frozen: Vec::new(),
+            saved_dirty: Vec::new(),
+            last_baseline: None,
+        };
+
         // --- checkpoint -------------------------------------------------
         let t_checkpoint = Instant::now();
         // Incremental mode, phase one: copy clean pages while the guest
         // still runs, so the freeze below only has to move the dirty
-        // residue. The pre-dump sweeps the dirty bitmap, so the previous
-        // baseline stops matching it here; a new one is stored after a
-        // successful restore.
-        let mut last_baseline = None;
+        // residue. The pre-dump sweeps the dirty bitmap; snapshot it
+        // first so a failed cycle can restore it (with the bits intact,
+        // the old baseline stays valid across the failure).
         let predump = if self.incremental {
-            let pre = pre_dump(kernel, pids)?;
-            // From the sweep until a new baseline is stored below, the
-            // bitmap matches no stored checkpoint; keep `baseline` empty
-            // across every intermediate error path.
-            last_baseline = self.baseline.take();
+            for &pid in pids {
+                let dirty = kernel.process(pid)?.mem.dirty_pages().collect();
+                journal.saved_dirty.push((pid, dirty));
+            }
+            let pre = match pre_dump(kernel, pids) {
+                Ok(pre) => pre,
+                Err(err) => {
+                    self.rollback(kernel, pids, journal);
+                    return Err(err.into());
+                }
+            };
+            // The bitmap now matches no stored checkpoint until a new
+            // baseline is stored below; the journal holds the old one
+            // for rollback.
+            journal.last_baseline = self.baseline.take();
             Some(pre)
         } else {
             None
         };
         for &pid in pids {
-            kernel.freeze(pid)?;
+            if let Err(err) = kernel.freeze(pid) {
+                self.rollback(kernel, pids, journal);
+                return Err(err.into());
+            }
+            journal.frozen.push(pid);
         }
         let dumped = match &predump {
             Some(pre) => pre
@@ -202,9 +243,7 @@ impl DynaCut {
                 checkpoint
             }
             Err(err) => {
-                for &pid in pids {
-                    let _ = kernel.thaw(pid);
-                }
+                self.rollback(kernel, pids, journal);
                 return Err(err.into());
             }
         };
@@ -216,11 +255,21 @@ impl DynaCut {
         report.timings.checkpoint = t_checkpoint.elapsed();
 
         // --- rewrite ----------------------------------------------------
+        // Session state is mutated on *staged copies* only: the
+        // accumulated redirect/verifier tables, the registry, and the
+        // injection counter all commit together after the restore (and,
+        // in incremental mode, the baseline store) succeed. A failure
+        // anywhere leaves `self` exactly as it was.
         let t_rewrite = Instant::now();
+        let mut staged_redirect_state = self.redirect_state.clone();
+        let mut staged_verify_state = self.verify_state.clone();
         let mut redirects: Vec<Vec<(u64, u64)>> = vec![Vec::new(); checkpoint.procs.len()];
         let mut originals: Vec<Vec<(u64, u8)>> = vec![Vec::new(); checkpoint.procs.len()];
         let result: Result<(), DynacutError> = (|| {
             for (index, image) in checkpoint.procs.iter_mut().enumerate() {
+                if fault::hit(FaultPhase::ImageEdit) {
+                    return Err(DynacutError::FaultInjected(FaultPhase::ImageEdit));
+                }
                 let pid = image.core.pid;
                 let mut original_text = OriginalText::new();
                 for feature in &plan.enable {
@@ -242,10 +291,10 @@ impl DynaCut {
                             .iter()
                             .any(|b| addr >= base + b.addr && addr < base + b.range().end)
                     };
-                    if let Some(state) = self.redirect_state.get_mut(&pid) {
+                    if let Some(state) = staged_redirect_state.get_mut(&pid) {
                         state.retain(|addr, _| !in_feature(*addr));
                     }
-                    if let Some(state) = self.verify_state.get_mut(&pid) {
+                    if let Some(state) = staged_verify_state.get_mut(&pid) {
                         state.retain(|addr, _| !in_feature(*addr));
                     }
                 }
@@ -273,21 +322,26 @@ impl DynaCut {
                 }
                 if let Some(allowed) = &plan.allow_syscalls {
                     let mut mask = 0u64;
-                    for sysno in allowed {
-                        mask |= 1 << (*sysno as u64);
+                    for &sysno in allowed {
+                        // `validate` bounds every number; `checked_shl`
+                        // keeps even a hypothetically unvalidated plan
+                        // from overflowing the shift.
+                        debug_assert!(sysno < u64::from(dynacut_vm::SYSCALL_FILTER_BITS));
+                        mask |= 1u64.checked_shl(sysno as u32).unwrap_or(0);
                     }
                     // Signal delivery always needs sigreturn.
                     mask |= 1 << (dynacut_vm::Sysno::Sigreturn as u64);
                     image.set_syscall_filter(mask);
                 }
-                // Fold this plan's effects into the accumulated state and
-                // emit the union tables for the handler build below.
-                let redirect_acc = self.redirect_state.entry(pid).or_default();
+                // Fold this plan's effects into the staged accumulated
+                // state and emit the union tables for the handler build
+                // below.
+                let redirect_acc = staged_redirect_state.entry(pid).or_default();
                 for (from, to) in redirects[index].drain(..) {
                     redirect_acc.insert(from, to);
                 }
                 redirects[index] = redirect_acc.iter().map(|(&f, &t)| (f, t)).collect();
-                let verify_acc = self.verify_state.entry(pid).or_default();
+                let verify_acc = staged_verify_state.entry(pid).or_default();
                 for (addr, byte) in originals[index].drain(..) {
                     verify_acc.entry(addr).or_insert(byte);
                 }
@@ -296,9 +350,7 @@ impl DynaCut {
             Ok(())
         })();
         if let Err(err) = result {
-            for &pid in pids {
-                let _ = kernel.thaw(pid);
-            }
+            self.rollback(kernel, pids, journal);
             return Err(err);
         }
         report.timings.disable_code = t_rewrite.elapsed();
@@ -306,9 +358,14 @@ impl DynaCut {
         // --- fault handler ----------------------------------------------
         let t_handler = Instant::now();
         // Restore resolves every module named in the images, so built
-        // libraries join the framework registry (later dumps will see
-        // them mapped).
-        if plan.fault_policy != FaultPolicy::Terminate {
+        // libraries join the (staged) framework registry — later dumps
+        // will see them mapped once the cycle commits.
+        let mut staged_registry = self.registry.clone();
+        let mut staged_injections = self.injections;
+        let handler_result: Result<(), DynacutError> = (|| {
+            if plan.fault_policy == FaultPolicy::Terminate {
+                return Ok(());
+            }
             for (index, image) in checkpoint.procs.iter_mut().enumerate() {
                 let mut library = match plan.fault_policy {
                     FaultPolicy::Redirect => build_fault_handler(&redirects[index])?,
@@ -318,15 +375,15 @@ impl DynaCut {
                 // Repeated customizations inject repeatedly: keep module
                 // names unique so the registry and module tables stay
                 // unambiguous.
-                self.injections += 1;
-                library.name = format!("{}@{}", library.name, self.injections);
+                staged_injections += 1;
+                library.name = format!("{}@{}", library.name, staged_injections);
                 // "By default, DynaCut loads the shared library into a
                 // randomized but unused location" (paper §3.2.1). The RNG
                 // is seeded per injection so runs stay reproducible.
                 let base = {
                     use rand::{Rng, SeedableRng};
                     let mut rng = rand::rngs::StdRng::seed_from_u64(
-                        0xD1AC_0DE5 ^ (self.injections << 8) ^ u64::from(image.core.pid.0),
+                        0xD1AC_0DE5 ^ (staged_injections << 8) ^ u64::from(image.core.pid.0),
                     );
                     let window_pages: u64 = 1 << 18; // a 1 GiB placement window
                     let hint = 0x6000_0000_0000u64
@@ -335,8 +392,8 @@ impl DynaCut {
                         .mm
                         .find_free(hint, dynacut_obj::page_align(library.footprint()))
                 };
-                let base = image.inject_library(&library, Some(base), &self.registry)?;
-                self.registry.insert(std::sync::Arc::new(library.clone()));
+                let base = image.inject_library(&library, Some(base), &staged_registry)?;
+                staged_registry.insert(std::sync::Arc::new(library.clone()));
                 let handler = base + library.symbols["dc_handler"].offset;
                 let restorer = base + library.symbols["dc_restorer"].offset;
                 image.set_sigaction(
@@ -349,46 +406,103 @@ impl DynaCut {
                 );
                 report.handler_bases.push((image.core.pid, base));
             }
+            Ok(())
+        })();
+        if let Err(err) = handler_result {
+            self.rollback(kernel, pids, journal);
+            return Err(err);
         }
         report.timings.insert_sighandler = t_handler.elapsed();
 
         // --- restore ----------------------------------------------------
+        // Staged: every replacement process is fully built before the
+        // first original is touched, and the swap itself rolls back on a
+        // mid-commit failure (see `RestoreTransaction`).
         let t_restore = Instant::now();
-        for &pid in pids {
-            kernel.remove_process(pid)?;
-        }
-        restore_many(kernel, &checkpoint, &self.registry)?;
+        let committed = RestoreTransaction::prepare(kernel, &checkpoint, &staged_registry)
+            .and_then(|txn| txn.commit(kernel));
+        let committed = match committed {
+            Ok(committed) => committed,
+            Err(err) => {
+                self.rollback(kernel, pids, journal);
+                return Err(err.into());
+            }
+        };
         report.timings.restore = t_restore.elapsed();
 
         if self.incremental {
             // The restored memory now equals the edited checkpoint on
             // every clean page, so sweep the bitmap and make that image
             // the new baseline — stored as a dirty-page delta when the
-            // chain has a parent.
-            mark_clean_after_dump(kernel, pids)?;
-            let id = match last_baseline.take() {
-                Some((parent_id, parent)) => {
-                    let delta = DeltaImage::diff(parent_id, &parent, &checkpoint);
-                    report.stored_page_bytes = Some(delta.pages_bytes());
-                    self.store.put_delta(delta)?
+            // chain has a parent. A failure here still rolls the whole
+            // cycle back: the committed restore is undone first, putting
+            // the original (frozen) processes back for the journal
+            // rollback to thaw.
+            let stored: Result<CkptId, DynacutError> = (|| {
+                mark_clean_after_dump(kernel, pids)?;
+                if fault::hit(FaultPhase::BaselineStore) {
+                    return Err(DynacutError::FaultInjected(FaultPhase::BaselineStore));
                 }
-                None => {
-                    report.stored_page_bytes = Some(checkpoint.pages_bytes());
-                    self.store.put_full(checkpoint.clone())
+                match &journal.last_baseline {
+                    Some((parent_id, parent)) => {
+                        let delta = DeltaImage::diff(*parent_id, parent, &checkpoint);
+                        report.stored_page_bytes = Some(delta.pages_bytes());
+                        Ok(self.store.put_delta(delta)?)
+                    }
+                    None => {
+                        report.stored_page_bytes = Some(checkpoint.pages_bytes());
+                        Ok(self.store.put_full(checkpoint.clone()))
+                    }
+                }
+            })();
+            let id = match stored {
+                Ok(id) => id,
+                Err(err) => {
+                    committed.undo(kernel);
+                    self.rollback(kernel, pids, journal);
+                    return Err(err);
                 }
             };
             report.checkpoint_id = Some(id);
             self.baseline = Some((id, checkpoint));
         }
 
-        match plan.downtime {
-            Downtime::Fixed(ns) => kernel.advance_clock(ns),
-            Downtime::MeasuredTimes(scale) => {
-                kernel.advance_clock(report.timings.total().as_nanos() as u64 * scale)
-            }
-            Downtime::None => {}
-        }
+        // --- commit -----------------------------------------------------
+        // Everything succeeded: fold the staged session state in and
+        // charge the guest-visible downtime. `journal` is dropped — the
+        // originals it would have resurrected no longer exist.
+        self.redirect_state = staged_redirect_state;
+        self.verify_state = staged_verify_state;
+        self.registry = staged_registry;
+        self.injections = staged_injections;
+        kernel.advance_clock(plan.downtime.charge_ns(report.timings.total()));
         Ok(report)
+    }
+
+    /// Reverts a failed customization to the pre-call kernel state:
+    /// thaws every process this attempt froze (back to its pre-freeze
+    /// scheduler state), takes every connection of the target pids out
+    /// of TCP repair mode, re-marks the dirty pages the pre-dump swept,
+    /// and restores the incremental baseline the attempt displaced.
+    fn rollback(&mut self, kernel: &mut Kernel, pids: &[Pid], journal: TxnJournal) {
+        for &pid in &journal.frozen {
+            let _ = kernel.thaw(pid);
+        }
+        for &pid in pids {
+            if let Ok(ids) = kernel.conn_ids_of(pid) {
+                kernel.unrepair_connections(&ids);
+            }
+        }
+        for (pid, pages) in &journal.saved_dirty {
+            if let Ok(proc) = kernel.process_mut(*pid) {
+                for &base in pages {
+                    proc.mem.mark_dirty(base);
+                }
+            }
+        }
+        if journal.last_baseline.is_some() {
+            self.baseline = journal.last_baseline;
+        }
     }
 
     /// Drains verifier reports from the kernel's event stream: the

@@ -480,11 +480,13 @@ fn downtime_is_charged_to_guest_clock() {
 
 /// Error recovery: a plan referencing an unknown module fails cleanly and
 /// the processes are thawed — the server keeps serving as if nothing
-/// happened.
+/// happened. The rollback is exact: the whole kernel state fingerprint
+/// matches the pre-attempt snapshot (DESIGN §5).
 #[test]
 fn failed_customize_thaws_and_leaves_server_untouched() {
     let mut server = boot_nginx();
     let mut dynacut = DynaCut::new(server.registry.clone());
+    let pristine = server.kernel.state_fingerprint();
     let bogus = Feature::new(
         "ghost",
         "no_such_module",
@@ -506,14 +508,17 @@ fn failed_customize_thaws_and_leaves_server_untouched() {
         .unwrap_err();
     assert!(!format!("{err}").is_empty());
 
-    // Processes are thawed immediately…
+    // The rollback is bit-exact: every process is back in its pre-freeze
+    // scheduler state (not force-thawed to Runnable), memory, dirty
+    // bitmaps and network state are untouched.
+    assert_eq!(server.kernel.state_fingerprint(), pristine);
     for &pid in &server.pids {
-        assert_eq!(
+        assert_ne!(
             server.kernel.process(pid).unwrap().state,
-            dynacut_vm::ProcState::Runnable
+            dynacut_vm::ProcState::Frozen
         );
     }
-    // …and fully functional.
+    // …and the server is fully functional.
     let conn = server.kernel.client_connect(nginx::PORT).unwrap();
     let reply = server
         .kernel

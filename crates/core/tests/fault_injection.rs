@@ -1,0 +1,392 @@
+//! Exhaustive error-path suite for transactional customize (DESIGN §5).
+//!
+//! Every phase of the customize cycle — pre-dump, dump, image edit,
+//! library injection, restore build, restore commit, baseline store and
+//! mark-clean — is failed on demand via [`dynacut_vm::fault`] against
+//! both a single-process guest (Redis) and a multi-process guest (Nginx
+//! master + worker). Each case asserts the transactional contract:
+//!
+//! 1. the failed `customize` returns the injected phase as a typed error,
+//! 2. the kernel is left **bit-identical** to its pre-attempt state
+//!    ([`Kernel::state_fingerprint`] equality: processes alive and
+//!    thawed, memory, TCP, signal and dirty-bitmap state intact),
+//! 3. the established client connection keeps serving, and
+//! 4. retrying the identical plan succeeds and takes effect.
+//!
+//! Only built with `--features fault-injection`; the hooks compile to a
+//! constant `false` otherwise.
+#![cfg(feature = "fault-injection")]
+
+use dynacut::{Downtime, DynaCut, FaultPolicy, Feature, RewritePlan};
+use dynacut_apps::{libc::guest_libc, nginx, redis, EVENT_READY};
+use dynacut_criu::ModuleRegistry;
+use dynacut_vm::fault::{self, FaultPhase};
+use dynacut_vm::{Kernel, LoadSpec, Pid, ProcState};
+use std::sync::Arc;
+
+/// Every injection point in the customize cycle, in execution order.
+const ALL_PHASES: [FaultPhase; 8] = [
+    FaultPhase::PreDump,
+    FaultPhase::Dump,
+    FaultPhase::ImageEdit,
+    FaultPhase::LibraryInjection,
+    FaultPhase::RestoreBuild,
+    FaultPhase::RestoreCommit,
+    FaultPhase::BaselineStore,
+    FaultPhase::MarkClean,
+];
+
+/// Phases whose hook fires once **per process**, so `skip = 1` targets
+/// the second process (the Nginx worker) after the first succeeded.
+const PER_PROCESS_PHASES: [FaultPhase; 5] = [
+    FaultPhase::Dump,
+    FaultPhase::ImageEdit,
+    FaultPhase::LibraryInjection,
+    FaultPhase::RestoreBuild,
+    FaultPhase::RestoreCommit,
+];
+
+struct Server {
+    kernel: Kernel,
+    pids: Vec<Pid>,
+    exe: Arc<dynacut_obj::Image>,
+    registry: ModuleRegistry,
+}
+
+fn boot(
+    image: fn(&dynacut_obj::Image) -> dynacut_obj::Image,
+    config: (&str, Vec<u8>),
+) -> Server {
+    let libc = guest_libc();
+    let exe = image(&libc);
+    let mut kernel = Kernel::new();
+    kernel.add_file(config.0, &config.1);
+    let spec = LoadSpec::with_libs(exe, vec![libc]);
+    let mut registry = ModuleRegistry::new();
+    registry.insert(Arc::clone(&spec.exe));
+    for lib in &spec.libs {
+        registry.insert(Arc::clone(lib));
+    }
+    let exe = Arc::clone(&spec.exe);
+    kernel.spawn(&spec).unwrap();
+    kernel.run_until_event(EVENT_READY, 100_000_000).expect("boot");
+    let pids = kernel.pids();
+    Server {
+        kernel,
+        pids,
+        exe,
+        registry,
+    }
+}
+
+fn boot_nginx() -> Server {
+    boot(nginx::image, (nginx::CONFIG_PATH, nginx::config_file()))
+}
+
+fn boot_redis() -> Server {
+    boot(redis::image, (redis::CONFIG_PATH, redis::config_file()))
+}
+
+/// Disable Nginx's PUT handler with redirect-to-403.
+fn nginx_plan(server: &Server) -> RewritePlan {
+    let put = Feature::from_function("HTTP PUT", &server.exe, "ngx_put_handler")
+        .unwrap()
+        .redirect_to_function(&server.exe, nginx::ERROR_HANDLER)
+        .unwrap();
+    RewritePlan::new()
+        .disable(put)
+        .with_fault_policy(FaultPolicy::Redirect)
+        .with_downtime(Downtime::None)
+}
+
+/// Block Redis's vulnerable SETRANGE command with redirect-to-error.
+fn redis_plan(server: &Server) -> RewritePlan {
+    let setrange = Feature::from_function("SETRANGE", &server.exe, "rd_cmd_setrange")
+        .unwrap()
+        .redirect_to_function(&server.exe, redis::ERROR_HANDLER)
+        .unwrap();
+    RewritePlan::new()
+        .disable(setrange)
+        .with_fault_policy(FaultPolicy::Redirect)
+        .with_downtime(Downtime::None)
+}
+
+/// Drives one armed phase against a live guest and asserts the
+/// transactional contract end to end: typed error, bit-identical
+/// kernel-state rollback, surviving connection, successful retry.
+///
+/// `probe` is a benign request that must answer identically before the
+/// attempt, after the rollback, and after the successful retry; `proof`
+/// is a request whose reply flips once the customization commits.
+#[allow(clippy::too_many_arguments)]
+fn assert_rollback_then_retry(
+    mut server: Server,
+    plan: &RewritePlan,
+    port: u16,
+    probe: (&[u8], &[u8]),
+    proof: (&[u8], &[u8]),
+    phase: FaultPhase,
+    skip: usize,
+) {
+    let ctx = format!("phase {phase}, skip {skip}");
+    let mut dynacut = DynaCut::new(server.registry.clone()).with_incremental();
+    let conn = server.kernel.client_connect(port).unwrap();
+    assert_eq!(
+        server.kernel.client_request(conn, probe.0, 5_000_000).unwrap(),
+        probe.1,
+        "guest serves before the attempt ({ctx})"
+    );
+
+    let pristine = server.kernel.state_fingerprint();
+    fault::arm(phase, skip);
+    let err = dynacut
+        .customize(&mut server.kernel, &server.pids, plan)
+        .expect_err("armed customize must fail");
+    assert_eq!(
+        err.injected_phase(),
+        Some(phase),
+        "error names the injected phase, got `{err}` ({ctx})"
+    );
+    assert_eq!(fault::armed_count(), 0, "the armed fault was consumed ({ctx})");
+
+    // The tentpole invariant: the kernel rolled back to exactly the
+    // pre-customization state — processes alive and thawed, memory, TCP,
+    // sigaction and dirty-bitmap state bit-identical.
+    assert_eq!(
+        server.kernel.state_fingerprint(),
+        pristine,
+        "kernel state must roll back exactly ({ctx})"
+    );
+    for &pid in &server.pids {
+        assert!(server.kernel.exit_status(pid).is_none(), "{pid} alive ({ctx})");
+        assert_ne!(
+            server.kernel.process(pid).unwrap().state,
+            ProcState::Frozen,
+            "{pid} thawed ({ctx})"
+        );
+    }
+
+    // The pre-existing connection survived the aborted attempt (TCP
+    // repair mode was left again) and the feature is still enabled.
+    assert_eq!(
+        server.kernel.client_request(conn, probe.0, 5_000_000).unwrap(),
+        probe.1,
+        "established connection still serves after rollback ({ctx})"
+    );
+
+    // Success implies the whole multi-process restore committed: the
+    // identical plan goes through cleanly on the retry and takes effect.
+    dynacut
+        .customize(&mut server.kernel, &server.pids, plan)
+        .unwrap_or_else(|err| panic!("retry after rollback must succeed ({ctx}): {err}"));
+    assert_eq!(
+        server.kernel.client_request(conn, proof.0, 5_000_000).unwrap(),
+        proof.1,
+        "customization applies on the retry ({ctx})"
+    );
+    assert_eq!(
+        server.kernel.client_request(conn, probe.0, 5_000_000).unwrap(),
+        probe.1,
+        "benign traffic unaffected after the retry ({ctx})"
+    );
+    for &pid in &server.pids {
+        assert!(server.kernel.exit_status(pid).is_none(), "{pid} alive after retry ({ctx})");
+    }
+}
+
+const NGINX_PROBE: (&[u8], &[u8]) = (b"GET /i.html\n", nginx::RESP_200);
+const NGINX_PROOF: (&[u8], &[u8]) = (b"PUT /f data", nginx::RESP_403);
+const REDIS_PROBE: (&[u8], &[u8]) = (b"SET k v\n", b"+OK\n");
+const REDIS_PROOF: (&[u8], &[u8]) = (b"SETRANGE 5000 xyz\n", redis::ERR_BLOCKED);
+
+/// Every injection point against the single-process guest.
+#[test]
+fn every_phase_rolls_back_single_process_redis() {
+    for phase in ALL_PHASES {
+        let server = boot_redis();
+        let plan = redis_plan(&server);
+        assert_rollback_then_retry(
+            server,
+            &plan,
+            redis::PORT,
+            REDIS_PROBE,
+            REDIS_PROOF,
+            phase,
+            0,
+        );
+    }
+}
+
+/// Every injection point against the multi-process guest, failing on the
+/// **first** process (the master).
+#[test]
+fn every_phase_rolls_back_multi_process_nginx() {
+    for phase in ALL_PHASES {
+        let server = boot_nginx();
+        let plan = nginx_plan(&server);
+        assert_rollback_then_retry(
+            server,
+            &plan,
+            nginx::PORT,
+            NGINX_PROBE,
+            NGINX_PROOF,
+            phase,
+            0,
+        );
+    }
+}
+
+/// Per-process phases failing on the **second** process: the master's
+/// copy of the phase already succeeded and must be unwound too.
+#[test]
+fn per_process_phases_roll_back_when_the_worker_fails() {
+    for phase in PER_PROCESS_PHASES {
+        let server = boot_nginx();
+        let plan = nginx_plan(&server);
+        assert_rollback_then_retry(
+            server,
+            &plan,
+            nginx::PORT,
+            NGINX_PROBE,
+            NGINX_PROOF,
+            phase,
+            1,
+        );
+    }
+}
+
+/// Satellite regression: an Nginx **worker** whose restore fails
+/// mid-commit must not take down the master. The master's swap already
+/// committed when the worker's fails, so the transaction has to unwind
+/// the master back to its original process object, thaw everything, and
+/// keep the established connection (and its TCP repair state) serving.
+#[test]
+fn nginx_worker_restore_failure_leaves_master_serving() {
+    let mut server = boot_nginx();
+    assert_eq!(server.pids.len(), 2, "master + worker");
+    let mut dynacut = DynaCut::new(server.registry.clone()).with_incremental();
+    let plan = nginx_plan(&server);
+
+    let conn = server.kernel.client_connect(nginx::PORT).unwrap();
+    assert_eq!(
+        server.kernel.client_request(conn, b"PUT /f data", 5_000_000).unwrap(),
+        nginx::RESP_201,
+        "PUT works before customization"
+    );
+    let pristine = server.kernel.state_fingerprint();
+
+    // Skip the master's commit; fail the worker's.
+    fault::arm(FaultPhase::RestoreCommit, 1);
+    let err = dynacut
+        .customize(&mut server.kernel, &server.pids, &plan)
+        .expect_err("worker's restore commit must fail");
+    assert_eq!(err.injected_phase(), Some(FaultPhase::RestoreCommit));
+
+    assert_eq!(
+        server.kernel.state_fingerprint(),
+        pristine,
+        "master's committed swap was unwound along with everything else"
+    );
+    // The established connection survived and the master still serves
+    // both reads and (still-enabled) writes through it.
+    assert_eq!(
+        server.kernel.client_request(conn, b"GET /i.html\n", 5_000_000).unwrap(),
+        nginx::RESP_200
+    );
+    assert_eq!(
+        server.kernel.client_request(conn, b"PUT /f data", 5_000_000).unwrap(),
+        nginx::RESP_201,
+        "PUT still enabled: the aborted attempt must not half-apply"
+    );
+    // The listening socket was not torn down either.
+    assert!(server.kernel.is_listening(nginx::PORT));
+
+    // And the same plan commits cleanly afterwards.
+    dynacut
+        .customize(&mut server.kernel, &server.pids, &plan)
+        .expect("clean retry succeeds");
+    assert_eq!(
+        server.kernel.client_request(conn, b"PUT /f data", 5_000_000).unwrap(),
+        nginx::RESP_403
+    );
+}
+
+/// A failure on the **second** incremental cycle must restore the
+/// displaced baseline: the store keeps serving deltas against it and a
+/// retry still commits. Covers the `BaselineStore` path where a valid
+/// baseline from cycle one is taken out of `self` before the failure.
+#[test]
+fn second_cycle_failure_restores_the_displaced_baseline() {
+    let mut server = boot_nginx();
+    let mut dynacut = DynaCut::new(server.registry.clone()).with_incremental();
+    let conn = server.kernel.client_connect(nginx::PORT).unwrap();
+
+    // Cycle one: disable PUT. Establishes the incremental baseline.
+    let disable = nginx_plan(&server);
+    dynacut
+        .customize(&mut server.kernel, &server.pids, &disable)
+        .expect("first cycle");
+    assert_eq!(
+        server.kernel.client_request(conn, b"PUT /f data", 5_000_000).unwrap(),
+        nginx::RESP_403
+    );
+
+    // Cycle two re-enables PUT but dies storing the new baseline.
+    let put = Feature::from_function("HTTP PUT", &server.exe, "ngx_put_handler")
+        .unwrap()
+        .redirect_to_function(&server.exe, nginx::ERROR_HANDLER)
+        .unwrap();
+    let enable = RewritePlan::new()
+        .enable(put)
+        .with_fault_policy(FaultPolicy::Redirect)
+        .with_downtime(Downtime::None);
+    let pristine = server.kernel.state_fingerprint();
+    fault::arm(FaultPhase::BaselineStore, 0);
+    let err = dynacut
+        .customize(&mut server.kernel, &server.pids, &enable)
+        .expect_err("baseline store must fail");
+    assert_eq!(err.injected_phase(), Some(FaultPhase::BaselineStore));
+    assert_eq!(
+        server.kernel.state_fingerprint(),
+        pristine,
+        "second cycle rolled back over the first cycle's committed state"
+    );
+    assert_eq!(
+        server.kernel.client_request(conn, b"PUT /f data", 5_000_000).unwrap(),
+        nginx::RESP_403,
+        "cycle one's customization survives the aborted cycle two"
+    );
+
+    // The displaced baseline was put back: cycle two retries cleanly.
+    dynacut
+        .customize(&mut server.kernel, &server.pids, &enable)
+        .expect("retry of cycle two");
+    assert_eq!(
+        server.kernel.client_request(conn, b"PUT /f data", 5_000_000).unwrap(),
+        nginx::RESP_201,
+        "PUT re-enabled by the retried cycle"
+    );
+}
+
+/// An armed fault whose phase is never reached stays armed (and is
+/// cleaned up with `disarm_all`) — the non-incremental cycle never
+/// pre-dumps, so the customize goes through untouched.
+#[test]
+fn unreached_phase_leaves_customize_untouched() {
+    let mut server = boot_nginx();
+    // No `.with_incremental()`: PreDump/BaselineStore/MarkClean never run.
+    let mut dynacut = DynaCut::new(server.registry.clone());
+    let plan = nginx_plan(&server);
+    fault::arm(FaultPhase::PreDump, 0);
+    dynacut
+        .customize(&mut server.kernel, &server.pids, &plan)
+        .expect("non-incremental customize never hits the pre-dump hook");
+    assert_eq!(fault::armed_count(), 1, "fault still armed");
+    fault::disarm_all();
+    assert_eq!(fault::armed_count(), 0);
+    let conn = server.kernel.client_connect(nginx::PORT).unwrap();
+    assert_eq!(
+        server.kernel.client_request(conn, b"PUT /f data", 5_000_000).unwrap(),
+        nginx::RESP_403
+    );
+}

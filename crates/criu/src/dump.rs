@@ -43,6 +43,9 @@ impl DumpOptions {
 ///
 /// Fails if the process does not exist or is not frozen.
 pub fn dump(kernel: &mut Kernel, pid: Pid, options: DumpOptions) -> Result<ProcessImage, CriuError> {
+    if dynacut_vm::fault::hit(dynacut_vm::fault::FaultPhase::Dump) {
+        return Err(CriuError::FaultInjected(dynacut_vm::fault::FaultPhase::Dump));
+    }
     {
         let proc = kernel.process(pid)?;
         if proc.state != ProcState::Frozen {

@@ -191,6 +191,11 @@ impl ProcessImage {
         base: Option<u64>,
         registry: &crate::ModuleRegistry,
     ) -> Result<u64, CriuError> {
+        if dynacut_vm::fault::hit(dynacut_vm::fault::FaultPhase::LibraryInjection) {
+            return Err(CriuError::FaultInjected(
+                dynacut_vm::fault::FaultPhase::LibraryInjection,
+            ));
+        }
         // Resolve import symbols against the mapped modules.
         let mut globals: BTreeMap<String, u64> = BTreeMap::new();
         for module_ref in &self.core.modules {

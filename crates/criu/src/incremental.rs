@@ -295,6 +295,11 @@ pub fn dump_incremental(
 ///
 /// Fails if a process does not exist.
 pub fn mark_clean_after_dump(kernel: &mut Kernel, pids: &[Pid]) -> Result<(), CriuError> {
+    if dynacut_vm::fault::hit(dynacut_vm::fault::FaultPhase::MarkClean) {
+        return Err(CriuError::FaultInjected(
+            dynacut_vm::fault::FaultPhase::MarkClean,
+        ));
+    }
     for &pid in pids {
         kernel.process_mut(pid)?.mem.mark_clean();
     }
@@ -333,6 +338,11 @@ impl PreDumpStats {
 ///
 /// Fails if a process does not exist.
 pub fn pre_dump(kernel: &mut Kernel, pids: &[Pid]) -> Result<PreDump, CriuError> {
+    if dynacut_vm::fault::hit(dynacut_vm::fault::FaultPhase::PreDump) {
+        return Err(CriuError::FaultInjected(
+            dynacut_vm::fault::FaultPhase::PreDump,
+        ));
+    }
     let mut snapshots = BTreeMap::new();
     for &pid in pids {
         let mem = &mut kernel.process_mut(pid)?.mem;

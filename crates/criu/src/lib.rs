@@ -50,7 +50,10 @@ pub use incremental::{
     CheckpointStore, CkptId, DeltaImage, DeltaProcessImage, PreDump, PreDumpStats,
     StoredCheckpoint,
 };
-pub use restore::{restore, restore_chain, restore_many, ModuleRegistry};
+pub use restore::{
+    build_process, restore, restore_chain, restore_many, CommittedRestore, ModuleRegistry,
+    RestoreTransaction, StagedProcess,
+};
 
 /// Error type shared by dump, restore and editing operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,6 +75,10 @@ pub enum CriuError {
     Inconsistent(String),
     /// A delta references a checkpoint that is not in the store.
     MissingParent(CkptId),
+    /// An armed test fault fired at this phase (see
+    /// [`dynacut_vm::fault`]); only possible under the `fault-injection`
+    /// feature.
+    FaultInjected(dynacut_vm::fault::FaultPhase),
 }
 
 impl std::fmt::Display for CriuError {
@@ -88,6 +95,9 @@ impl std::fmt::Display for CriuError {
             CriuError::Inconsistent(reason) => write!(f, "inconsistent image: {reason}"),
             CriuError::MissingParent(id) => {
                 write!(f, "delta parent {id} is not in the checkpoint store")
+            }
+            CriuError::FaultInjected(phase) => {
+                write!(f, "injected fault fired at phase `{phase}`")
             }
         }
     }

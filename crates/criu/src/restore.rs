@@ -42,8 +42,29 @@ impl ModuleRegistry {
     }
 }
 
-/// Restores a process from its image set into the kernel under its
-/// original pid.
+/// A fully-built restored process that has not touched the kernel yet.
+///
+/// [`build_process`] produces these; [`RestoreTransaction::commit`] swaps
+/// them in. Keeping the build phase kernel-free is what makes the restore
+/// transactional: every expensive, failure-prone step (module lookup,
+/// text materialization, pagemap consistency checks) happens before the
+/// first original process is disturbed.
+#[derive(Debug, Clone)]
+pub struct StagedProcess {
+    /// The process, ready for [`Kernel::insert_process`].
+    pub proc: Process,
+    /// Listening ports its descriptor table references.
+    pub listeners: Vec<u16>,
+    /// Connections its descriptor table references (to leave repair mode
+    /// at commit).
+    pub conns: Vec<dynacut_vm::ConnId>,
+}
+
+/// Builds a restored [`Process`] from its image set **without mutating
+/// the kernel** — the kernel is only consulted read-only for VFS file
+/// contents. The returned [`StagedProcess`] carries the network side
+/// effects (listeners to ensure, connections to unrepair) for the commit
+/// phase to apply.
 ///
 /// Pages recorded in the pagemap are written verbatim (so image edits take
 /// effect). Executable VMAs with **no** dumped pages are reconstructed
@@ -53,13 +74,18 @@ impl ModuleRegistry {
 ///
 /// # Errors
 ///
-/// Fails if the pid is taken, a module is missing from the registry, or
-/// the images are inconsistent.
-pub fn restore(
-    kernel: &mut Kernel,
+/// Fails if a module is missing from the registry or the images are
+/// inconsistent.
+pub fn build_process(
+    kernel: &Kernel,
     image: &ProcessImage,
     registry: &ModuleRegistry,
-) -> Result<Pid, CriuError> {
+) -> Result<StagedProcess, CriuError> {
+    if dynacut_vm::fault::hit(dynacut_vm::fault::FaultPhase::RestoreBuild) {
+        return Err(CriuError::FaultInjected(
+            dynacut_vm::fault::FaultPhase::RestoreBuild,
+        ));
+    }
     let pid = image.core.pid;
     let mut proc = Process::new(pid, &image.core.name);
     proc.parent = image.core.parent;
@@ -152,8 +178,11 @@ pub fn restore(
     proc.insns_retired = image.core.insns_retired;
     proc.syscall_filter = image.core.syscall_filter;
 
-    // 6. Descriptors (listeners re-registered, connections re-attached).
+    // 6. Descriptors. Network side effects (listener registration,
+    //    leaving repair mode) are recorded for the commit phase, not
+    //    applied here.
     let mut fds = FdTable::new();
+    let mut listeners = Vec::new();
     let mut conn_ids = Vec::new();
     for (fd, entry) in &image.files.fds {
         let desc = match entry {
@@ -167,7 +196,7 @@ pub fn restore(
             },
             FdImage::Socket => FileDesc::Socket,
             FdImage::Listener { port } => {
-                kernel.restore_listener(*port);
+                listeners.push(*port);
                 FileDesc::Listener { port: *port }
             }
             FdImage::Conn { id } => {
@@ -179,28 +208,199 @@ pub fn restore(
     }
     proc.fds = fds;
 
-    // 7. Leave TCP repair mode.
-    kernel.unrepair_connections(&conn_ids);
-
-    kernel.insert_process(proc)?;
-    Ok(pid)
+    Ok(StagedProcess {
+        proc,
+        listeners,
+        conns: conn_ids,
+    })
 }
 
-/// Restores every process of a checkpoint.
+/// A multi-process restore staged as a transaction: `prepare` builds
+/// every process without touching the kernel, `commit` swaps them in
+/// all-or-nothing.
+///
+/// This is the fix for the classic restore hazard — removing the
+/// original processes first and only then discovering that one of the
+/// replacement images cannot be restored, leaving the application dead.
+/// With the transaction, any failure during
+/// [`prepare`](RestoreTransaction::prepare) leaves the kernel untouched, and any
+/// failure during [`commit`](RestoreTransaction::commit) rolls back the
+/// processes already swapped, restoring the originals bit-identically.
+#[derive(Debug)]
+pub struct RestoreTransaction {
+    staged: Vec<StagedProcess>,
+}
+
+/// Receipt for a committed [`RestoreTransaction`], holding everything
+/// needed to reverse it if a *later* step of the caller's own
+/// transaction (e.g. persisting the checkpoint baseline) fails.
+#[derive(Debug)]
+pub struct CommittedRestore {
+    /// The original processes displaced by the commit, with `None` for
+    /// pids that had no original (a fresh restore, not a swap).
+    originals: Vec<(Pid, Option<Process>)>,
+    /// Pids inserted by the commit.
+    restored: Vec<Pid>,
+    /// Listening ports the commit created (as opposed to ports that were
+    /// already listening).
+    new_listeners: Vec<u16>,
+}
+
+impl CommittedRestore {
+    /// The restored pids, in checkpoint order.
+    pub fn pids(&self) -> &[Pid] {
+        &self.restored
+    }
+
+    /// Reverses the commit: removes the restored processes, re-inserts
+    /// the displaced originals, and closes listeners the commit created.
+    /// Connections are deliberately left established — the rollback path
+    /// re-enters/leaves repair mode as part of its own protocol.
+    pub fn undo(self, kernel: &mut Kernel) {
+        for pid in &self.restored {
+            let _ = kernel.remove_process(*pid);
+        }
+        for (_, original) in self.originals {
+            if let Some(proc) = original {
+                let _ = kernel.insert_process(proc);
+            }
+        }
+        for port in &self.new_listeners {
+            kernel.close_listener(*port);
+        }
+    }
+}
+
+impl RestoreTransaction {
+    /// Builds every process of `checkpoint` without mutating the kernel.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first image that cannot be built; the kernel is
+    /// untouched in that case.
+    pub fn prepare(
+        kernel: &Kernel,
+        checkpoint: &CheckpointImage,
+        registry: &ModuleRegistry,
+    ) -> Result<Self, CriuError> {
+        let staged = checkpoint
+            .procs
+            .iter()
+            .map(|image| build_process(kernel, image, registry))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(RestoreTransaction { staged })
+    }
+
+    /// Pids this transaction will restore, in checkpoint order.
+    pub fn pids(&self) -> Vec<Pid> {
+        self.staged.iter().map(|staged| staged.proc.pid).collect()
+    }
+
+    /// Swaps every staged process in for its original (if any), then
+    /// applies the network side effects: listeners are (re-)registered
+    /// and repaired connections re-established.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a pid slot cannot be swapped; every process swapped so
+    /// far is rolled back first, so the kernel is left exactly as it was
+    /// before the call.
+    pub fn commit(self, kernel: &mut Kernel) -> Result<CommittedRestore, CriuError> {
+        let mut originals: Vec<(Pid, Option<Process>)> = Vec::with_capacity(self.staged.len());
+        let mut restored: Vec<Pid> = Vec::with_capacity(self.staged.len());
+        for staged in &self.staged {
+            let pid = staged.proc.pid;
+            let injected = dynacut_vm::fault::hit(dynacut_vm::fault::FaultPhase::RestoreCommit);
+            let original = kernel.remove_process(pid).ok();
+            let result = if injected {
+                Err(CriuError::FaultInjected(
+                    dynacut_vm::fault::FaultPhase::RestoreCommit,
+                ))
+            } else {
+                kernel.insert_process(staged.proc.clone()).map_err(CriuError::from)
+            };
+            match result {
+                Ok(()) => {
+                    originals.push((pid, original));
+                    restored.push(pid);
+                }
+                Err(err) => {
+                    // Roll back: this process's original, then every
+                    // earlier swap, newest first.
+                    if let Some(proc) = original {
+                        let _ = kernel.insert_process(proc);
+                    }
+                    for (pid, original) in originals.into_iter().rev() {
+                        let _ = kernel.remove_process(pid);
+                        if let Some(proc) = original {
+                            let _ = kernel.insert_process(proc);
+                        }
+                    }
+                    return Err(err);
+                }
+            }
+        }
+
+        // Network side effects only after every process is in place.
+        let mut new_listeners = Vec::new();
+        for staged in &self.staged {
+            for &port in &staged.listeners {
+                if !kernel.is_listening(port) {
+                    new_listeners.push(port);
+                }
+                kernel.restore_listener(port);
+            }
+            kernel.unrepair_connections(&staged.conns);
+        }
+
+        Ok(CommittedRestore {
+            originals,
+            restored,
+            new_listeners,
+        })
+    }
+}
+
+/// Restores a process from its image set into the kernel under its
+/// original pid.
+///
+/// A thin wrapper over [`build_process`] + a single-process commit; see
+/// [`RestoreTransaction`] for the multi-process all-or-nothing variant.
 ///
 /// # Errors
 ///
-/// Fails on the first process that cannot be restored.
+/// Fails if the pid is taken, a module is missing from the registry, or
+/// the images are inconsistent.
+pub fn restore(
+    kernel: &mut Kernel,
+    image: &ProcessImage,
+    registry: &ModuleRegistry,
+) -> Result<Pid, CriuError> {
+    let staged = build_process(kernel, image, registry)?;
+    let pid = staged.proc.pid;
+    kernel.insert_process(staged.proc)?;
+    for port in staged.listeners {
+        kernel.restore_listener(port);
+    }
+    kernel.unrepair_connections(&staged.conns);
+    Ok(pid)
+}
+
+/// Restores every process of a checkpoint, transactionally: either every
+/// process is restored or the kernel is left untouched (see
+/// [`RestoreTransaction`]).
+///
+/// # Errors
+///
+/// Fails if any process cannot be built or committed.
 pub fn restore_many(
     kernel: &mut Kernel,
     checkpoint: &CheckpointImage,
     registry: &ModuleRegistry,
 ) -> Result<Vec<Pid>, CriuError> {
-    checkpoint
-        .procs
-        .iter()
-        .map(|image| restore(kernel, image, registry))
-        .collect()
+    let txn = RestoreTransaction::prepare(kernel, checkpoint, registry)?;
+    let committed = txn.commit(kernel)?;
+    Ok(committed.pids().to_vec())
 }
 
 /// Restores from an incremental chain: materializes `parent` plus each

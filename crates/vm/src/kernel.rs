@@ -156,7 +156,9 @@ impl Kernel {
         self.procs.keys().copied().collect()
     }
 
-    /// Stops scheduling a process (checkpoint freeze).
+    /// Stops scheduling a process (checkpoint freeze), remembering its
+    /// scheduler state so [`thaw`](Kernel::thaw) can restore it exactly.
+    /// Freezing an already-frozen process is a no-op.
     ///
     /// # Errors
     ///
@@ -169,11 +171,18 @@ impl Kernel {
                 expected: "alive",
             });
         }
-        proc.state = ProcState::Frozen;
+        if proc.state != ProcState::Frozen {
+            proc.frozen_from = Some(proc.state);
+            proc.state = ProcState::Frozen;
+        }
         Ok(())
     }
 
-    /// Resumes a frozen process.
+    /// Resumes a frozen process, restoring the scheduler state it had at
+    /// freeze time (a process that was blocked in `read` goes back to
+    /// being blocked, not runnable). This makes a freeze → thaw round
+    /// trip bit-identical — the rollback guarantee of a failed
+    /// customization.
     ///
     /// # Errors
     ///
@@ -186,7 +195,7 @@ impl Kernel {
                 expected: "frozen",
             });
         }
-        proc.state = ProcState::Runnable;
+        proc.state = proc.frozen_from.take().unwrap_or(ProcState::Runnable);
         Ok(())
     }
 
@@ -246,9 +255,9 @@ impl Kernel {
 
     /// Advances the clock without running anyone — used by the DynaCut
     /// harness to account the measured host-side rewrite latency as guest
-    /// downtime (the Figure 8 freeze window).
+    /// downtime (the Figure 8 freeze window). Saturates at `u64::MAX`.
     pub fn advance_clock(&mut self, ns: u64) {
-        self.clock_ns += ns;
+        self.clock_ns = self.clock_ns.saturating_add(ns);
     }
 
     // ----- events -------------------------------------------------------
@@ -387,6 +396,111 @@ impl Kernel {
     /// Ensures a listener exists on `port` (restore of a listening fd).
     pub fn restore_listener(&mut self, port: u16) {
         self.net.listen(port);
+    }
+
+    /// Whether a listener exists on `port`.
+    pub fn is_listening(&self, port: u16) -> bool {
+        self.net.is_listening(port)
+    }
+
+    /// Removes the listener on `port` (rollback of a restore that
+    /// created it). Connections already accepted are unaffected; an
+    /// empty backlog entry is dropped with it.
+    pub fn close_listener(&mut self, port: u16) {
+        self.net.unlisten(port);
+    }
+
+    /// A canonical textual digest of the entire observable kernel state:
+    /// clock, pid allocator, every process (scheduler state and its
+    /// freeze provenance, registers, signal dispositions and queue, fds,
+    /// modules, VMAs, page contents via per-page hashes, dirty bitmap),
+    /// and the network stack (listeners, backlogs, connections with
+    /// buffered bytes).
+    ///
+    /// Equal fingerprints mean behaviourally identical kernels. The
+    /// transactional-customize tests compare the fingerprint taken
+    /// before a fault-injected customization with the one after its
+    /// rollback: DESIGN §5 requires them to match exactly.
+    pub fn state_fingerprint(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "clock={} next_pid={} events={}",
+            self.clock_ns,
+            self.next_pid,
+            self.events.len()
+        );
+        for (pid, proc) in &self.procs {
+            let _ = writeln!(
+                out,
+                "proc {} name={:?} parent={:?} state={:?} frozen_from={:?} exit={:?} fatal={:?}",
+                pid.0,
+                proc.name,
+                proc.parent.map(|parent| parent.0),
+                proc.state,
+                proc.frozen_from,
+                proc.exit_code,
+                proc.fatal_signal
+            );
+            let _ = writeln!(
+                out,
+                "  cpu pc={:#x} flags={:#x} regs={:x?}",
+                proc.cpu.pc,
+                proc.cpu.flags.to_bits(),
+                proc.cpu.regs
+            );
+            let _ = writeln!(
+                out,
+                "  filter={:#x} insns={} sigdepth={} pending={:?} console_hash={:#018x}",
+                proc.syscall_filter,
+                proc.insns_retired,
+                proc.signal_depth,
+                proc.pending_signals,
+                fnv1a(&proc.console)
+            );
+            for (signo, action) in proc.sigactions.iter().enumerate() {
+                if action.handler != 0 || action.restorer != 0 || action.mask != 0 {
+                    let _ = writeln!(
+                        out,
+                        "  sigaction {signo} handler={:#x} restorer={:#x} mask={:#x}",
+                        action.handler, action.restorer, action.mask
+                    );
+                }
+            }
+            for (fd, desc) in proc.fds.iter() {
+                match desc {
+                    FileDesc::File { file, pos } => {
+                        let _ = writeln!(
+                            out,
+                            "  fd {fd} = File {:?} pos={pos} hash={:#018x}",
+                            file.path,
+                            fnv1a(&file.contents)
+                        );
+                    }
+                    other => {
+                        let _ = writeln!(out, "  fd {fd} = {other:?}");
+                    }
+                }
+            }
+            for module in &proc.modules {
+                let _ = writeln!(out, "  module {:?} base={:#x}", module.image.name, module.base);
+            }
+            for vma in proc.mem.vmas() {
+                let _ = writeln!(
+                    out,
+                    "  vma {:#x}-{:#x} {} {:?}",
+                    vma.start, vma.end, vma.perms, vma.name
+                );
+            }
+            for (base, bytes) in proc.mem.populated_pages() {
+                let _ = writeln!(out, "  page {base:#x} hash={:#018x}", fnv1a(bytes));
+            }
+            let dirty: Vec<u64> = proc.mem.dirty_pages().collect();
+            let _ = writeln!(out, "  dirty={dirty:x?}");
+        }
+        self.net.fingerprint(&mut out);
+        out
     }
 
     // ----- running ------------------------------------------------------
@@ -920,4 +1034,18 @@ impl Kernel {
             }
         }
     }
+}
+
+/// FNV-1a over a byte slice — cheap content hashing for
+/// [`Kernel::state_fingerprint`]. Not cryptographic; the fingerprint
+/// compares two states of the *same* deterministic simulation, where a
+/// 64-bit collision between a rolled-back page and its pristine twin is
+/// not a realistic failure mode.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }

@@ -27,6 +27,7 @@
 
 mod cpu;
 mod error;
+pub mod fault;
 mod fs;
 mod hook;
 mod interp;
@@ -47,7 +48,7 @@ pub use kernel::{ClientConn, ExitStatus, Kernel, RunOutcome};
 pub use loader::{LoadSpec, LoadedModule, EXE_BASE, LIB_BASE, STACK_BASE, STACK_SIZE};
 pub use mem::AddressSpace;
 pub use net::{ConnId, TcpConn, TcpState};
-pub use process::{Pid, Process, ProcState};
+pub use process::{Pid, Process, ProcState, SYSCALL_FILTER_BITS};
 pub use signal::{
     SigAction, Signal, SIGFRAME_SIZE, SIG_FRAME_FAULT_ADDR, SIG_FRAME_FLAGS, SIG_FRAME_PC,
     SIG_FRAME_REGS, SIG_FRAME_SIGNO,

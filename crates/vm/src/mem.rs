@@ -339,6 +339,18 @@ impl AddressSpace {
     pub fn mark_clean(&mut self) {
         self.dirty.clear();
     }
+
+    /// Re-marks the page containing `addr` dirty — the rollback inverse
+    /// of [`mark_clean`](AddressSpace::mark_clean), used when a failed
+    /// customization must restore the dirty bitmap a pre-dump already
+    /// swept. A no-op for unpopulated pages, preserving
+    /// `dirty_pages() ⊆ populated_pages()`.
+    pub fn mark_dirty(&mut self, addr: u64) {
+        let base = addr & !(PAGE_SIZE - 1);
+        if self.pages.contains_key(&base) {
+            self.dirty.insert(base);
+        }
+    }
 }
 
 fn access_name(access: Access) -> &'static str {
@@ -507,6 +519,20 @@ mod tests {
         // Rewriting the same bytes re-dirties the page.
         space.write_unchecked(0x1000, &[7]);
         assert_eq!(space.dirty_pages().collect::<Vec<_>>(), vec![0x1000]);
+    }
+
+    #[test]
+    fn mark_dirty_restores_swept_bits_but_skips_unpopulated_pages() {
+        let mut space = space_with(0x1000, 2 * PAGE_SIZE, Perms::RW);
+        space.write_unchecked(0x1000, &[1]);
+        space.mark_clean();
+        space.mark_dirty(0x1008);
+        assert!(space.page_dirty(0x1000), "populated page re-marked");
+        space.mark_dirty(0x2000);
+        assert!(
+            !space.page_dirty(0x2000),
+            "unpopulated page stays clean: dirty ⊆ populated"
+        );
     }
 
     #[test]

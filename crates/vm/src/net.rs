@@ -68,6 +68,33 @@ impl NetStack {
         self.listeners.contains_key(&port)
     }
 
+    /// Removes the listener on `port` (rollback of a restore). Any
+    /// connections already queued in the backlog are dropped with it.
+    pub fn unlisten(&mut self, port: u16) {
+        self.listeners.remove(&port);
+        self.backlog.remove(&port);
+    }
+
+    /// Writes a canonical dump of the whole network state into `out` —
+    /// part of [`Kernel::state_fingerprint`](crate::Kernel::state_fingerprint).
+    pub fn fingerprint(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = writeln!(out, "net next_conn={}", self.next_conn);
+        for port in self.listeners.keys() {
+            let _ = writeln!(out, "listener {port}");
+        }
+        for (port, queue) in &self.backlog {
+            let _ = writeln!(out, "backlog {port}:{queue:?}");
+        }
+        for (id, conn) in &self.conns {
+            let _ = writeln!(
+                out,
+                "conn {} port={} state={:?} to_server={:?} to_client={:?}",
+                id.0, conn.port, conn.state, conn.to_server, conn.to_client
+            );
+        }
+    }
+
     /// Client-side connect: creates a connection and queues it for accept.
     pub fn connect(&mut self, port: u16) -> Option<ConnId> {
         if !self.is_listening(port) {

@@ -8,6 +8,12 @@ use crate::signal::{SigAction, Signal};
 use std::collections::VecDeque;
 use std::fmt;
 
+/// Width of the per-process syscall allow-bitmask: syscall numbers
+/// `0..SYSCALL_FILTER_BITS` are representable; anything at or above is
+/// unconditionally denied (and rejected by plan validation before a
+/// rewrite ever builds a mask).
+pub const SYSCALL_FILTER_BITS: u32 = 64;
+
 /// A process identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Pid(pub u32);
@@ -73,6 +79,11 @@ pub struct Process {
     pub insns_retired: u64,
     /// Depth of nested signal-handler frames currently live.
     pub signal_depth: u32,
+    /// Scheduler state at the moment of the last freeze, so a thaw can
+    /// put the process back exactly where it was (a process blocked in
+    /// `read` stays blocked instead of being forced runnable) — the
+    /// rollback path of a failed customization depends on this.
+    pub frozen_from: Option<ProcState>,
     /// Modules mapped into the process, in load order (libraries first,
     /// executable last).
     pub modules: Vec<LoadedModule>,
@@ -99,14 +110,16 @@ impl Process {
             console: Vec::new(),
             insns_retired: 0,
             signal_depth: 0,
+            frozen_from: None,
             modules: Vec::new(),
             syscall_filter: u64::MAX,
         }
     }
 
-    /// Whether the filter permits the raw syscall number.
+    /// Whether the filter permits the raw syscall number. Numbers at or
+    /// above [`SYSCALL_FILTER_BITS`] are always denied.
     pub fn syscall_allowed(&self, nr: u64) -> bool {
-        nr < 64 && self.syscall_filter & (1 << nr) != 0
+        nr < u64::from(SYSCALL_FILTER_BITS) && self.syscall_filter & (1 << nr) != 0
     }
 
     /// Whether the scheduler may pick this process.
