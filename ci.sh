@@ -13,5 +13,20 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q -p dynacut-vm -p dynacut-criu -p dynacut --features fault-injection
 cargo clippy -p dynacut-vm -p dynacut-criu -p dynacut --features fault-injection --all-targets -- -D warnings
 
+# Trace-pipeline boundary suite and flight-recorder suites: covered by
+# the workspace run above, but named here so a regression in either
+# fails with its own line in the log.
+cargo test -q -p dynacut-trace --test boundaries
+cargo test -q -p dynacut-vm events::
+cargo test -q -p dynacut-bench flight
+cargo clippy -p dynacut-vm -p dynacut-trace -p dynacut-bench --all-targets -- -D warnings
+
+# The machine-readable flight report: `figures flight` regenerates
+# results/flight.json and panics if the document violates the
+# dynacut-flight-v1 schema (keys, phases, durations-sum-to-total).
+cargo run --release -q -p dynacut-bench --bin figures -- flight > /dev/null
+test -s results/flight.json
+grep -q '"schema": "dynacut-flight-v1"' results/flight.json
+
 # API docs must build warning-free.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet

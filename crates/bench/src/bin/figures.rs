@@ -5,11 +5,11 @@
 //! cargo run --release -p dynacut-bench --bin figures -- fig6 fig8
 //! ```
 
-use dynacut_bench::experiments;
+use dynacut_bench::{experiments, flight};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures <fig2|fig4|fig6|fig7|fig8|fig8-incremental|fig9|fig10|table1|plt|ablation|all> [more...]"
+        "usage: figures <fig2|fig4|fig6|fig7|fig8|fig8-incremental|fig9|fig10|table1|plt|ablation|flight|all> [more...]"
     );
     std::process::exit(2);
 }
@@ -33,6 +33,7 @@ fn main() {
             "table1",
             "plt",
             "ablation",
+            "flight",
         ];
     }
     for (index, target) in targets.iter().enumerate() {
@@ -51,6 +52,7 @@ fn main() {
             "table1" => experiments::table1::print(),
             "plt" => experiments::plt::print(),
             "ablation" => experiments::ablation::print(),
+            "flight" => flight::print(),
             other => {
                 eprintln!("unknown target `{other}`");
                 usage();

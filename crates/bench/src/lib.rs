@@ -21,6 +21,7 @@
 //! crate's tests.
 
 pub mod experiments;
+pub mod flight;
 pub mod report;
 pub mod workloads;
 

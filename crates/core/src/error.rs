@@ -32,6 +32,9 @@ pub enum DynacutError {
     /// (see [`dynacut_vm::fault`]); only possible under the
     /// `fault-injection` feature.
     FaultInjected(dynacut_vm::fault::FaultPhase),
+    /// The coverage tracer rejected an operation (e.g. a block offset or
+    /// module count beyond the drcov field widths).
+    Trace(dynacut_trace::TraceError),
 }
 
 impl DynacutError {
@@ -68,6 +71,7 @@ impl fmt::Display for DynacutError {
             DynacutError::FaultInjected(phase) => {
                 write!(f, "injected fault fired at phase `{phase}`")
             }
+            DynacutError::Trace(err) => write!(f, "trace error: {err}"),
         }
     }
 }
@@ -78,6 +82,7 @@ impl Error for DynacutError {
             DynacutError::Criu(err) => Some(err),
             DynacutError::Vm(err) => Some(err),
             DynacutError::Handler(err) => Some(err),
+            DynacutError::Trace(err) => Some(err),
             _ => None,
         }
     }
@@ -98,6 +103,12 @@ impl From<dynacut_vm::VmError> for DynacutError {
 impl From<dynacut_obj::ObjError> for DynacutError {
     fn from(err: dynacut_obj::ObjError) -> Self {
         DynacutError::Handler(err)
+    }
+}
+
+impl From<dynacut_trace::TraceError> for DynacutError {
+    fn from(err: dynacut_trace::TraceError) -> Self {
+        DynacutError::Trace(err)
     }
 }
 

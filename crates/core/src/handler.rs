@@ -13,8 +13,11 @@ use dynacut_obj::{Image, ModuleBuilder, ObjError, ObjectKind};
 use dynacut_vm::{Sysno, SIG_FRAME_FAULT_ADDR, SIG_FRAME_PC};
 
 /// Bit 63 of an `emit_event` code marks a verifier report; the remaining
-/// bits carry the falsely-blocked address.
-pub const VERIFIER_EVENT_BIT: u64 = 1 << 63;
+/// bits carry the falsely-blocked address. Defined in the VM's flight
+/// recorder (the kernel decodes tagged codes into journal events) and
+/// re-exported here so the library builder and its callers share one
+/// definition.
+pub use dynacut_vm::events::VERIFIER_EVENT_BIT;
 
 /// Exit code used when blocked code is reached and no redirect exists.
 const BLOCKED_EXIT_CODE: u64 = 135;

@@ -59,3 +59,7 @@ pub use plan::{BlockPolicy, Downtime, FaultPolicy, RewritePlan};
 pub use profile::Profiler;
 pub use rewrite::{disable_in_image, enable_in_image, remove_blocks_in_image, DisableOutcome};
 pub use session::{CustomizeReport, DynaCut, Timings};
+// The flight-recorder vocabulary [`CustomizeReport::phases`] and the
+// journal assertions speak, re-exported so report consumers need not
+// depend on `dynacut_vm` directly.
+pub use dynacut_vm::{EventKind, FlightEvent, FlightRecorder, Phase, RollbackStep};

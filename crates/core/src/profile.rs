@@ -14,7 +14,7 @@
 use crate::Feature;
 use dynacut_analysis::{feature_blocks, init_only_blocks, CovGraph};
 use dynacut_trace::Tracer;
-use dynacut_vm::{Kernel, Pid, VmError};
+use dynacut_vm::{Kernel, Pid};
 use std::collections::BTreeMap;
 
 /// A phase-oriented coverage profiler wrapping the drcov tracer.
@@ -39,9 +39,11 @@ impl Profiler {
     ///
     /// # Errors
     ///
-    /// Fails if the process does not exist.
-    pub fn track(&self, kernel: &Kernel, pid: Pid) -> Result<(), VmError> {
-        self.tracer.track(kernel, pid)
+    /// Fails if the process does not exist or a module does not fit the
+    /// drcov field widths (see [`dynacut_trace::TraceError`]).
+    pub fn track(&self, kernel: &Kernel, pid: Pid) -> Result<(), crate::DynacutError> {
+        self.tracer.track(kernel, pid)?;
+        Ok(())
     }
 
     /// Ends the current phase: the coverage collected since the previous

@@ -10,7 +10,7 @@ use dynacut_criu::{
     DeltaImage, DumpOptions, ModuleRegistry, RestoreTransaction,
 };
 use dynacut_vm::fault::{self, FaultPhase};
-use dynacut_vm::{Kernel, Pid, SigAction, Signal};
+use dynacut_vm::{EventKind, Kernel, Phase, Pid, RollbackStep, SigAction, Signal};
 use std::time::{Duration, Instant};
 
 /// Wall-clock timing breakdown of one customization, matching the legend
@@ -68,6 +68,34 @@ pub struct CustomizeReport {
     pub stored_page_bytes: Option<usize>,
     /// Id of the stored checkpoint (incremental mode only).
     pub checkpoint_id: Option<CkptId>,
+    /// Fine-grained per-phase durations, in execution order — the same
+    /// phases the flight recorder journals ([`Phase`]). Sums to the
+    /// cycle's wall-clock cost by construction; the coarse [`Timings`]
+    /// buckets above group these into the paper's Figure 6 legend.
+    pub phases: Vec<(Phase, Duration)>,
+}
+
+/// Journals a phase start in the flight recorder and returns the
+/// wall-clock anchor its matching [`end_phase`] measures from. A
+/// `PhaseStart` with no `PhaseEnd` in the journal marks the phase a
+/// failed cycle died in.
+fn start_phase(kernel: &mut Kernel, phase: Phase) -> Instant {
+    kernel.record_flight(None, EventKind::PhaseStart { phase });
+    Instant::now()
+}
+
+/// Journals a successful phase end and appends its duration to the
+/// report's per-phase breakdown.
+fn end_phase(kernel: &mut Kernel, report: &mut CustomizeReport, phase: Phase, started: Instant) {
+    let elapsed = started.elapsed();
+    kernel.record_flight(
+        None,
+        EventKind::PhaseEnd {
+            phase,
+            duration_ns: elapsed.as_nanos() as u64,
+        },
+    );
+    report.phases.push((phase, elapsed));
 }
 
 /// Pre-customization state one `customize` attempt must restore on
@@ -177,6 +205,7 @@ impl DynaCut {
     ) -> Result<CustomizeReport, DynacutError> {
         plan.validate()?;
         let mut report = CustomizeReport::default();
+        kernel.record_flight(None, EventKind::CustomizeBegin { pids: pids.len() });
 
         // Everything this attempt needs to undo on failure. Captured
         // before the first mutation; consumed by `rollback` (failure) or
@@ -195,8 +224,15 @@ impl DynaCut {
         // first so a failed cycle can restore it (with the bits intact,
         // the old baseline stays valid across the failure).
         let predump = if self.incremental {
+            let t_phase = start_phase(kernel, Phase::PreDump);
             for &pid in pids {
-                let dirty = kernel.process(pid)?.mem.dirty_pages().collect();
+                let dirty = match kernel.process(pid) {
+                    Ok(proc) => proc.mem.dirty_pages().collect(),
+                    Err(err) => {
+                        self.rollback(kernel, pids, journal);
+                        return Err(err.into());
+                    }
+                };
                 journal.saved_dirty.push((pid, dirty));
             }
             let pre = match pre_dump(kernel, pids) {
@@ -210,10 +246,12 @@ impl DynaCut {
             // baseline is stored below; the journal holds the old one
             // for rollback.
             journal.last_baseline = self.baseline.take();
+            end_phase(kernel, &mut report, Phase::PreDump, t_phase);
             Some(pre)
         } else {
             None
         };
+        let t_phase = start_phase(kernel, Phase::Freeze);
         for &pid in pids {
             if let Err(err) = kernel.freeze(pid) {
                 self.rollback(kernel, pids, journal);
@@ -221,6 +259,8 @@ impl DynaCut {
             }
             journal.frozen.push(pid);
         }
+        end_phase(kernel, &mut report, Phase::Freeze, t_phase);
+        let t_phase = start_phase(kernel, Phase::Dump);
         let dumped = match &predump {
             Some(pre) => pre
                 .complete(kernel, pids, self.dump_options)
@@ -252,6 +292,7 @@ impl DynaCut {
         // filesystem, i.e., tmpfs").
         let tmpfs_bytes = checkpoint.to_bytes();
         report.image_bytes = tmpfs_bytes.len();
+        end_phase(kernel, &mut report, Phase::Dump, t_phase);
         report.timings.checkpoint = t_checkpoint.elapsed();
 
         // --- rewrite ----------------------------------------------------
@@ -261,6 +302,7 @@ impl DynaCut {
         // in incremental mode, the baseline store) succeed. A failure
         // anywhere leaves `self` exactly as it was.
         let t_rewrite = Instant::now();
+        let t_phase = start_phase(kernel, Phase::ImageEdit);
         let mut staged_redirect_state = self.redirect_state.clone();
         let mut staged_verify_state = self.verify_state.clone();
         let mut redirects: Vec<Vec<(u64, u64)>> = vec![Vec::new(); checkpoint.procs.len()];
@@ -353,10 +395,12 @@ impl DynaCut {
             self.rollback(kernel, pids, journal);
             return Err(err);
         }
+        end_phase(kernel, &mut report, Phase::ImageEdit, t_phase);
         report.timings.disable_code = t_rewrite.elapsed();
 
         // --- fault handler ----------------------------------------------
         let t_handler = Instant::now();
+        let t_phase = start_phase(kernel, Phase::Inject);
         // Restore resolves every module named in the images, so built
         // libraries join the (staged) framework registry — later dumps
         // will see them mapped once the cycle commits.
@@ -412,6 +456,10 @@ impl DynaCut {
             self.rollback(kernel, pids, journal);
             return Err(err);
         }
+        for &(pid, base) in &report.handler_bases {
+            kernel.record_flight(Some(pid), EventKind::LibraryInjected { base });
+        }
+        end_phase(kernel, &mut report, Phase::Inject, t_phase);
         report.timings.insert_sighandler = t_handler.elapsed();
 
         // --- restore ----------------------------------------------------
@@ -419,15 +467,24 @@ impl DynaCut {
         // first original is touched, and the swap itself rolls back on a
         // mid-commit failure (see `RestoreTransaction`).
         let t_restore = Instant::now();
-        let committed = RestoreTransaction::prepare(kernel, &checkpoint, &staged_registry)
-            .and_then(|txn| txn.commit(kernel));
-        let committed = match committed {
+        let t_phase = start_phase(kernel, Phase::RestorePrepare);
+        let txn = match RestoreTransaction::prepare(kernel, &checkpoint, &staged_registry) {
+            Ok(txn) => txn,
+            Err(err) => {
+                self.rollback(kernel, pids, journal);
+                return Err(err.into());
+            }
+        };
+        end_phase(kernel, &mut report, Phase::RestorePrepare, t_phase);
+        let t_phase = start_phase(kernel, Phase::RestoreCommit);
+        let committed = match txn.commit(kernel) {
             Ok(committed) => committed,
             Err(err) => {
                 self.rollback(kernel, pids, journal);
                 return Err(err.into());
             }
         };
+        end_phase(kernel, &mut report, Phase::RestoreCommit, t_phase);
         report.timings.restore = t_restore.elapsed();
 
         if self.incremental {
@@ -438,6 +495,7 @@ impl DynaCut {
             // cycle back: the committed restore is undone first, putting
             // the original (frozen) processes back for the journal
             // rollback to thaw.
+            let t_phase = start_phase(kernel, Phase::BaselineStore);
             let stored: Result<CkptId, DynacutError> = (|| {
                 mark_clean_after_dump(kernel, pids)?;
                 if fault::hit(FaultPhase::BaselineStore) {
@@ -458,11 +516,18 @@ impl DynaCut {
             let id = match stored {
                 Ok(id) => id,
                 Err(err) => {
+                    kernel.record_flight(
+                        None,
+                        EventKind::RollbackStep {
+                            step: RollbackStep::UndoRestore,
+                        },
+                    );
                     committed.undo(kernel);
                     self.rollback(kernel, pids, journal);
                     return Err(err);
                 }
             };
+            end_phase(kernel, &mut report, Phase::BaselineStore, t_phase);
             report.checkpoint_id = Some(id);
             self.baseline = Some((id, checkpoint));
         }
@@ -475,6 +540,28 @@ impl DynaCut {
         self.verify_state = staged_verify_state;
         self.registry = staged_registry;
         self.injections = staged_injections;
+        // Label future SIGTRAP hits on the targets with the policy that
+        // planted the trap bytes, and fold this cycle's counts into the
+        // metrics registry.
+        let policy_label = match plan.fault_policy {
+            FaultPolicy::Redirect => "redirect",
+            FaultPolicy::Verify => "verify",
+            FaultPolicy::Terminate => "terminate",
+        };
+        for &pid in pids {
+            kernel.flight_mut().set_trap_policy(pid, policy_label);
+        }
+        let metrics = kernel.flight_mut().metrics_mut();
+        metrics.incr("customize.commits", 1);
+        metrics.incr("blocks_patched", report.blocks_disabled as u64);
+        metrics.incr("bytes_patched", report.bytes_written);
+        metrics.incr("pages_precopied_bytes", report.prewritten_page_bytes as u64);
+        metrics.incr("pages_frozen_bytes", report.frozen_page_bytes as u64);
+        metrics.incr("injections", report.handler_bases.len() as u64);
+        for (phase, elapsed) in &report.phases {
+            metrics.observe(&format!("phase.{phase}"), elapsed.as_nanos() as u64);
+        }
+        kernel.record_flight(None, EventKind::CustomizeCommit);
         kernel.advance_clock(plan.downtime.charge_ns(report.timings.total()));
         Ok(report)
     }
@@ -487,22 +574,49 @@ impl DynaCut {
     fn rollback(&mut self, kernel: &mut Kernel, pids: &[Pid], journal: TxnJournal) {
         for &pid in &journal.frozen {
             let _ = kernel.thaw(pid);
+            kernel.record_flight(
+                Some(pid),
+                EventKind::RollbackStep {
+                    step: RollbackStep::Thaw,
+                },
+            );
         }
         for &pid in pids {
             if let Ok(ids) = kernel.conn_ids_of(pid) {
                 kernel.unrepair_connections(&ids);
+                kernel.record_flight(
+                    Some(pid),
+                    EventKind::RollbackStep {
+                        step: RollbackStep::Unrepair,
+                    },
+                );
             }
         }
         for (pid, pages) in &journal.saved_dirty {
-            if let Ok(proc) = kernel.process_mut(*pid) {
-                for &base in pages {
-                    proc.mem.mark_dirty(base);
-                }
+            let Ok(proc) = kernel.process_mut(*pid) else {
+                continue;
+            };
+            for &base in pages {
+                proc.mem.mark_dirty(base);
             }
+            kernel.record_flight(
+                Some(*pid),
+                EventKind::RollbackStep {
+                    step: RollbackStep::RestoreDirtyBits,
+                },
+            );
         }
         if journal.last_baseline.is_some() {
             self.baseline = journal.last_baseline;
+            kernel.record_flight(
+                None,
+                EventKind::RollbackStep {
+                    step: RollbackStep::RestoreBaseline,
+                },
+            );
         }
+        kernel.flight_mut().metrics_mut().incr("customize.rollbacks", 1);
+        kernel.record_flight(None, EventKind::CustomizeRollback);
     }
 
     /// Drains verifier reports from the kernel's event stream: the

@@ -17,7 +17,7 @@
 //! constant `false` otherwise.
 #![cfg(feature = "fault-injection")]
 
-use dynacut::{Downtime, DynaCut, FaultPolicy, Feature, RewritePlan};
+use dynacut::{Downtime, DynaCut, EventKind, FaultPolicy, Feature, Phase, RewritePlan, RollbackStep};
 use dynacut_apps::{libc::guest_libc, nginx, redis, EVENT_READY};
 use dynacut_criu::ModuleRegistry;
 use dynacut_vm::fault::{self, FaultPhase};
@@ -111,6 +111,123 @@ fn redis_plan(server: &Server) -> RewritePlan {
         .with_downtime(Downtime::None)
 }
 
+/// The flight-recorder phase a fault injected at `phase` dies inside
+/// (the journal's dangling `PhaseStart`). `MarkClean` fires within the
+/// baseline-store bracket, so both map to [`Phase::BaselineStore`].
+fn flight_phase(phase: FaultPhase) -> Phase {
+    match phase {
+        FaultPhase::PreDump => Phase::PreDump,
+        FaultPhase::Dump => Phase::Dump,
+        FaultPhase::ImageEdit => Phase::ImageEdit,
+        FaultPhase::LibraryInjection => Phase::Inject,
+        FaultPhase::RestoreBuild => Phase::RestorePrepare,
+        FaultPhase::RestoreCommit => Phase::RestoreCommit,
+        FaultPhase::BaselineStore | FaultPhase::MarkClean => Phase::BaselineStore,
+        other => panic!("unmapped fault phase {other}"),
+    }
+}
+
+/// Asserts the flight journal recorded the failed cycle faithfully:
+/// begin marker, matched start/end pairs for every phase that completed,
+/// exactly one dangling `PhaseStart` naming the phase the cycle died in,
+/// the expected rollback steps, and a terminal `CustomizeRollback` with
+/// no commit in between.
+fn assert_failed_cycle_journal(
+    kernel: &Kernel,
+    seq0: u64,
+    died_in: Phase,
+    pids: &[Pid],
+    ctx: &str,
+) {
+    let events: Vec<_> = kernel.flight().since(seq0).collect();
+    assert!(
+        matches!(
+            events.first().map(|e| &e.kind),
+            Some(EventKind::CustomizeBegin { pids: n }) if *n == pids.len()
+        ),
+        "journal opens with CustomizeBegin ({ctx})"
+    );
+    assert!(
+        matches!(events.last().map(|e| &e.kind), Some(EventKind::CustomizeRollback)),
+        "journal ends with CustomizeRollback ({ctx})"
+    );
+    assert!(
+        !events.iter().any(|e| matches!(e.kind, EventKind::CustomizeCommit)),
+        "a failed cycle must not journal a commit ({ctx})"
+    );
+
+    let starts: Vec<Phase> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::PhaseStart { phase } => Some(phase),
+            _ => None,
+        })
+        .collect();
+    let ends: Vec<Phase> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::PhaseEnd { phase, .. } => Some(phase),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        starts.len(),
+        ends.len() + 1,
+        "exactly one phase is left dangling ({ctx})"
+    );
+    let dangling: Vec<Phase> = starts
+        .iter()
+        .filter(|phase| !ends.contains(phase))
+        .copied()
+        .collect();
+    assert_eq!(
+        dangling,
+        vec![died_in],
+        "the dangling PhaseStart names the phase the cycle died in ({ctx})"
+    );
+
+    let steps: Vec<RollbackStep> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::RollbackStep { step } => Some(step),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        !steps.is_empty(),
+        "rollback steps are journalled for every injected phase ({ctx})"
+    );
+    assert!(
+        steps.contains(&RollbackStep::Unrepair),
+        "connections are taken out of repair mode ({ctx})"
+    );
+    // The incremental pre-dump snapshots every pid's dirty bits before
+    // anything can fail, so the rollback re-marks them in every case.
+    assert_eq!(
+        steps.iter().filter(|s| **s == RollbackStep::RestoreDirtyBits).count(),
+        pids.len(),
+        "dirty bits restored per pid ({ctx})"
+    );
+    if died_in == Phase::PreDump {
+        assert!(
+            !steps.contains(&RollbackStep::Thaw),
+            "nothing was frozen before a pre-dump failure ({ctx})"
+        );
+    } else {
+        assert_eq!(
+            steps.iter().filter(|s| **s == RollbackStep::Thaw).count(),
+            pids.len(),
+            "every frozen pid is thawed ({ctx})"
+        );
+    }
+    if died_in == Phase::BaselineStore {
+        assert!(
+            steps.contains(&RollbackStep::UndoRestore),
+            "a post-commit failure journals the restore undo ({ctx})"
+        );
+    }
+}
+
 /// Drives one armed phase against a live guest and asserts the
 /// transactional contract end to end: typed error, bit-identical
 /// kernel-state rollback, surviving connection, successful retry.
@@ -138,6 +255,8 @@ fn assert_rollback_then_retry(
     );
 
     let pristine = server.kernel.state_fingerprint();
+    let rollbacks_before = server.kernel.flight().metrics().counter("customize.rollbacks");
+    let seq0 = server.kernel.flight().next_seq();
     fault::arm(phase, skip);
     let err = dynacut
         .customize(&mut server.kernel, &server.pids, plan)
@@ -166,6 +285,15 @@ fn assert_rollback_then_retry(
         );
     }
 
+    // The flight journal is the observable record of the failure: it
+    // must name the phase the cycle died in and every rollback step.
+    assert_failed_cycle_journal(&server.kernel, seq0, flight_phase(phase), &server.pids, &ctx);
+    assert_eq!(
+        server.kernel.flight().metrics().counter("customize.rollbacks"),
+        rollbacks_before + 1,
+        "rollback counter incremented ({ctx})"
+    );
+
     // The pre-existing connection survived the aborted attempt (TCP
     // repair mode was left again) and the feature is still enabled.
     assert_eq!(
@@ -176,9 +304,37 @@ fn assert_rollback_then_retry(
 
     // Success implies the whole multi-process restore committed: the
     // identical plan goes through cleanly on the retry and takes effect.
+    let seq1 = server.kernel.flight().next_seq();
     dynacut
         .customize(&mut server.kernel, &server.pids, plan)
         .unwrap_or_else(|err| panic!("retry after rollback must succeed ({ctx}): {err}"));
+    let retry: Vec<_> = server.kernel.flight().since(seq1).collect();
+    assert!(
+        retry.iter().any(|e| matches!(e.kind, EventKind::CustomizeCommit)),
+        "retry journals a commit ({ctx})"
+    );
+    assert!(
+        !retry.iter().any(|e| matches!(
+            e.kind,
+            EventKind::CustomizeRollback | EventKind::RollbackStep { .. }
+        )),
+        "clean retry journals no rollback ({ctx})"
+    );
+    let retry_starts = retry
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::PhaseStart { .. }))
+        .count();
+    let retry_ends = retry
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::PhaseEnd { .. }))
+        .count();
+    assert_eq!(retry_starts, retry_ends, "no dangling phase on success ({ctx})");
+    let flight = server.kernel.flight();
+    assert_eq!(
+        flight.next_seq(),
+        flight.len() as u64 + flight.dropped(),
+        "recorder accounting: recorded == held + dropped ({ctx})"
+    );
     assert_eq!(
         server.kernel.client_request(conn, proof.0, 5_000_000).unwrap(),
         proof.1,

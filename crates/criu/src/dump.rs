@@ -141,6 +141,13 @@ pub fn dump(kernel: &mut Kernel, pid: Pid, options: DumpOptions) -> Result<Proce
         }
     }
 
+    kernel.record_flight(
+        Some(pid),
+        dynacut_vm::EventKind::ProcessDumped {
+            page_bytes: pages.bytes.len() as u64,
+        },
+    );
+
     Ok(ProcessImage {
         core,
         mm,

@@ -351,7 +351,12 @@ pub fn pre_dump(kernel: &mut Kernel, pids: &[Pid]) -> Result<PreDump, CriuError>
             .map(|(base, bytes)| (base, bytes.to_vec()))
             .collect();
         mem.mark_clean();
+        let page_bytes = (pages.len() * PAGE_SIZE as usize) as u64;
         snapshots.insert(pid, pages);
+        kernel.record_flight(
+            Some(pid),
+            dynacut_vm::EventKind::ProcessPreDumped { page_bytes },
+        );
     }
     Ok(PreDump { snapshots })
 }

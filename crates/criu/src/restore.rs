@@ -321,6 +321,7 @@ impl RestoreTransaction {
             };
             match result {
                 Ok(()) => {
+                    kernel.record_flight(Some(pid), dynacut_vm::EventKind::ProcessRestored);
                     originals.push((pid, original));
                     restored.push(pid);
                 }

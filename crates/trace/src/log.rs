@@ -29,17 +29,65 @@ pub struct BlockRecord {
     pub size: u32,
 }
 
-/// Errors raised when parsing a drcov text log.
+/// Errors raised by the trace layer: drcov parsing, module registration
+/// and block-offset validation.
+///
+/// The drcov format narrows module ids to `u16` and block offsets to
+/// `u32`; anything that does not fit is a typed error here, never a
+/// silent `as`-truncation (which would alias distinct blocks or modules
+/// and corrupt tracediff).
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TraceError(pub String);
+#[non_exhaustive]
+pub enum TraceError {
+    /// A drcov text log is malformed.
+    Malformed(String),
+    /// A block's module-relative offset exceeds the drcov `u32` offset
+    /// field.
+    OffsetOverflow {
+        /// Module the block belongs to (name, or `id N` while parsing).
+        module: String,
+        /// The out-of-range offset.
+        offset: u64,
+    },
+    /// Registering another module would overflow the `u16` id space.
+    ModuleLimit {
+        /// The module count that did not fit.
+        count: usize,
+    },
+    /// The kernel rejected an operation (e.g. tracking a missing pid).
+    Vm(dynacut_vm::VmError),
+}
 
 impl fmt::Display for TraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "malformed drcov log: {}", self.0)
+        match self {
+            TraceError::Malformed(reason) => write!(f, "malformed drcov log: {reason}"),
+            TraceError::OffsetOverflow { module, offset } => write!(
+                f,
+                "block offset {offset:#x} in module `{module}` exceeds the drcov u32 offset field"
+            ),
+            TraceError::ModuleLimit { count } => {
+                write!(f, "module table of {count} entries exceeds the drcov u16 id space")
+            }
+            TraceError::Vm(err) => write!(f, "kernel error: {err}"),
+        }
     }
 }
 
-impl std::error::Error for TraceError {}
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Vm(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<dynacut_vm::VmError> for TraceError {
+    fn from(err: dynacut_vm::VmError) -> Self {
+        TraceError::Vm(err)
+    }
+}
 
 /// A coverage log: module table plus the deduplicated set of executed
 /// blocks.
@@ -93,13 +141,31 @@ impl TraceLog {
     /// Merges another log into this one (set union). Module identity is by
     /// name; ids are remapped as needed. This is the paper's "merge
     /// multiple trace files of different requests".
-    pub fn merge(&mut self, other: &TraceLog) {
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`TraceError::ModuleLimit`] if the union would not fit
+    /// the `u16` module-id space; `self` is untouched in that case.
+    pub fn merge(&mut self, other: &TraceLog) -> Result<(), TraceError> {
+        // Validate before mutating: the merge is all-or-nothing.
+        let new_names: BTreeSet<&str> = other
+            .modules
+            .iter()
+            .map(|m| m.name.as_str())
+            .filter(|name| !self.modules.iter().any(|m| &m.name == name))
+            .collect();
+        let merged_count = self.modules.len() + new_names.len();
+        if merged_count > usize::from(u16::MAX) + 1 {
+            return Err(TraceError::ModuleLimit {
+                count: merged_count,
+            });
+        }
         let mut remap = vec![0u16; other.modules.len()];
         for module in &other.modules {
             let id = match self.modules.iter().position(|m| m.name == module.name) {
-                Some(index) => index as u16,
+                Some(index) => u16::try_from(index).expect("table bounded above"),
                 None => {
-                    let id = self.modules.len() as u16;
+                    let id = u16::try_from(self.modules.len()).expect("table bounded above");
                     self.modules.push(ModuleRecord {
                         id,
                         ..module.clone()
@@ -115,6 +181,7 @@ impl TraceLog {
                 ..*block
             });
         }
+        Ok(())
     }
 
     /// Serialises in a drcov-like text format.
@@ -149,30 +216,30 @@ impl TraceLog {
     /// Fails with [`TraceError`] on malformed input.
     pub fn from_drcov_text(text: &str) -> Result<TraceLog, TraceError> {
         let mut lines = text.lines();
-        let header = lines.next().ok_or(TraceError("empty log".into()))?;
+        let header = lines.next().ok_or(TraceError::Malformed("empty log".into()))?;
         if !header.starts_with("DRCOV VERSION") {
-            return Err(TraceError("missing DRCOV header".into()));
+            return Err(TraceError::Malformed("missing DRCOV header".into()));
         }
-        let module_header = lines.next().ok_or(TraceError("missing module table".into()))?;
+        let module_header = lines.next().ok_or(TraceError::Malformed("missing module table".into()))?;
         let count: usize = module_header
             .rsplit(' ')
             .next()
             .and_then(|s| s.parse().ok())
-            .ok_or(TraceError("bad module count".into()))?;
+            .ok_or(TraceError::Malformed("bad module count".into()))?;
         let _columns = lines.next();
         let mut modules = Vec::with_capacity(count);
         for _ in 0..count {
-            let line = lines.next().ok_or(TraceError("truncated module table".into()))?;
+            let line = lines.next().ok_or(TraceError::Malformed("truncated module table".into()))?;
             let mut fields = line.splitn(4, ',').map(str::trim);
             let id: u16 = fields
                 .next()
                 .and_then(|s| s.parse().ok())
-                .ok_or(TraceError(format!("bad module id in `{line}`")))?;
-            let base = parse_hex(fields.next().ok_or(TraceError("missing base".into()))?)?;
-            let end = parse_hex(fields.next().ok_or(TraceError("missing end".into()))?)?;
+                .ok_or(TraceError::Malformed(format!("bad module id in `{line}`")))?;
+            let base = parse_hex(fields.next().ok_or(TraceError::Malformed("missing base".into()))?)?;
+            let end = parse_hex(fields.next().ok_or(TraceError::Malformed("missing end".into()))?)?;
             let name = fields
                 .next()
-                .ok_or(TraceError("missing name".into()))?
+                .ok_or(TraceError::Malformed("missing name".into()))?
                 .to_owned();
             modules.push(ModuleRecord {
                 id,
@@ -181,9 +248,9 @@ impl TraceLog {
                 name,
             });
         }
-        let bb_header = lines.next().ok_or(TraceError("missing bb table".into()))?;
+        let bb_header = lines.next().ok_or(TraceError::Malformed("missing bb table".into()))?;
         if !bb_header.starts_with("BB Table") {
-            return Err(TraceError("missing BB table header".into()));
+            return Err(TraceError::Malformed("missing BB table header".into()));
         }
         let mut blocks = BTreeSet::new();
         for line in lines {
@@ -193,22 +260,30 @@ impl TraceLog {
             // module[  0]: 0x00000040,  12
             let rest = line
                 .strip_prefix("module[")
-                .ok_or(TraceError(format!("bad bb line `{line}`")))?;
+                .ok_or(TraceError::Malformed(format!("bad bb line `{line}`")))?;
             let (id_str, rest) = rest
                 .split_once("]:")
-                .ok_or(TraceError(format!("bad bb line `{line}`")))?;
+                .ok_or(TraceError::Malformed(format!("bad bb line `{line}`")))?;
             let module: u16 = id_str
                 .trim()
                 .parse()
-                .map_err(|_| TraceError(format!("bad module id `{id_str}`")))?;
+                .map_err(|_| TraceError::Malformed(format!("bad module id `{id_str}`")))?;
             let (offset_str, size_str) = rest
                 .split_once(',')
-                .ok_or(TraceError(format!("bad bb line `{line}`")))?;
-            let offset = parse_hex(offset_str.trim())? as u32;
+                .ok_or(TraceError::Malformed(format!("bad bb line `{line}`")))?;
+            let raw_offset = parse_hex(offset_str.trim())?;
+            let offset = u32::try_from(raw_offset).map_err(|_| TraceError::OffsetOverflow {
+                module: modules
+                    .iter()
+                    .find(|m| m.id == module)
+                    .map(|m| m.name.clone())
+                    .unwrap_or_else(|| format!("id {module}")),
+                offset: raw_offset,
+            })?;
             let size: u32 = size_str
                 .trim()
                 .parse()
-                .map_err(|_| TraceError(format!("bad size `{size_str}`")))?;
+                .map_err(|_| TraceError::Malformed(format!("bad size `{size_str}`")))?;
             blocks.insert(BlockRecord {
                 module,
                 offset,
@@ -222,8 +297,8 @@ impl TraceLog {
 fn parse_hex(s: &str) -> Result<u64, TraceError> {
     let stripped = s
         .strip_prefix("0x")
-        .ok_or(TraceError(format!("`{s}` is not hex")))?;
-    u64::from_str_radix(stripped, 16).map_err(|_| TraceError(format!("`{s}` is not hex")))
+        .ok_or(TraceError::Malformed(format!("`{s}` is not hex")))?;
+    u64::from_str_radix(stripped, 16).map_err(|_| TraceError::Malformed(format!("`{s}` is not hex")))
 }
 
 #[cfg(test)]
@@ -284,7 +359,7 @@ mod tests {
             offset: 0x100,
             size: 7,
         });
-        a.merge(&b);
+        a.merge(&b).unwrap();
         assert_eq!(a.modules.len(), 2, "libc not duplicated");
         assert_eq!(a.block_count(), 3);
         // The libc block from `b` was remapped to module id 1.
@@ -300,7 +375,7 @@ mod tests {
         let mut a = sample();
         let before = a.clone();
         let copy = a.clone();
-        a.merge(&copy);
+        a.merge(&copy).unwrap();
         assert_eq!(a, before);
     }
 

@@ -1,8 +1,8 @@
 //! The coverage tracer hook.
 
-use crate::log::{BlockRecord, ModuleRecord, TraceLog};
+use crate::log::{BlockRecord, ModuleRecord, TraceError, TraceLog};
 use dynacut_isa::BasicBlock;
-use dynacut_vm::{Hook, Kernel, Pid, VmError};
+use dynacut_vm::{Hook, Kernel, Pid};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
@@ -63,7 +63,7 @@ impl State {
         }
         self.seen.insert(BlockRecord {
             module: span.id,
-            offset: block.addr as u32,
+            offset: u32::try_from(block.addr).expect("offsets validated at track()"),
             size: block.size,
         });
         self.cache
@@ -138,19 +138,51 @@ impl Tracer {
     /// Starts tracking a process: reads its loaded modules from the kernel
     /// and registers their text spans and block tables.
     ///
+    /// Registration is all-or-nothing: every module is validated against
+    /// the drcov field widths **before** any state is mutated, so a
+    /// rejected call leaves the tracer exactly as it was.
+    ///
     /// # Errors
     ///
-    /// Fails if the process does not exist.
-    pub fn track(&self, kernel: &Kernel, pid: Pid) -> Result<(), VmError> {
+    /// Fails with [`TraceError::Vm`] if the process does not exist, with
+    /// [`TraceError::OffsetOverflow`] if any block's module-relative
+    /// offset exceeds the drcov `u32` offset field (it would silently
+    /// alias another block in the coverage log), and with
+    /// [`TraceError::ModuleLimit`] if registration would overflow the
+    /// `u16` module-id space.
+    pub fn track(&self, kernel: &Kernel, pid: Pid) -> Result<(), TraceError> {
         let proc = kernel.process(pid)?;
         let mut state = self.state.borrow_mut();
+        // Validate before mutating.
+        let mut new_names = BTreeSet::new();
+        for module in &proc.modules {
+            let name = &module.image.name;
+            if let Some(block) = module
+                .image
+                .blocks
+                .iter()
+                .find(|b| b.addr > u64::from(u32::MAX))
+            {
+                return Err(TraceError::OffsetOverflow {
+                    module: name.clone(),
+                    offset: block.addr,
+                });
+            }
+            if !state.modules.iter().any(|m| &m.name == name) {
+                new_names.insert(name.clone());
+            }
+        }
+        let table_count = state.modules.len() + new_names.len();
+        if table_count > usize::from(u16::MAX) + 1 {
+            return Err(TraceError::ModuleLimit { count: table_count });
+        }
         let mut spans = Vec::with_capacity(proc.modules.len());
         for module in &proc.modules {
             let name = &module.image.name;
             let id = match state.modules.iter().position(|m| &m.name == name) {
-                Some(index) => index as u16,
+                Some(index) => u16::try_from(index).expect("table bounded above"),
                 None => {
-                    let id = state.modules.len() as u16;
+                    let id = u16::try_from(state.modules.len()).expect("table bounded above");
                     state.modules.push(ModuleRecord {
                         id,
                         base: module.base,

@@ -211,7 +211,8 @@ pub(crate) fn exec_insn(proc: &mut Process, insn: &Insn, len: usize) -> Exec {
 }
 
 /// Delivers `signal` to the process: either sets up a handler frame on the
-/// guest stack or kills the process (default action).
+/// guest stack or kills the process (default action). Returns whether a
+/// handler frame was successfully set up (`false` means the process died).
 ///
 /// `fault_addr` is the faulting instruction or data address, stored in the
 /// signal frame where the injected fault handler reads it (paper §3.2.2:
@@ -222,7 +223,7 @@ pub(crate) fn deliver_signal(
     signal: Signal,
     fault_addr: u64,
     hook: Option<&mut (dyn Hook + '_)>,
-) {
+) -> bool {
     let action = proc.sigactions[signal.number() as usize];
     let handled = action.is_handled() && signal.catchable() && proc.signal_depth < 16;
     if let Some(hook) = hook {
@@ -230,7 +231,7 @@ pub(crate) fn deliver_signal(
     }
     if !handled {
         proc.kill(signal);
-        return;
+        return false;
     }
     // Build the signal frame below the current stack pointer.
     let frame = proc.cpu.sp().wrapping_sub(SIGFRAME_SIZE);
@@ -246,7 +247,7 @@ pub(crate) fn deliver_signal(
     if proc.mem.write_checked(frame, &bytes).is_err() {
         // Double fault: cannot even build the frame.
         proc.kill(Signal::Sigsegv);
-        return;
+        return false;
     }
     // Push the restorer as the handler's return address.
     let sp = frame.wrapping_sub(8);
@@ -256,13 +257,14 @@ pub(crate) fn deliver_signal(
         .is_err()
     {
         proc.kill(Signal::Sigsegv);
-        return;
+        return false;
     }
     proc.cpu.set_sp(sp);
     proc.cpu.set_reg(Reg::R1, signal.number());
     proc.cpu.set_reg(Reg::R2, frame);
     proc.cpu.pc = action.handler;
     proc.signal_depth += 1;
+    true
 }
 
 /// Restores the context saved in the signal frame at `frame` (the

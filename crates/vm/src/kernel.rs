@@ -1,6 +1,7 @@
 //! The kernel: scheduling, syscalls, networking, time, and the
 //! checkpoint/restore surface.
 
+use crate::events::{EventKind, FlightRecorder, VERIFIER_EVENT_BIT};
 use crate::fs::{FileDesc, VfsFile};
 use crate::hook::Hook;
 use crate::interp::{self, Exec};
@@ -68,6 +69,7 @@ pub struct Kernel {
     clock_ns: u64,
     hook: Option<Box<dyn Hook>>,
     events: Vec<Event>,
+    flight: FlightRecorder,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -270,6 +272,28 @@ impl Kernel {
     /// Removes and returns all recorded events.
     pub fn drain_events(&mut self) -> Vec<Event> {
         std::mem::take(&mut self.events)
+    }
+
+    // ----- flight recorder ----------------------------------------------
+
+    /// The flight recorder: the structured event journal plus metrics
+    /// registry every customize layer reports into. Not part of the
+    /// guest-observable state ([`Kernel::state_fingerprint`] ignores it),
+    /// so a rolled-back customization leaves the kernel bit-identical
+    /// while the journal keeps the record of the failed attempt.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Mutable access to the flight recorder.
+    pub fn flight_mut(&mut self) -> &mut FlightRecorder {
+        &mut self.flight
+    }
+
+    /// Records a flight event stamped with the current guest clock.
+    /// Returns the event's sequence number.
+    pub fn record_flight(&mut self, pid: Option<Pid>, kind: EventKind) -> u64 {
+        self.flight.record(self.clock_ns, pid, kind)
     }
 
     // ----- client networking --------------------------------------------
@@ -667,9 +691,24 @@ impl Kernel {
                     }
                 }
                 Exec::Fault(signal, fault_addr) => {
-                    interp::deliver_signal(proc, signal, fault_addr, hook.as_deref_mut());
+                    let handled =
+                        interp::deliver_signal(proc, signal, fault_addr, hook.as_deref_mut());
+                    let exited = proc.is_exited();
                     self.clock_ns += 1;
-                    if proc.is_exited() {
+                    if signal == Signal::Sigtrap {
+                        // A patched trap byte fired: record the hit and
+                        // attribute it to the policy that planted it, so
+                        // unhandled traps are not just opaque 128+SIGTRAP
+                        // exit codes.
+                        let policy = self.flight.trap_policy(pid);
+                        self.flight.metrics_mut().incr(&format!("trap_hits.{policy}"), 1);
+                        self.flight.record(
+                            self.clock_ns,
+                            Some(pid),
+                            EventKind::TrapHit { pc: fault_addr, handled },
+                        );
+                    }
+                    if exited {
                         break;
                     }
                 }
@@ -1008,6 +1047,19 @@ impl Kernel {
                     pid,
                     code,
                 });
+                let kind = if code & VERIFIER_EVENT_BIT != 0 {
+                    // The injected verifier library reports a falsely
+                    // blocked address (paper §3.2.3): surface it in the
+                    // journal instead of leaving it buried in the raw
+                    // event stream.
+                    self.flight.metrics_mut().incr("verifier.reports", 1);
+                    EventKind::VerifierReport {
+                        addr: code & !VERIFIER_EVENT_BIT,
+                    }
+                } else {
+                    EventKind::GuestMarker { code }
+                };
+                self.flight.record(clock, Some(pid), kind);
                 if let Some(hook) = hook {
                     hook.on_event(pid, code);
                 }

@@ -27,6 +27,7 @@
 
 mod cpu;
 mod error;
+pub mod events;
 pub mod fault;
 mod fs;
 mod hook;
@@ -42,6 +43,10 @@ mod vma;
 
 pub use cpu::{CpuState, Flags};
 pub use error::VmError;
+pub use events::{
+    EventKind, FlightEvent, FlightRecorder, Histogram, Metrics, Phase, RollbackStep,
+    VERIFIER_EVENT_BIT,
+};
 pub use fs::{FdTable, FileDesc, VfsFile};
 pub use hook::{Hook, NullHook};
 pub use kernel::{ClientConn, ExitStatus, Kernel, RunOutcome};

@@ -77,5 +77,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("SET greeting again  -> {}", String::from_utf8_lossy(&reply));
     let reply = kernel.client_request(conn, b"GET greeting\n", 5_000_000)?;
     println!("GET greeting        -> {}", String::from_utf8_lossy(&reply));
+
+    // 6. The flight recorder journalled both cycles: per-phase durations,
+    //    trap hits on the blocked feature, and the metrics registry.
+    println!("\nflight journal ({} events, {} dropped):", kernel.flight().len(), kernel.flight().dropped());
+    for event in kernel.flight().iter() {
+        match &event.kind {
+            dynacut::EventKind::PhaseEnd { phase, duration_ns } => {
+                println!("  [{:>6}] {phase} took {duration_ns} ns", event.seq);
+            }
+            dynacut::EventKind::CustomizeCommit => {
+                println!("  [{:>6}] cycle committed", event.seq);
+            }
+            dynacut::EventKind::TrapHit { pc, handled } => {
+                println!("  [{:>6}] trap at {pc:#x} (handled: {handled})", event.seq);
+            }
+            _ => {}
+        }
+    }
+    println!("counters:");
+    for (name, value) in kernel.flight().metrics().counters() {
+        println!("  {name} = {value}");
+    }
     Ok(())
 }

@@ -5,7 +5,9 @@
 //! blocked features — the server must match the model for hundreds of
 //! transitions and never die.
 
-use dynacut::{BlockPolicy, Downtime, DynaCut, FaultPolicy, Feature, RewritePlan};
+use dynacut::{
+    BlockPolicy, Downtime, DynaCut, EventKind, FaultPolicy, Feature, Phase, RewritePlan,
+};
 use dynacut_apps::{libc::guest_libc, nginx, EVENT_READY};
 use dynacut_criu::{dump_many, restore_many, DumpOptions, ModuleRegistry};
 use dynacut_vm::{Kernel, LoadSpec};
@@ -15,6 +17,47 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 const ROUNDS: usize = 60;
+
+/// The success-path phases a non-incremental customize journals, in
+/// execution order (no pre-dump, no baseline store).
+const SUCCESS_PHASES: [Phase; 6] = [
+    Phase::Freeze,
+    Phase::Dump,
+    Phase::ImageEdit,
+    Phase::Inject,
+    Phase::RestorePrepare,
+    Phase::RestoreCommit,
+];
+
+/// Asserts the flight journal for one committed cycle records exactly
+/// the phases that ran: every success-path phase started and ended in
+/// order, bracketed by one begin and one commit, with no rollback.
+fn assert_committed_cycle_journal(kernel: &Kernel, seq0: u64, round: usize) {
+    let events: Vec<_> = kernel.flight().since(seq0).collect();
+    let mut expected = vec!["customize_begin".to_owned()];
+    for phase in SUCCESS_PHASES {
+        expected.push(format!("start {phase}"));
+        expected.push(format!("end {phase}"));
+    }
+    expected.push("customize_commit".to_owned());
+    let observed: Vec<String> = events
+        .iter()
+        .filter_map(|event| match &event.kind {
+            EventKind::CustomizeBegin { .. } => Some("customize_begin".to_owned()),
+            EventKind::CustomizeCommit => Some("customize_commit".to_owned()),
+            EventKind::PhaseStart { phase } => Some(format!("start {phase}")),
+            EventKind::PhaseEnd { phase, .. } => Some(format!("end {phase}")),
+            EventKind::CustomizeRollback | EventKind::RollbackStep { .. } => {
+                panic!("round {round}: committed cycle journalled a rollback event")
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        observed, expected,
+        "round {round}: journal records exactly the phases that ran"
+    );
+}
 
 struct Model {
     /// feature name → (feature, enabled?)
@@ -113,9 +156,11 @@ fn randomized_feature_churn_matches_the_model() {
                 *enabled = !*enabled;
             }
             let pids = kernel.pids();
+            let seq0 = kernel.flight().next_seq();
             dynacut
                 .customize(&mut kernel, &pids, &plan)
                 .unwrap_or_else(|err| panic!("round {round}: customize failed: {err}"));
+            assert_committed_cycle_journal(&kernel, seq0, round);
         }
 
         // Occasionally do a gratuitous checkpoint round-trip (failure
@@ -159,4 +204,16 @@ fn randomized_feature_churn_matches_the_model() {
             );
         }
     }
+
+    // Hundreds of transitions later, the recorder's accounting still
+    // balances: everything ever recorded is either held or counted as
+    // dropped — loss is explicit, never silent.
+    let flight = kernel.flight();
+    assert_eq!(flight.next_seq(), flight.len() as u64 + flight.dropped());
+    let metrics = flight.metrics();
+    assert_eq!(metrics.counter("customize.rollbacks"), 0);
+    assert!(metrics.counter("customize.commits") >= 1);
+    // Probing redirected features trips the planted traps; the policy
+    // label the commit set must show up in the trap-hit counters.
+    assert!(metrics.counter("trap_hits.redirect") >= 1);
 }
