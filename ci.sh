@@ -28,5 +28,17 @@ cargo run --release -q -p dynacut-bench --bin figures -- flight > /dev/null
 test -s results/flight.json
 grep -q '"schema": "dynacut-flight-v1"' results/flight.json
 
+# Staged fleet engine + page store: the fleet suite asserts >4x dedup,
+# flat per-process freeze windows, serialized stage journals, and
+# serving-during-cycle; `figures fleet` regenerates results/fleet.json
+# and panics unless dedup_ratio >= 1.0 and every process's phase
+# durations sum to its cycle total (the dynacut-fleet-v1 schema gate).
+cargo test -q -p dynacut-bench fleet
+cargo test -q -p dynacut-criu --test page_store
+cargo clippy -p dynacut -p dynacut-criu --all-targets -- -D warnings
+cargo run --release -q -p dynacut-bench --bin figures -- fleet > /dev/null
+test -s results/fleet.json
+grep -q '"schema": "dynacut-fleet-v1"' results/fleet.json
+
 # API docs must build warning-free.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet

@@ -23,7 +23,7 @@ fn bench_checkpoint(c: &mut Criterion) {
                 workload
             },
             |mut workload| {
-                dump_many(&mut workload.kernel, &workload.pids.clone(), DumpOptions::default())
+                dump_many(&mut workload.kernel, &workload.pids.clone(), &DumpOptions::default())
                     .expect("dump")
             },
             BatchSize::PerIteration,
@@ -36,7 +36,7 @@ fn bench_checkpoint(c: &mut Criterion) {
             workload.kernel.freeze(pid).unwrap();
         }
         let checkpoint =
-            dump_many(&mut workload.kernel, &workload.pids.clone(), DumpOptions::default())
+            dump_many(&mut workload.kernel, &workload.pids.clone(), &DumpOptions::default())
                 .expect("dump");
         b.iter(|| std::hint::black_box(checkpoint.to_bytes()));
     });
@@ -47,7 +47,7 @@ fn bench_checkpoint(c: &mut Criterion) {
             workload.kernel.freeze(pid).unwrap();
         }
         let bytes =
-            dump_many(&mut workload.kernel, &workload.pids.clone(), DumpOptions::default())
+            dump_many(&mut workload.kernel, &workload.pids.clone(), &DumpOptions::default())
                 .expect("dump")
                 .to_bytes();
         b.iter(|| CheckpointImage::from_bytes(std::hint::black_box(&bytes)).expect("parse"));
@@ -63,7 +63,7 @@ fn bench_checkpoint(c: &mut Criterion) {
                 let checkpoint = dump_many(
                     &mut workload.kernel,
                     &workload.pids.clone(),
-                    DumpOptions::default(),
+                    &DumpOptions::default(),
                 )
                 .expect("dump");
                 for &pid in &workload.pids.clone() {
@@ -94,7 +94,7 @@ fn bench_checkpoint(c: &mut Criterion) {
                 dump_many(
                     &mut workload.kernel,
                     &workload.pids.clone(),
-                    DumpOptions::stock_criu(),
+                    &DumpOptions::stock_criu(),
                 )
                 .expect("dump")
             },
@@ -112,7 +112,7 @@ fn bench_checkpoint(c: &mut Criterion) {
                 for &pid in &pids {
                     workload.kernel.freeze(pid).unwrap();
                 }
-                let parent = dump_many(&mut workload.kernel, &pids, DumpOptions::default())
+                let parent = dump_many(&mut workload.kernel, &pids, &DumpOptions::default())
                     .expect("baseline");
                 mark_clean_after_dump(&mut workload.kernel, &pids).unwrap();
                 for &pid in &pids {
@@ -128,7 +128,7 @@ fn bench_checkpoint(c: &mut Criterion) {
                 dump_incremental(
                     &mut workload.kernel,
                     &workload.pids.clone(),
-                    DumpOptions::default(),
+                    &DumpOptions::default(),
                     CkptId(0),
                     &parent,
                 )
@@ -152,7 +152,7 @@ fn bench_checkpoint(c: &mut Criterion) {
                 (workload, pre)
             },
             |(mut workload, pre)| {
-                pre.complete(&mut workload.kernel, &workload.pids.clone(), DumpOptions::default())
+                pre.complete(&mut workload.kernel, &workload.pids.clone(), &DumpOptions::default())
                     .expect("complete")
             },
             BatchSize::PerIteration,

@@ -15,7 +15,7 @@ fn frozen_image() -> (ProcessImage, Vec<BasicBlock>) {
     let mut workload = boot_server(Server::Lighttpd, false);
     let pid = workload.pids[0];
     workload.kernel.freeze(pid).unwrap();
-    let image = dump(&mut workload.kernel, pid, DumpOptions::default()).unwrap();
+    let image = dump(&mut workload.kernel, pid, &DumpOptions::default()).unwrap();
     let blocks = workload.exe.blocks.clone();
     (image, blocks)
 }

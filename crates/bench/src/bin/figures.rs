@@ -9,7 +9,7 @@ use dynacut_bench::{experiments, flight};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures <fig2|fig4|fig6|fig7|fig8|fig8-incremental|fig9|fig10|table1|plt|ablation|flight|all> [more...]"
+        "usage: figures <fig2|fig4|fig6|fig7|fig8|fig8-incremental|fig9|fig10|table1|plt|ablation|flight|fleet|all> [more...]"
     );
     std::process::exit(2);
 }
@@ -34,6 +34,7 @@ fn main() {
             "plt",
             "ablation",
             "flight",
+            "fleet",
         ];
     }
     for (index, target) in targets.iter().enumerate() {
@@ -53,6 +54,7 @@ fn main() {
             "plt" => experiments::plt::print(),
             "ablation" => experiments::ablation::print(),
             "flight" => flight::print(),
+            "fleet" => experiments::fleet::print(),
             other => {
                 eprintln!("unknown target `{other}`");
                 usage();

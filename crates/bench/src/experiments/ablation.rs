@@ -45,7 +45,7 @@ pub fn dump_ablation() -> Vec<DumpAblation> {
                 for &pid in &workload.pids.clone() {
                     workload.kernel.freeze(pid).unwrap();
                 }
-                dump_many(&mut workload.kernel, &workload.pids.clone(), options)
+                dump_many(&mut workload.kernel, &workload.pids.clone(), &options)
                     .expect("dump")
                     .to_bytes()
                     .len()
@@ -72,7 +72,7 @@ pub fn policy_ablation() -> Vec<PolicyAblation> {
         let pid = workload.pids[0];
         workload.kernel.freeze(pid).unwrap();
         let mut image =
-            dynacut_criu::dump(&mut workload.kernel, pid, DumpOptions::default()).unwrap();
+            dynacut_criu::dump(&mut workload.kernel, pid, &DumpOptions::default()).unwrap();
         // A page-spanning target: all the cold modules.
         let mut blocks = Vec::new();
         for func in &workload.exe.functions {

@@ -11,5 +11,6 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig8_incremental;
 pub mod fig9;
+pub mod fleet;
 pub mod plt;
 pub mod table1;

@@ -61,6 +61,8 @@ fn kind_label(kind: &EventKind) -> &'static str {
         EventKind::VerifierReport { .. } => "verifier_report",
         EventKind::TrapHit { .. } => "trap_hit",
         EventKind::GuestMarker { .. } => "guest_marker",
+        EventKind::StageScheduled { .. } => "stage_scheduled",
+        EventKind::StageRetired { .. } => "stage_retired",
         _ => "other",
     }
 }

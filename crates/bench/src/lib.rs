@@ -13,6 +13,7 @@
 //! | [`fig10`] | Fig. 10 — live-block % over time vs RAZOR/Chisel | `experiments::fig10` |
 //! | [`table1`] | Table 1 — Redis CVE mitigation | `experiments::table1` |
 //! | [`plt`] | §4.2 — PLT-entry removal and BROP surface | `experiments::plt` |
+//! | `fleet` | Fleet engine — N-replica customize, dedup + freeze windows | `experiments::fleet` |
 //!
 //! Run them all with `cargo run -p dynacut-bench --bin figures -- all`.
 //!

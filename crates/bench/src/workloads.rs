@@ -103,6 +103,82 @@ pub fn boot_server(server: Server, with_tracer: bool) -> Workload {
     }
 }
 
+/// A fleet of identical server replicas sharing one kernel: the target
+/// of [`dynacut::DynaCut::customize_fleet`].
+pub struct FleetWorkload {
+    /// The kernel every replica runs in.
+    pub kernel: Kernel,
+    /// One process group per replica (single-pid groups for Redis).
+    pub groups: Vec<Vec<Pid>>,
+    /// The shared application binary.
+    pub exe: Arc<Image>,
+    /// Registry with the binary and its libraries.
+    pub registry: ModuleRegistry,
+    /// The shared listening port.
+    pub port: u16,
+}
+
+impl FleetWorkload {
+    /// Every replica pid, flattened.
+    pub fn pids(&self) -> Vec<Pid> {
+        self.groups.iter().flatten().copied().collect()
+    }
+
+    /// Sends one request into the shared listener backlog and returns
+    /// the reply (empty on timeout). Whichever unfrozen replica accepts
+    /// first serves it.
+    pub fn request(&mut self, bytes: &[u8]) -> Vec<u8> {
+        let conn = self
+            .kernel
+            .client_connect(self.port)
+            .expect("fleet listening");
+        let reply = self
+            .kernel
+            .client_request(conn, bytes, 10_000_000)
+            .expect("request");
+        let _ = self.kernel.client_close(conn);
+        reply
+    }
+}
+
+/// Boots `replicas` identical Redis replicas into one kernel. All bind
+/// the same port — the simulated stack models an `SO_REUSEPORT`-style
+/// shared backlog, so any runnable replica accepts — and each runs to
+/// its `EVENT_READY` marker before the next is spawned. Just-booted
+/// replicas of the same binary have near-identical page contents, which
+/// is what the content-addressed checkpoint store dedups across.
+pub fn boot_fleet(replicas: usize) -> FleetWorkload {
+    assert!(replicas > 0, "fleet needs at least one replica");
+    let libc = guest_libc();
+    let exe = redis::image(&libc);
+    let mut kernel = Kernel::new();
+    kernel.add_file(redis::CONFIG_PATH, &redis::config_file());
+    let spec = LoadSpec::with_libs(exe, vec![libc]);
+    let mut registry = ModuleRegistry::new();
+    registry.insert(Arc::clone(&spec.exe));
+    for lib in &spec.libs {
+        registry.insert(Arc::clone(lib));
+    }
+    let exe = Arc::clone(&spec.exe);
+    let mut groups = Vec::with_capacity(replicas);
+    for _ in 0..replicas {
+        let pid = kernel.spawn(&spec).expect("spawn replica");
+        // Waiting per replica keeps the ready markers unambiguous (one
+        // run_until_event call per emission).
+        kernel
+            .run_until_event(EVENT_READY, 500_000_000)
+            .expect("replica initializes");
+        groups.push(vec![pid]);
+    }
+    FleetWorkload {
+        kernel,
+        groups,
+        exe,
+        registry,
+        port: redis::PORT,
+    }
+}
+
 /// Boots one SPEC analogue under the tracer and runs its init phase.
 pub fn boot_spec(program: &spec::SpecProgram) -> Workload {
     let libc = guest_libc();

@@ -42,6 +42,7 @@
 //! ```
 
 pub mod baselines;
+mod engine;
 mod error;
 mod feature;
 mod handler;
@@ -58,6 +59,7 @@ pub use original::OriginalText;
 pub use plan::{BlockPolicy, Downtime, FaultPolicy, RewritePlan};
 pub use profile::Profiler;
 pub use rewrite::{disable_in_image, enable_in_image, remove_blocks_in_image, DisableOutcome};
+pub use engine::{FleetOptions, FleetReport, FleetTotals, Stage};
 pub use session::{CustomizeReport, DynaCut, Timings};
 // The flight-recorder vocabulary [`CustomizeReport::phases`] and the
 // journal assertions speak, re-exported so report consumers need not

@@ -1,16 +1,15 @@
-//! The DynaCut orchestrator: freeze → dump → rewrite → inject → restore.
+//! The DynaCut session: framework state, reports, and the transaction
+//! journal. The customize cycle itself is decomposed into explicit
+//! stages driven by the scheduler in `engine.rs` ([`Stage`](crate::Stage)).
 
-use crate::handler::{build_fault_handler, build_verifier_library, VERIFIER_EVENT_BIT};
-use crate::original::OriginalText;
-use crate::plan::{FaultPolicy, RewritePlan};
-use crate::rewrite::{disable_in_image, enable_in_image, remove_blocks_in_image};
+use crate::handler::VERIFIER_EVENT_BIT;
+use crate::plan::RewritePlan;
 use crate::DynacutError;
 use dynacut_criu::{
-    dump_many, mark_clean_after_dump, pre_dump, CheckpointImage, CheckpointStore, CkptId,
-    DeltaImage, DumpOptions, ModuleRegistry, RestoreTransaction,
+    CheckpointImage, CheckpointStore, CkptId, DumpOptions, ModuleRegistry,
 };
-use dynacut_vm::fault::{self, FaultPhase};
-use dynacut_vm::{EventKind, Kernel, Phase, Pid, RollbackStep, SigAction, Signal};
+use dynacut_vm::{EventKind, Kernel, Phase, Pid, RollbackStep};
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 /// Wall-clock timing breakdown of one customization, matching the legend
@@ -75,18 +74,55 @@ pub struct CustomizeReport {
     pub phases: Vec<(Phase, Duration)>,
 }
 
+impl CustomizeReport {
+    /// Sum of every journalled phase duration — the cycle's total
+    /// wall-clock cost, by construction equal to summing
+    /// [`CustomizeReport::phases`].
+    pub fn phase_total(&self) -> Duration {
+        self.phases.iter().map(|(_, elapsed)| *elapsed).sum()
+    }
+
+    /// This process group's **freeze window**: the summed durations of
+    /// the phases its processes spent frozen (freeze through restore
+    /// commit). The pre-dump runs while the guest serves and the
+    /// baseline store runs after the restored processes are already
+    /// live, so neither counts.
+    pub fn freeze_window(&self) -> Duration {
+        self.phases
+            .iter()
+            .filter(|(phase, _)| {
+                matches!(
+                    phase,
+                    Phase::Freeze
+                        | Phase::Dump
+                        | Phase::ImageEdit
+                        | Phase::Inject
+                        | Phase::RestorePrepare
+                        | Phase::RestoreCommit
+                )
+            })
+            .map(|(_, elapsed)| *elapsed)
+            .sum()
+    }
+}
+
 /// Journals a phase start in the flight recorder and returns the
 /// wall-clock anchor its matching [`end_phase`] measures from. A
 /// `PhaseStart` with no `PhaseEnd` in the journal marks the phase a
 /// failed cycle died in.
-fn start_phase(kernel: &mut Kernel, phase: Phase) -> Instant {
+pub(crate) fn start_phase(kernel: &mut Kernel, phase: Phase) -> Instant {
     kernel.record_flight(None, EventKind::PhaseStart { phase });
     Instant::now()
 }
 
 /// Journals a successful phase end and appends its duration to the
 /// report's per-phase breakdown.
-fn end_phase(kernel: &mut Kernel, report: &mut CustomizeReport, phase: Phase, started: Instant) {
+pub(crate) fn end_phase(
+    kernel: &mut Kernel,
+    report: &mut CustomizeReport,
+    phase: Phase,
+    started: Instant,
+) {
     let elapsed = started.elapsed();
     kernel.record_flight(
         None,
@@ -98,38 +134,44 @@ fn end_phase(kernel: &mut Kernel, report: &mut CustomizeReport, phase: Phase, st
     report.phases.push((phase, elapsed));
 }
 
-/// Pre-customization state one `customize` attempt must restore on
+/// Pre-customization state one customize attempt must restore on
 /// failure (DESIGN §5): which pids it froze, the dirty-page bits the
-/// pre-dump swept, and the incremental baseline it displaced.
-struct TxnJournal {
-    frozen: Vec<Pid>,
-    saved_dirty: Vec<(Pid, Vec<u64>)>,
-    last_baseline: Option<(CkptId, CheckpointImage)>,
+/// pre-dump swept, and the incremental baseline it displaced (keyed by
+/// the process group that owned it).
+pub(crate) struct TxnJournal {
+    pub(crate) frozen: Vec<Pid>,
+    pub(crate) saved_dirty: Vec<(Pid, Vec<u64>)>,
+    pub(crate) baseline_key: Vec<Pid>,
+    pub(crate) last_baseline: Option<(CkptId, CheckpointImage)>,
 }
 
 /// The DynaCut framework handle: a module registry (the "binaries on
 /// disk") plus dump options.
 #[derive(Debug, Clone)]
 pub struct DynaCut {
-    registry: ModuleRegistry,
-    dump_options: DumpOptions,
+    pub(crate) registry: ModuleRegistry,
+    pub(crate) dump_options: DumpOptions,
     /// Incremental checkpointing: pre-dump clean pages while the guest
     /// runs and store dirty-page deltas against the previous baseline.
-    incremental: bool,
-    /// Delta-chain checkpoint store (incremental mode only).
-    store: CheckpointStore,
-    /// The checkpoint the current dirty bitmap is clean against: the
-    /// edited image restored by the previous customization. Cleared when
-    /// a failed cycle leaves the bitmap swept without a stored image.
-    baseline: Option<(CkptId, CheckpointImage)>,
-    injections: u64,
+    pub(crate) incremental: bool,
+    /// Delta-chain checkpoint store (incremental mode only), backed by a
+    /// content-addressed page store shared across every group this
+    /// session customizes.
+    pub(crate) store: CheckpointStore,
+    /// Per process group, the checkpoint its dirty bitmaps are clean
+    /// against: the edited image restored by the group's previous
+    /// customization. A fleet's groups chain independently; an entry is
+    /// removed when a cycle displaces it and re-inserted if that cycle
+    /// fails.
+    pub(crate) baselines: BTreeMap<Vec<Pid>, (CkptId, CheckpointImage)>,
+    pub(crate) injections: u64,
     /// Per-pid accumulated redirect table (blocked addr → resume addr):
     /// every injected handler carries the union of all still-blocked
     /// features, not just the current plan's, so repeated customizations
     /// compose.
-    redirect_state: std::collections::BTreeMap<Pid, std::collections::BTreeMap<u64, u64>>,
+    pub(crate) redirect_state: BTreeMap<Pid, BTreeMap<u64, u64>>,
     /// Per-pid accumulated verifier table (patched addr → original byte).
-    verify_state: std::collections::BTreeMap<Pid, std::collections::BTreeMap<u64, u8>>,
+    pub(crate) verify_state: BTreeMap<Pid, BTreeMap<u64, u8>>,
 }
 
 impl DynaCut {
@@ -140,10 +182,10 @@ impl DynaCut {
             dump_options: DumpOptions::default(),
             incremental: false,
             store: CheckpointStore::new(),
-            baseline: None,
+            baselines: BTreeMap::new(),
             injections: 0,
-            redirect_state: std::collections::BTreeMap::new(),
-            verify_state: std::collections::BTreeMap::new(),
+            redirect_state: BTreeMap::new(),
+            verify_state: BTreeMap::new(),
         }
     }
 
@@ -183,6 +225,11 @@ impl DynaCut {
     /// of each phase are measured and reported; guest-visible downtime is
     /// charged to the kernel clock per [`RewritePlan::downtime`].
     ///
+    /// The cycle runs as the staged sequence of [`crate::Stage`]s
+    /// (pre-dump → freeze → dump → image-edit → inject → restore →
+    /// baseline-store); [`DynaCut::customize_fleet`] drives the same
+    /// stages over many groups, serializing only the freeze windows.
+    ///
     /// The whole cycle is **transactional** (DESIGN §5): on any error —
     /// before, during, or after the restore swap — the kernel is rolled
     /// back to exactly its pre-customization state (processes alive and
@@ -204,366 +251,7 @@ impl DynaCut {
         plan: &RewritePlan,
     ) -> Result<CustomizeReport, DynacutError> {
         plan.validate()?;
-        let mut report = CustomizeReport::default();
-        kernel.record_flight(None, EventKind::CustomizeBegin { pids: pids.len() });
-
-        // Everything this attempt needs to undo on failure. Captured
-        // before the first mutation; consumed by `rollback` (failure) or
-        // dropped (success).
-        let mut journal = TxnJournal {
-            frozen: Vec::new(),
-            saved_dirty: Vec::new(),
-            last_baseline: None,
-        };
-
-        // --- checkpoint -------------------------------------------------
-        let t_checkpoint = Instant::now();
-        // Incremental mode, phase one: copy clean pages while the guest
-        // still runs, so the freeze below only has to move the dirty
-        // residue. The pre-dump sweeps the dirty bitmap; snapshot it
-        // first so a failed cycle can restore it (with the bits intact,
-        // the old baseline stays valid across the failure).
-        let predump = if self.incremental {
-            let t_phase = start_phase(kernel, Phase::PreDump);
-            for &pid in pids {
-                let dirty = match kernel.process(pid) {
-                    Ok(proc) => proc.mem.dirty_pages().collect(),
-                    Err(err) => {
-                        self.rollback(kernel, pids, journal);
-                        return Err(err.into());
-                    }
-                };
-                journal.saved_dirty.push((pid, dirty));
-            }
-            let pre = match pre_dump(kernel, pids) {
-                Ok(pre) => pre,
-                Err(err) => {
-                    self.rollback(kernel, pids, journal);
-                    return Err(err.into());
-                }
-            };
-            // The bitmap now matches no stored checkpoint until a new
-            // baseline is stored below; the journal holds the old one
-            // for rollback.
-            journal.last_baseline = self.baseline.take();
-            end_phase(kernel, &mut report, Phase::PreDump, t_phase);
-            Some(pre)
-        } else {
-            None
-        };
-        let t_phase = start_phase(kernel, Phase::Freeze);
-        for &pid in pids {
-            if let Err(err) = kernel.freeze(pid) {
-                self.rollback(kernel, pids, journal);
-                return Err(err.into());
-            }
-            journal.frozen.push(pid);
-        }
-        end_phase(kernel, &mut report, Phase::Freeze, t_phase);
-        let t_phase = start_phase(kernel, Phase::Dump);
-        let dumped = match &predump {
-            Some(pre) => pre
-                .complete(kernel, pids, self.dump_options)
-                .map(|(checkpoint, stats)| {
-                    (
-                        checkpoint,
-                        stats.frozen_page_bytes,
-                        stats.prewritten_page_bytes,
-                    )
-                }),
-            None => dump_many(kernel, pids, self.dump_options).map(|checkpoint| {
-                let frozen = checkpoint.pages_bytes();
-                (checkpoint, frozen, 0)
-            }),
-        };
-        let mut checkpoint = match dumped {
-            Ok((checkpoint, frozen, prewritten)) => {
-                report.frozen_page_bytes = frozen;
-                report.prewritten_page_bytes = prewritten;
-                checkpoint
-            }
-            Err(err) => {
-                self.rollback(kernel, pids, journal);
-                return Err(err.into());
-            }
-        };
-        // Serialise to the tmpfs-like in-memory store, as the paper does
-        // ("we checkpoint the process images into an in-memory
-        // filesystem, i.e., tmpfs").
-        let tmpfs_bytes = checkpoint.to_bytes();
-        report.image_bytes = tmpfs_bytes.len();
-        end_phase(kernel, &mut report, Phase::Dump, t_phase);
-        report.timings.checkpoint = t_checkpoint.elapsed();
-
-        // --- rewrite ----------------------------------------------------
-        // Session state is mutated on *staged copies* only: the
-        // accumulated redirect/verifier tables, the registry, and the
-        // injection counter all commit together after the restore (and,
-        // in incremental mode, the baseline store) succeed. A failure
-        // anywhere leaves `self` exactly as it was.
-        let t_rewrite = Instant::now();
-        let t_phase = start_phase(kernel, Phase::ImageEdit);
-        let mut staged_redirect_state = self.redirect_state.clone();
-        let mut staged_verify_state = self.verify_state.clone();
-        let mut redirects: Vec<Vec<(u64, u64)>> = vec![Vec::new(); checkpoint.procs.len()];
-        let mut originals: Vec<Vec<(u64, u8)>> = vec![Vec::new(); checkpoint.procs.len()];
-        let result: Result<(), DynacutError> = (|| {
-            for (index, image) in checkpoint.procs.iter_mut().enumerate() {
-                if fault::hit(FaultPhase::ImageEdit) {
-                    return Err(DynacutError::FaultInjected(FaultPhase::ImageEdit));
-                }
-                let pid = image.core.pid;
-                let mut original_text = OriginalText::new();
-                for feature in &plan.enable {
-                    let Some(module) = image
-                        .core
-                        .modules
-                        .iter()
-                        .find(|m| m.name == feature.module)
-                    else {
-                        continue;
-                    };
-                    let base = module.base;
-                    enable_in_image(image, feature, &self.registry, &mut original_text)?;
-                    report.blocks_enabled += feature.blocks.len();
-                    // Re-enabled addresses leave the accumulated tables.
-                    let in_feature = |addr: u64| {
-                        feature
-                            .blocks
-                            .iter()
-                            .any(|b| addr >= base + b.addr && addr < base + b.range().end)
-                    };
-                    if let Some(state) = staged_redirect_state.get_mut(&pid) {
-                        state.retain(|addr, _| !in_feature(*addr));
-                    }
-                    if let Some(state) = staged_verify_state.get_mut(&pid) {
-                        state.retain(|addr, _| !in_feature(*addr));
-                    }
-                }
-                for feature in &plan.disable {
-                    if !image.core.modules.iter().any(|m| m.name == feature.module) {
-                        continue;
-                    }
-                    let outcome = disable_in_image(image, feature, plan.block_policy)?;
-                    report.blocks_disabled += outcome.blocks;
-                    report.bytes_written += outcome.bytes_written;
-                    report.pages_unmapped += outcome.pages_unmapped;
-                    redirects[index].extend(outcome.redirects);
-                    originals[index].extend(outcome.originals);
-                }
-                for (module, blocks) in &plan.remove_blocks {
-                    if !image.core.modules.iter().any(|m| &m.name == module) {
-                        continue;
-                    }
-                    let outcome =
-                        remove_blocks_in_image(image, module, blocks, plan.block_policy)?;
-                    report.blocks_disabled += outcome.blocks;
-                    report.bytes_written += outcome.bytes_written;
-                    report.pages_unmapped += outcome.pages_unmapped;
-                    originals[index].extend(outcome.originals);
-                }
-                if let Some(allowed) = &plan.allow_syscalls {
-                    let mut mask = 0u64;
-                    for &sysno in allowed {
-                        // `validate` bounds every number; `checked_shl`
-                        // keeps even a hypothetically unvalidated plan
-                        // from overflowing the shift.
-                        debug_assert!(sysno < u64::from(dynacut_vm::SYSCALL_FILTER_BITS));
-                        mask |= 1u64.checked_shl(sysno as u32).unwrap_or(0);
-                    }
-                    // Signal delivery always needs sigreturn.
-                    mask |= 1 << (dynacut_vm::Sysno::Sigreturn as u64);
-                    image.set_syscall_filter(mask);
-                }
-                // Fold this plan's effects into the staged accumulated
-                // state and emit the union tables for the handler build
-                // below.
-                let redirect_acc = staged_redirect_state.entry(pid).or_default();
-                for (from, to) in redirects[index].drain(..) {
-                    redirect_acc.insert(from, to);
-                }
-                redirects[index] = redirect_acc.iter().map(|(&f, &t)| (f, t)).collect();
-                let verify_acc = staged_verify_state.entry(pid).or_default();
-                for (addr, byte) in originals[index].drain(..) {
-                    verify_acc.entry(addr).or_insert(byte);
-                }
-                originals[index] = verify_acc.iter().map(|(&a, &b)| (a, b)).collect();
-            }
-            Ok(())
-        })();
-        if let Err(err) = result {
-            self.rollback(kernel, pids, journal);
-            return Err(err);
-        }
-        end_phase(kernel, &mut report, Phase::ImageEdit, t_phase);
-        report.timings.disable_code = t_rewrite.elapsed();
-
-        // --- fault handler ----------------------------------------------
-        let t_handler = Instant::now();
-        let t_phase = start_phase(kernel, Phase::Inject);
-        // Restore resolves every module named in the images, so built
-        // libraries join the (staged) framework registry — later dumps
-        // will see them mapped once the cycle commits.
-        let mut staged_registry = self.registry.clone();
-        let mut staged_injections = self.injections;
-        let handler_result: Result<(), DynacutError> = (|| {
-            if plan.fault_policy == FaultPolicy::Terminate {
-                return Ok(());
-            }
-            for (index, image) in checkpoint.procs.iter_mut().enumerate() {
-                let mut library = match plan.fault_policy {
-                    FaultPolicy::Redirect => build_fault_handler(&redirects[index])?,
-                    FaultPolicy::Verify => build_verifier_library(&originals[index])?,
-                    FaultPolicy::Terminate => unreachable!(),
-                };
-                // Repeated customizations inject repeatedly: keep module
-                // names unique so the registry and module tables stay
-                // unambiguous.
-                staged_injections += 1;
-                library.name = format!("{}@{}", library.name, staged_injections);
-                // "By default, DynaCut loads the shared library into a
-                // randomized but unused location" (paper §3.2.1). The RNG
-                // is seeded per injection so runs stay reproducible.
-                let base = {
-                    use rand::{Rng, SeedableRng};
-                    let mut rng = rand::rngs::StdRng::seed_from_u64(
-                        0xD1AC_0DE5 ^ (staged_injections << 8) ^ u64::from(image.core.pid.0),
-                    );
-                    let window_pages: u64 = 1 << 18; // a 1 GiB placement window
-                    let hint = 0x6000_0000_0000u64
-                        + (rng.gen::<u64>() % window_pages) * dynacut_obj::PAGE_SIZE;
-                    image
-                        .mm
-                        .find_free(hint, dynacut_obj::page_align(library.footprint()))
-                };
-                let base = image.inject_library(&library, Some(base), &staged_registry)?;
-                staged_registry.insert(std::sync::Arc::new(library.clone()));
-                let handler = base + library.symbols["dc_handler"].offset;
-                let restorer = base + library.symbols["dc_restorer"].offset;
-                image.set_sigaction(
-                    Signal::Sigtrap,
-                    SigAction {
-                        handler,
-                        restorer,
-                        mask: 0,
-                    },
-                );
-                report.handler_bases.push((image.core.pid, base));
-            }
-            Ok(())
-        })();
-        if let Err(err) = handler_result {
-            self.rollback(kernel, pids, journal);
-            return Err(err);
-        }
-        for &(pid, base) in &report.handler_bases {
-            kernel.record_flight(Some(pid), EventKind::LibraryInjected { base });
-        }
-        end_phase(kernel, &mut report, Phase::Inject, t_phase);
-        report.timings.insert_sighandler = t_handler.elapsed();
-
-        // --- restore ----------------------------------------------------
-        // Staged: every replacement process is fully built before the
-        // first original is touched, and the swap itself rolls back on a
-        // mid-commit failure (see `RestoreTransaction`).
-        let t_restore = Instant::now();
-        let t_phase = start_phase(kernel, Phase::RestorePrepare);
-        let txn = match RestoreTransaction::prepare(kernel, &checkpoint, &staged_registry) {
-            Ok(txn) => txn,
-            Err(err) => {
-                self.rollback(kernel, pids, journal);
-                return Err(err.into());
-            }
-        };
-        end_phase(kernel, &mut report, Phase::RestorePrepare, t_phase);
-        let t_phase = start_phase(kernel, Phase::RestoreCommit);
-        let committed = match txn.commit(kernel) {
-            Ok(committed) => committed,
-            Err(err) => {
-                self.rollback(kernel, pids, journal);
-                return Err(err.into());
-            }
-        };
-        end_phase(kernel, &mut report, Phase::RestoreCommit, t_phase);
-        report.timings.restore = t_restore.elapsed();
-
-        if self.incremental {
-            // The restored memory now equals the edited checkpoint on
-            // every clean page, so sweep the bitmap and make that image
-            // the new baseline — stored as a dirty-page delta when the
-            // chain has a parent. A failure here still rolls the whole
-            // cycle back: the committed restore is undone first, putting
-            // the original (frozen) processes back for the journal
-            // rollback to thaw.
-            let t_phase = start_phase(kernel, Phase::BaselineStore);
-            let stored: Result<CkptId, DynacutError> = (|| {
-                mark_clean_after_dump(kernel, pids)?;
-                if fault::hit(FaultPhase::BaselineStore) {
-                    return Err(DynacutError::FaultInjected(FaultPhase::BaselineStore));
-                }
-                match &journal.last_baseline {
-                    Some((parent_id, parent)) => {
-                        let delta = DeltaImage::diff(*parent_id, parent, &checkpoint);
-                        report.stored_page_bytes = Some(delta.pages_bytes());
-                        Ok(self.store.put_delta(delta)?)
-                    }
-                    None => {
-                        report.stored_page_bytes = Some(checkpoint.pages_bytes());
-                        Ok(self.store.put_full(checkpoint.clone()))
-                    }
-                }
-            })();
-            let id = match stored {
-                Ok(id) => id,
-                Err(err) => {
-                    kernel.record_flight(
-                        None,
-                        EventKind::RollbackStep {
-                            step: RollbackStep::UndoRestore,
-                        },
-                    );
-                    committed.undo(kernel);
-                    self.rollback(kernel, pids, journal);
-                    return Err(err);
-                }
-            };
-            end_phase(kernel, &mut report, Phase::BaselineStore, t_phase);
-            report.checkpoint_id = Some(id);
-            self.baseline = Some((id, checkpoint));
-        }
-
-        // --- commit -----------------------------------------------------
-        // Everything succeeded: fold the staged session state in and
-        // charge the guest-visible downtime. `journal` is dropped — the
-        // originals it would have resurrected no longer exist.
-        self.redirect_state = staged_redirect_state;
-        self.verify_state = staged_verify_state;
-        self.registry = staged_registry;
-        self.injections = staged_injections;
-        // Label future SIGTRAP hits on the targets with the policy that
-        // planted the trap bytes, and fold this cycle's counts into the
-        // metrics registry.
-        let policy_label = match plan.fault_policy {
-            FaultPolicy::Redirect => "redirect",
-            FaultPolicy::Verify => "verify",
-            FaultPolicy::Terminate => "terminate",
-        };
-        for &pid in pids {
-            kernel.flight_mut().set_trap_policy(pid, policy_label);
-        }
-        let metrics = kernel.flight_mut().metrics_mut();
-        metrics.incr("customize.commits", 1);
-        metrics.incr("blocks_patched", report.blocks_disabled as u64);
-        metrics.incr("bytes_patched", report.bytes_written);
-        metrics.incr("pages_precopied_bytes", report.prewritten_page_bytes as u64);
-        metrics.incr("pages_frozen_bytes", report.frozen_page_bytes as u64);
-        metrics.incr("injections", report.handler_bases.len() as u64);
-        for (phase, elapsed) in &report.phases {
-            metrics.observe(&format!("phase.{phase}"), elapsed.as_nanos() as u64);
-        }
-        kernel.record_flight(None, EventKind::CustomizeCommit);
-        kernel.advance_clock(plan.downtime.charge_ns(report.timings.total()));
-        Ok(report)
+        self.run_cycle(kernel, pids, plan)
     }
 
     /// Reverts a failed customization to the pre-call kernel state:
@@ -571,7 +259,7 @@ impl DynaCut {
     /// scheduler state), takes every connection of the target pids out
     /// of TCP repair mode, re-marks the dirty pages the pre-dump swept,
     /// and restores the incremental baseline the attempt displaced.
-    fn rollback(&mut self, kernel: &mut Kernel, pids: &[Pid], journal: TxnJournal) {
+    pub(crate) fn rollback(&mut self, kernel: &mut Kernel, pids: &[Pid], journal: TxnJournal) {
         for &pid in &journal.frozen {
             let _ = kernel.thaw(pid);
             kernel.record_flight(
@@ -606,8 +294,8 @@ impl DynaCut {
                 },
             );
         }
-        if journal.last_baseline.is_some() {
-            self.baseline = journal.last_baseline;
+        if let Some(baseline) = journal.last_baseline {
+            self.baselines.insert(journal.baseline_key, baseline);
             kernel.record_flight(
                 None,
                 EventKind::RollbackStep {

@@ -40,7 +40,7 @@ fn main() {
     kernel.run_until_event(1, 1_000_000).expect("guest up");
     kernel.freeze(pid).expect("freeze");
     let checkpoint =
-        dump_many(&mut kernel, &[pid], DumpOptions::default()).expect("dump");
+        dump_many(&mut kernel, &[pid], &DumpOptions::default()).expect("dump");
     let bytes = checkpoint.to_bytes();
     std::fs::write(&path, &bytes).expect("write checkpoint");
     println!(

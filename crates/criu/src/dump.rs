@@ -42,7 +42,11 @@ impl DumpOptions {
 /// # Errors
 ///
 /// Fails if the process does not exist or is not frozen.
-pub fn dump(kernel: &mut Kernel, pid: Pid, options: DumpOptions) -> Result<ProcessImage, CriuError> {
+pub fn dump(
+    kernel: &mut Kernel,
+    pid: Pid,
+    options: &DumpOptions,
+) -> Result<ProcessImage, CriuError> {
     if dynacut_vm::fault::hit(dynacut_vm::fault::FaultPhase::Dump) {
         return Err(CriuError::FaultInjected(dynacut_vm::fault::FaultPhase::Dump));
     }
@@ -168,7 +172,7 @@ pub fn dump(kernel: &mut Kernel, pid: Pid, options: DumpOptions) -> Result<Proce
 pub fn dump_many(
     kernel: &mut Kernel,
     pids: &[Pid],
-    options: DumpOptions,
+    options: &DumpOptions,
 ) -> Result<CheckpointImage, CriuError> {
     let mut procs = Vec::with_capacity(pids.len());
     for &pid in pids {

@@ -32,6 +32,7 @@
 
 use crate::dump::{dump, dump_many, DumpOptions};
 use crate::images::*;
+use crate::page_store::{PageStore, SharedPages};
 use crate::CriuError;
 use dynacut_obj::PAGE_SIZE;
 use dynacut_vm::{Kernel, Pid};
@@ -243,7 +244,7 @@ pub fn materialize_chain<'a>(
 pub fn dump_incremental(
     kernel: &mut Kernel,
     pids: &[Pid],
-    options: DumpOptions,
+    options: &DumpOptions,
     parent_id: CkptId,
     parent: &CheckpointImage,
 ) -> Result<DeltaImage, CriuError> {
@@ -379,7 +380,7 @@ impl PreDump {
         &self,
         kernel: &mut Kernel,
         pids: &[Pid],
-        options: DumpOptions,
+        options: &DumpOptions,
     ) -> Result<(CheckpointImage, PreDumpStats), CriuError> {
         let checkpoint = dump_many(kernel, pids, options)?;
         let page = PAGE_SIZE as usize;
@@ -408,31 +409,65 @@ impl PreDump {
     }
 }
 
-/// One entry of a [`CheckpointStore`].
+/// One entry of a [`CheckpointStore`]: the checkpoint's *skeleton*
+/// (registers, VMAs, pagemaps, descriptors, TCP state — everything but
+/// the page bytes) plus one [`SharedPages`] reference set per process.
+/// The page payload itself lives, deduplicated, in the store's
+/// [`PageStore`].
 #[derive(Debug, Clone)]
 pub enum StoredCheckpoint {
     /// A self-contained checkpoint.
-    Full(CheckpointImage),
+    Full {
+        /// The checkpoint with every process's `pages.bytes` emptied.
+        skeleton: CheckpointImage,
+        /// Interned page payload, one entry per process, in `procs` order.
+        pages: Vec<SharedPages>,
+    },
     /// A delta referencing an earlier entry.
-    Delta(DeltaImage),
+    Delta {
+        /// The delta with every process's `pages.bytes` emptied.
+        skeleton: DeltaImage,
+        /// Interned dirty-page payload, one entry per process.
+        pages: Vec<SharedPages>,
+    },
 }
 
 impl StoredCheckpoint {
-    /// Page payload bytes this entry occupies in the store.
+    /// Logical page payload of this entry — what a store without content
+    /// addressing would hold for it (full payload for a full checkpoint,
+    /// the dirty payload for a delta).
     pub fn pages_bytes(&self) -> usize {
         match self {
-            StoredCheckpoint::Full(image) => image.pages_bytes(),
-            StoredCheckpoint::Delta(delta) => delta.pages_bytes(),
+            StoredCheckpoint::Full { pages, .. } | StoredCheckpoint::Delta { pages, .. } => {
+                pages.iter().map(SharedPages::pages_bytes).sum()
+            }
+        }
+    }
+
+    fn shared_pages(&self) -> &[SharedPages] {
+        match self {
+            StoredCheckpoint::Full { pages, .. } | StoredCheckpoint::Delta { pages, .. } => pages,
         }
     }
 }
 
-/// The tmpfs-like checkpoint store, extended to hold delta chains.
+/// The tmpfs-like checkpoint store, extended to hold delta chains and
+/// backed by a content-addressed [`PageStore`]: every dump written into
+/// the store interns its page payload (N processes running the same
+/// binary share one copy of every identical page; repeated cycles dedup
+/// against prior checkpoints), and every materialization reads back
+/// through it bit-identically.
+///
 /// Entries get sequential [`CkptId`]s; a delta's parent must already be
-/// stored, so chains always resolve backwards.
+/// stored (and not released), so chains always resolve backwards.
+/// [`release`] drops an entry and its page references; released ids —
+/// and chains through them — fail with [`CriuError::MissingParent`].
+///
+/// [`release`]: CheckpointStore::release
 #[derive(Debug, Clone, Default)]
 pub struct CheckpointStore {
-    entries: Vec<StoredCheckpoint>,
+    entries: Vec<Option<StoredCheckpoint>>,
+    pages: PageStore,
 }
 
 impl CheckpointStore {
@@ -441,67 +476,242 @@ impl CheckpointStore {
         Self::default()
     }
 
-    /// Stores a full checkpoint, returning its id.
-    pub fn put_full(&mut self, image: CheckpointImage) -> CkptId {
-        self.entries.push(StoredCheckpoint::Full(image));
+    /// Stores a full checkpoint, interning its page payload, and returns
+    /// its id.
+    pub fn put_full(&mut self, mut image: CheckpointImage) -> CkptId {
+        let pages = image
+            .procs
+            .iter_mut()
+            .map(|proc| {
+                let shared = SharedPages::intern(&mut self.pages, &proc.pages);
+                proc.pages.bytes.clear();
+                shared
+            })
+            .collect();
+        self.entries.push(Some(StoredCheckpoint::Full {
+            skeleton: image,
+            pages,
+        }));
         CkptId(self.entries.len() as u64 - 1)
     }
 
-    /// Stores a delta, validating that its parent exists.
+    /// Stores a delta, interning its dirty-page payload and validating
+    /// that its parent exists and has not been released.
     ///
     /// # Errors
     ///
-    /// Fails with [`CriuError::MissingParent`] if the parent id is not in
-    /// the store.
-    pub fn put_delta(&mut self, delta: DeltaImage) -> Result<CkptId, CriuError> {
-        if delta.parent.0 as usize >= self.entries.len() {
+    /// Fails with [`CriuError::MissingParent`] if the parent id is not
+    /// live in the store.
+    pub fn put_delta(&mut self, mut delta: DeltaImage) -> Result<CkptId, CriuError> {
+        if self.get(delta.parent).is_none() {
             return Err(CriuError::MissingParent(delta.parent));
         }
-        self.entries.push(StoredCheckpoint::Delta(delta));
+        let pages = delta
+            .procs
+            .iter_mut()
+            .map(|proc| {
+                let shared = SharedPages::intern(&mut self.pages, &proc.pages);
+                proc.pages.bytes.clear();
+                shared
+            })
+            .collect();
+        self.entries.push(Some(StoredCheckpoint::Delta {
+            skeleton: delta,
+            pages,
+        }));
         Ok(CkptId(self.entries.len() as u64 - 1))
     }
 
-    /// Looks up an entry.
+    /// Looks up a live entry. The entry is a skeleton — page payloads
+    /// live in the [`PageStore`]; use [`materialize`] to rehydrate.
+    ///
+    /// [`materialize`]: CheckpointStore::materialize
     pub fn get(&self, id: CkptId) -> Option<&StoredCheckpoint> {
-        self.entries.get(id.0 as usize)
+        self.entries.get(id.0 as usize).and_then(Option::as_ref)
     }
 
-    /// Number of stored entries.
+    /// Releases a checkpoint: drops its entry and one page-store
+    /// reference per page it interned; bytes no other checkpoint shares
+    /// are freed. Ids are never reused, so later [`materialize`] or
+    /// [`CheckpointStore::put_delta`] calls naming this id (or chaining through it) fail
+    /// with [`CriuError::MissingParent`].
+    ///
+    /// [`materialize`]: CheckpointStore::materialize
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`CriuError::MissingParent`] if the id is absent or
+    /// already released.
+    pub fn release(&mut self, id: CkptId) -> Result<(), CriuError> {
+        let slot = self
+            .entries
+            .get_mut(id.0 as usize)
+            .ok_or(CriuError::MissingParent(id))?;
+        let entry = slot.take().ok_or(CriuError::MissingParent(id))?;
+        for shared in entry.shared_pages() {
+            shared.release(&mut self.pages);
+        }
+        Ok(())
+    }
+
+    /// Number of live entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.entries.iter().flatten().count()
     }
 
-    /// Whether the store is empty.
+    /// Whether the store holds no live entries.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
-    /// Total page payload across all entries — what the store's "tmpfs"
-    /// actually holds, the sum a full-dump-only policy would inflate.
+    /// Total **logical** page payload across live entries — what a store
+    /// without delta chains *and* without content addressing would hold,
+    /// the sum a full-dump-only policy would inflate. The physically
+    /// held bytes are [`unique_pages_bytes`].
+    ///
+    /// [`unique_pages_bytes`]: CheckpointStore::unique_pages_bytes
     pub fn stored_pages_bytes(&self) -> usize {
-        self.entries.iter().map(|entry| entry.pages_bytes()).sum()
+        self.entries
+            .iter()
+            .flatten()
+            .map(StoredCheckpoint::pages_bytes)
+            .sum()
+    }
+
+    /// The content-addressed page store backing this checkpoint store.
+    pub fn page_store(&self) -> &PageStore {
+        &self.pages
+    }
+
+    /// Physically held page bytes: one copy per distinct page content.
+    pub fn unique_pages_bytes(&self) -> usize {
+        self.pages.unique_bytes()
+    }
+
+    /// Page bytes written through the store (references × page size).
+    pub fn logical_pages_bytes(&self) -> usize {
+        self.pages.logical_bytes()
+    }
+
+    /// Page bytes deduplicated away: `logical − unique`.
+    pub fn shared_pages_bytes(&self) -> usize {
+        self.pages.shared_bytes()
+    }
+
+    /// Dedup win of the content addressing: `logical / unique` (1.0 when
+    /// empty).
+    pub fn dedup_ratio(&self) -> f64 {
+        self.pages.dedup_ratio()
+    }
+
+    /// Rehydrates one live entry's page payload from the page store.
+    fn rehydrate(&self, entry: &StoredCheckpoint) -> Result<RehydratedCheckpoint, CriuError> {
+        match entry {
+            StoredCheckpoint::Full { skeleton, pages } => {
+                let mut image = skeleton.clone();
+                for (proc, shared) in image.procs.iter_mut().zip(pages) {
+                    proc.pages = shared.materialize(&self.pages)?;
+                }
+                Ok(RehydratedCheckpoint::Full(image))
+            }
+            StoredCheckpoint::Delta { skeleton, pages } => {
+                let mut delta = skeleton.clone();
+                for (proc, shared) in delta.procs.iter_mut().zip(pages) {
+                    proc.pages = shared.materialize(&self.pages)?;
+                }
+                Ok(RehydratedCheckpoint::Delta(delta))
+            }
+        }
     }
 
     /// Materializes the checkpoint `id` by walking its delta chain back
-    /// to the nearest full checkpoint and replaying the deltas in order.
+    /// to the nearest full checkpoint, rehydrating every page payload
+    /// from the content-addressed store, and replaying the deltas in
+    /// order. Bit-identical to the images originally written in.
     ///
     /// # Errors
     ///
     /// Fails with [`CriuError::MissingParent`] if `id` or any ancestor is
-    /// absent, or propagates [`apply_delta`] failures.
+    /// absent or released, or propagates [`apply_delta`] failures.
     pub fn materialize(&self, id: CkptId) -> Result<CheckpointImage, CriuError> {
-        let mut chain: Vec<&DeltaImage> = Vec::new();
+        let mut chain: Vec<DeltaImage> = Vec::new();
         let mut cursor = id;
         let base = loop {
             match self.get(cursor) {
                 None => return Err(CriuError::MissingParent(cursor)),
-                Some(StoredCheckpoint::Full(image)) => break image,
-                Some(StoredCheckpoint::Delta(delta)) => {
-                    chain.push(delta);
-                    cursor = delta.parent;
-                }
+                Some(entry) => match self.rehydrate(entry)? {
+                    RehydratedCheckpoint::Full(image) => break image,
+                    RehydratedCheckpoint::Delta(delta) => {
+                        cursor = delta.parent;
+                        chain.push(delta);
+                    }
+                },
             }
         };
-        materialize_chain(base, chain.into_iter().rev())
+        materialize_chain(&base, chain.iter().rev())
     }
+
+    /// Dumps frozen processes straight **through** the store: a full
+    /// [`dump_many`] whose page payload is interned on the way in.
+    /// Returns the new entry's id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`dump_many`] failures.
+    pub fn dump_full(
+        &mut self,
+        kernel: &mut Kernel,
+        pids: &[Pid],
+        options: &DumpOptions,
+    ) -> Result<CkptId, CriuError> {
+        let image = dump_many(kernel, pids, options)?;
+        Ok(self.put_full(image))
+    }
+
+    /// Dumps frozen processes as a delta against a stored parent,
+    /// reading the parent back through the page store and interning the
+    /// dirty payload on the way in. Returns the new entry's id.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`CriuError::MissingParent`] if the parent is absent
+    /// or released; propagates [`dump_incremental`] failures.
+    pub fn dump_delta(
+        &mut self,
+        kernel: &mut Kernel,
+        pids: &[Pid],
+        options: &DumpOptions,
+        parent_id: CkptId,
+    ) -> Result<CkptId, CriuError> {
+        let parent = self.materialize(parent_id)?;
+        let delta = dump_incremental(kernel, pids, options, parent_id, &parent)?;
+        self.put_delta(delta)
+    }
+
+    /// Restores the checkpoint `id` **through** the store: the delta
+    /// chain and every page payload are read back from the
+    /// content-addressed store and the processes are rebuilt with
+    /// [`restore_many`] — bit-identical to restoring the original dump.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`materialize`] and [`restore_many`] failures.
+    ///
+    /// [`materialize`]: CheckpointStore::materialize
+    /// [`restore_many`]: crate::restore_many
+    pub fn restore(
+        &self,
+        kernel: &mut Kernel,
+        id: CkptId,
+        registry: &crate::ModuleRegistry,
+    ) -> Result<Vec<Pid>, CriuError> {
+        let image = self.materialize(id)?;
+        crate::restore_many(kernel, &image, registry)
+    }
+}
+
+/// A store entry with its page payload read back out of the page store.
+enum RehydratedCheckpoint {
+    Full(CheckpointImage),
+    Delta(DeltaImage),
 }

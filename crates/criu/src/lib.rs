@@ -37,6 +37,7 @@ mod dump;
 mod edit;
 mod images;
 mod incremental;
+mod page_store;
 mod restore;
 mod text;
 
@@ -50,6 +51,7 @@ pub use incremental::{
     CheckpointStore, CkptId, DeltaImage, DeltaProcessImage, PreDump, PreDumpStats,
     StoredCheckpoint,
 };
+pub use page_store::{PageKey, PageStore, SharedPages};
 pub use restore::{
     build_process, restore, restore_chain, restore_many, CommittedRestore, ModuleRegistry,
     RestoreTransaction, StagedProcess,

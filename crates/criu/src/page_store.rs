@@ -1,0 +1,271 @@
+//! Content-addressed, refcounted page storage.
+//!
+//! A fleet of processes running the same binary dumps the same text,
+//! rodata and (mostly) heap pages N times over; repeated incremental
+//! cycles of one process dump the same clean pages again and again. The
+//! [`PageStore`] collapses all of that to **one stored copy per distinct
+//! page content**: pages are keyed by a content hash ([`PageKey`]) and
+//! refcounted, so a checkpoint store holds page *references* while the
+//! bytes live here exactly once.
+//!
+//! Invariants:
+//!
+//! * **Bit identity** — [`SharedPages::intern`] followed by
+//!   [`SharedPages::materialize`] reproduces the original
+//!   [`PagesImage`] byte for byte (tested by property in
+//!   `tests/page_store.rs`).
+//! * **Refcount lifecycle** — every `intern` bumps the refcount of each
+//!   page it references; [`SharedPages::release`] decrements them and a
+//!   page's bytes are dropped exactly when its last reference goes.
+//!   Materializing after release fails loudly
+//!   ([`CriuError::Inconsistent`]) instead of fabricating pages.
+//! * **Accounting** — [`PageStore::logical_bytes`] counts what callers
+//!   handed in (references × page size), [`PageStore::unique_bytes`]
+//!   counts what is actually held; their ratio is the dedup win the
+//!   fleet experiment reports.
+
+use crate::images::PagesImage;
+use crate::CriuError;
+use dynacut_obj::PAGE_SIZE;
+use std::collections::BTreeMap;
+
+/// Content hash of one page: 128-bit FNV-1a over the page bytes.
+///
+/// 128 bits keep accidental collisions out of reach for any realistic
+/// store size; [`PageStore::intern`] additionally debug-asserts byte
+/// equality on every hash hit, so a collision cannot silently corrupt a
+/// checkpoint in test builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageKey(u128);
+
+impl PageKey {
+    /// Hashes one page's bytes.
+    pub fn of(bytes: &[u8]) -> Self {
+        const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+        const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013B;
+        let mut hash = OFFSET;
+        for &byte in bytes {
+            hash ^= u128::from(byte);
+            hash = hash.wrapping_mul(PRIME);
+        }
+        PageKey(hash)
+    }
+}
+
+impl std::fmt::Display for PageKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "page-{:032x}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PageEntry {
+    bytes: Vec<u8>,
+    refs: u64,
+}
+
+/// The content-addressed store: hash → (page bytes, refcount).
+#[derive(Debug, Clone, Default)]
+pub struct PageStore {
+    pages: BTreeMap<PageKey, PageEntry>,
+}
+
+impl PageStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns one page, bumping its refcount, and returns its key. The
+    /// bytes are copied only on first sight.
+    pub fn intern(&mut self, bytes: &[u8]) -> PageKey {
+        let key = PageKey::of(bytes);
+        let entry = self.pages.entry(key).or_insert_with(|| PageEntry {
+            bytes: bytes.to_vec(),
+            refs: 0,
+        });
+        debug_assert_eq!(entry.bytes, bytes, "page hash collision on {key}");
+        entry.refs += 1;
+        key
+    }
+
+    /// The bytes of an interned page, if it is still referenced.
+    pub fn get(&self, key: PageKey) -> Option<&[u8]> {
+        self.pages.get(&key).map(|entry| entry.bytes.as_slice())
+    }
+
+    /// Current refcount of a page (0 if absent).
+    pub fn refs(&self, key: PageKey) -> u64 {
+        self.pages.get(&key).map_or(0, |entry| entry.refs)
+    }
+
+    /// Drops one reference; the bytes are freed when the last one goes.
+    pub fn release(&mut self, key: PageKey) {
+        if let Some(entry) = self.pages.get_mut(&key) {
+            entry.refs -= 1;
+            if entry.refs == 0 {
+                self.pages.remove(&key);
+            }
+        }
+    }
+
+    /// Number of distinct pages held.
+    pub fn unique_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Bytes actually held: one copy per distinct page content.
+    pub fn unique_bytes(&self) -> usize {
+        self.pages.values().map(|entry| entry.bytes.len()).sum()
+    }
+
+    /// Bytes callers handed in: every reference counts its page size.
+    /// This is what a store without dedup would hold.
+    pub fn logical_bytes(&self) -> usize {
+        self.pages
+            .values()
+            .map(|entry| entry.refs as usize * entry.bytes.len())
+            .sum()
+    }
+
+    /// Bytes shared away: `logical_bytes − unique_bytes`, i.e. the
+    /// copies the content addressing made unnecessary.
+    pub fn shared_bytes(&self) -> usize {
+        self.logical_bytes() - self.unique_bytes()
+    }
+
+    /// Dedup win: `logical_bytes / unique_bytes` (1.0 when empty). ≥ 1.0
+    /// by construction.
+    pub fn dedup_ratio(&self) -> f64 {
+        let unique = self.unique_bytes();
+        if unique == 0 {
+            return 1.0;
+        }
+        self.logical_bytes() as f64 / unique as f64
+    }
+}
+
+/// The interned form of a [`PagesImage`]: an ordered list of page
+/// references into a [`PageStore`]. Holding one of these *is* holding a
+/// reference on every page it lists — drop it through [`release`]
+/// (never silently), and rebuild the original byte-identical payload
+/// with [`materialize`].
+///
+/// [`release`]: SharedPages::release
+/// [`materialize`]: SharedPages::materialize
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharedPages {
+    keys: Vec<PageKey>,
+}
+
+impl SharedPages {
+    /// Interns every page of `pages` (in order), taking one reference on
+    /// each.
+    pub fn intern(store: &mut PageStore, pages: &PagesImage) -> Self {
+        let keys = pages
+            .bytes
+            .chunks(PAGE_SIZE as usize)
+            .map(|page| store.intern(page))
+            .collect();
+        SharedPages { keys }
+    }
+
+    /// Rebuilds the original [`PagesImage`], byte for byte.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`CriuError::Inconsistent`] if any referenced page is
+    /// gone — i.e. these shared pages were already released.
+    pub fn materialize(&self, store: &PageStore) -> Result<PagesImage, CriuError> {
+        let mut bytes = Vec::with_capacity(self.keys.len() * PAGE_SIZE as usize);
+        for &key in &self.keys {
+            let page = store.get(key).ok_or_else(|| {
+                CriuError::Inconsistent(format!("{key} is not in the page store"))
+            })?;
+            bytes.extend_from_slice(page);
+        }
+        Ok(PagesImage { bytes })
+    }
+
+    /// Releases one reference on every page listed.
+    pub fn release(&self, store: &mut PageStore) {
+        for &key in &self.keys {
+            store.release(key);
+        }
+    }
+
+    /// Number of page references held.
+    pub fn page_count(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Logical payload size: references × page size.
+    pub fn pages_bytes(&self) -> usize {
+        self.keys.len() * PAGE_SIZE as usize
+    }
+
+    /// The page keys, in payload order.
+    pub fn keys(&self) -> &[PageKey] {
+        &self.keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(fill: u8) -> Vec<u8> {
+        vec![fill; PAGE_SIZE as usize]
+    }
+
+    #[test]
+    fn intern_dedups_and_refcounts() {
+        let mut store = PageStore::new();
+        let a1 = store.intern(&page(0xAA));
+        let a2 = store.intern(&page(0xAA));
+        let b = store.intern(&page(0xBB));
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_eq!(store.unique_pages(), 2);
+        assert_eq!(store.refs(a1), 2);
+        assert_eq!(store.refs(b), 1);
+        assert_eq!(store.logical_bytes(), 3 * PAGE_SIZE as usize);
+        assert_eq!(store.unique_bytes(), 2 * PAGE_SIZE as usize);
+        assert_eq!(store.shared_bytes(), PAGE_SIZE as usize);
+    }
+
+    #[test]
+    fn release_frees_at_zero_refs() {
+        let mut store = PageStore::new();
+        let key = store.intern(&page(0x11));
+        store.intern(&page(0x11));
+        store.release(key);
+        assert_eq!(store.refs(key), 1);
+        assert!(store.get(key).is_some());
+        store.release(key);
+        assert_eq!(store.refs(key), 0);
+        assert!(store.get(key).is_none());
+        assert_eq!(store.unique_bytes(), 0);
+        assert_eq!(store.dedup_ratio(), 1.0);
+    }
+
+    #[test]
+    fn shared_pages_round_trip_bit_identical() {
+        let mut store = PageStore::new();
+        let mut image = PagesImage::default();
+        image.bytes.extend_from_slice(&page(0x01));
+        image.bytes.extend_from_slice(&page(0x02));
+        image.bytes.extend_from_slice(&page(0x01));
+        let shared = SharedPages::intern(&mut store, &image);
+        assert_eq!(shared.page_count(), 3);
+        assert_eq!(store.unique_pages(), 2);
+        let back = shared.materialize(&store).unwrap();
+        assert_eq!(back, image);
+        shared.release(&mut store);
+        assert_eq!(store.unique_pages(), 0);
+        assert!(matches!(
+            shared.materialize(&store),
+            Err(CriuError::Inconsistent(_))
+        ));
+    }
+}

@@ -92,7 +92,7 @@ fn boot() -> Setup {
 #[test]
 fn dump_requires_frozen_process() {
     let mut setup = boot();
-    assert!(dump(&mut setup.kernel, setup.pid, DumpOptions::default()).is_err());
+    assert!(dump(&mut setup.kernel, setup.pid, &DumpOptions::default()).is_err());
 }
 
 #[test]
@@ -103,7 +103,7 @@ fn dump_restore_identity_preserves_behaviour() {
     assert_eq!(reply, b"dflt");
 
     setup.kernel.freeze(setup.pid).unwrap();
-    let image = dump(&mut setup.kernel, setup.pid, DumpOptions::default()).unwrap();
+    let image = dump(&mut setup.kernel, setup.pid, &DumpOptions::default()).unwrap();
     setup.kernel.remove_process(setup.pid).unwrap();
     let pid = restore(&mut setup.kernel, &image, &setup.registry).unwrap();
     assert_eq!(pid, setup.pid);
@@ -119,7 +119,7 @@ fn dump_restore_identity_preserves_behaviour() {
 fn restore_preserves_registers_and_memory_exactly() {
     let mut setup = boot();
     setup.kernel.freeze(setup.pid).unwrap();
-    let image = dump(&mut setup.kernel, setup.pid, DumpOptions::default()).unwrap();
+    let image = dump(&mut setup.kernel, setup.pid, &DumpOptions::default()).unwrap();
     let original = setup.kernel.remove_process(setup.pid).unwrap();
     restore(&mut setup.kernel, &image, &setup.registry).unwrap();
     let restored = setup.kernel.process(setup.pid).unwrap();
@@ -138,7 +138,7 @@ fn restore_preserves_registers_and_memory_exactly() {
 fn checkpoint_serialisation_round_trips() {
     let mut setup = boot();
     setup.kernel.freeze(setup.pid).unwrap();
-    let checkpoint = dump_many(&mut setup.kernel, &[setup.pid], DumpOptions::default()).unwrap();
+    let checkpoint = dump_many(&mut setup.kernel, &[setup.pid], &DumpOptions::default()).unwrap();
     let bytes = checkpoint.to_bytes();
     let parsed = CheckpointImage::from_bytes(&bytes).unwrap();
     assert_eq!(parsed, checkpoint);
@@ -165,7 +165,7 @@ fn text_rewrite_survives_only_with_exec_page_dumping() {
         let feature_addr = dynacut_vm::EXE_BASE + feature_off;
 
         setup.kernel.freeze(setup.pid).unwrap();
-        let mut image = dump(&mut setup.kernel, setup.pid, options).unwrap();
+        let mut image = dump(&mut setup.kernel, setup.pid, &options).unwrap();
         // Rewrite: first byte of the feature handler becomes int3.
         image.write_mem(feature_addr, &[TRAP_OPCODE]).unwrap();
         setup.kernel.remove_process(setup.pid).unwrap();
@@ -191,7 +191,7 @@ fn text_rewrite_survives_only_with_exec_page_dumping() {
 fn unmap_range_in_image_removes_pages_and_vma() {
     let mut setup = boot();
     setup.kernel.freeze(setup.pid).unwrap();
-    let mut image = dump(&mut setup.kernel, setup.pid, DumpOptions::default()).unwrap();
+    let mut image = dump(&mut setup.kernel, setup.pid, &DumpOptions::default()).unwrap();
     let text_vma = image
         .mm
         .vmas
@@ -213,7 +213,7 @@ fn unmap_range_in_image_removes_pages_and_vma() {
 fn write_mem_to_unmapped_address_fails() {
     let mut setup = boot();
     setup.kernel.freeze(setup.pid).unwrap();
-    let mut image = dump(&mut setup.kernel, setup.pid, DumpOptions::default()).unwrap();
+    let mut image = dump(&mut setup.kernel, setup.pid, &DumpOptions::default()).unwrap();
     assert!(image.write_mem(0xDEAD_0000_0000, &[1]).is_err());
     assert!(image.read_mem(0xDEAD_0000_0000, 4).is_err());
 }
@@ -222,7 +222,7 @@ fn write_mem_to_unmapped_address_fails() {
 fn decode_text_mentions_key_facts() {
     let mut setup = boot();
     setup.kernel.freeze(setup.pid).unwrap();
-    let image = dump(&mut setup.kernel, setup.pid, DumpOptions::default()).unwrap();
+    let image = dump(&mut setup.kernel, setup.pid, &DumpOptions::default()).unwrap();
     let text = image.decode_text();
     assert!(text.contains("feature_server"));
     assert!(text.contains("listener :8080"));
@@ -245,7 +245,7 @@ fn inject_library_creates_vmas_and_resolves_got() {
 
     let mut setup = boot();
     setup.kernel.freeze(setup.pid).unwrap();
-    let mut image = dump(&mut setup.kernel, setup.pid, DumpOptions::default()).unwrap();
+    let mut image = dump(&mut setup.kernel, setup.pid, &DumpOptions::default()).unwrap();
     let base = image
         .inject_library(&library, None, &setup.registry)
         .unwrap();
@@ -268,7 +268,7 @@ fn inject_library_creates_vmas_and_resolves_got() {
 fn restore_conflicting_pid_fails() {
     let mut setup = boot();
     setup.kernel.freeze(setup.pid).unwrap();
-    let image = dump(&mut setup.kernel, setup.pid, DumpOptions::default()).unwrap();
+    let image = dump(&mut setup.kernel, setup.pid, &DumpOptions::default()).unwrap();
     // Process still present.
     assert!(restore(&mut setup.kernel, &image, &setup.registry).is_err());
 }
@@ -296,7 +296,7 @@ fn other_processes_run_during_checkpoint() {
     let spinner_pid = setup.kernel.spawn(&LoadSpec::exe_only(spinner)).unwrap();
 
     setup.kernel.freeze(setup.pid).unwrap();
-    let image = dump(&mut setup.kernel, setup.pid, DumpOptions::default()).unwrap();
+    let image = dump(&mut setup.kernel, setup.pid, &DumpOptions::default()).unwrap();
     // The sibling makes progress while the server is frozen.
     let outcome = setup.kernel.run_for(1_000_000);
     assert_ne!(outcome, RunOutcome::AllExited);

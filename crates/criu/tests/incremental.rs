@@ -94,7 +94,7 @@ fn writable_page(setup: &Setup, index: u64) -> u64 {
 /// Takes a full baseline dump of the (frozen) process and sweeps the
 /// dirty bitmap, returning the baseline.
 fn baseline(setup: &mut Setup) -> CheckpointImage {
-    let parent = dump_many(&mut setup.kernel, &[setup.pid], DumpOptions::default()).unwrap();
+    let parent = dump_many(&mut setup.kernel, &[setup.pid], &DumpOptions::default()).unwrap();
     mark_clean_after_dump(&mut setup.kernel, &[setup.pid]).unwrap();
     parent
 }
@@ -119,12 +119,12 @@ fn incremental_dump_materializes_bit_identically_after_guest_writes() {
     let delta = dump_incremental(
         &mut setup.kernel,
         &[setup.pid],
-        DumpOptions::default(),
+        &DumpOptions::default(),
         CkptId(0),
         &parent,
     )
     .unwrap();
-    let full = dump_many(&mut setup.kernel, &[setup.pid], DumpOptions::default()).unwrap();
+    let full = dump_many(&mut setup.kernel, &[setup.pid], &DumpOptions::default()).unwrap();
 
     // The delta moves strictly fewer page bytes, but materializes to the
     // exact same image — down to the serialized byte stream.
@@ -158,7 +158,7 @@ fn clean_process_yields_empty_delta() {
     let delta = dump_incremental(
         &mut setup.kernel,
         &[setup.pid],
-        DumpOptions::default(),
+        &DumpOptions::default(),
         CkptId(0),
         &parent,
     )
@@ -184,7 +184,7 @@ fn delta_codec_round_trips_and_rejects_corruption() {
     let delta = dump_incremental(
         &mut setup.kernel,
         &[setup.pid],
-        DumpOptions::default(),
+        &DumpOptions::default(),
         CkptId(3),
         &parent,
     )
@@ -211,7 +211,7 @@ fn delta_referencing_missing_parent_errors_cleanly() {
     let delta = dump_incremental(
         &mut setup.kernel,
         &[setup.pid],
-        DumpOptions::default(),
+        &DumpOptions::default(),
         CkptId(41),
         &parent,
     )
@@ -260,12 +260,12 @@ fn unmap_and_remap_inside_the_delta_window_materialize_exactly() {
     let delta = dump_incremental(
         &mut setup.kernel,
         &[setup.pid],
-        DumpOptions::default(),
+        &DumpOptions::default(),
         CkptId(0),
         &parent,
     )
     .unwrap();
-    let full = dump_many(&mut setup.kernel, &[setup.pid], DumpOptions::default()).unwrap();
+    let full = dump_many(&mut setup.kernel, &[setup.pid], &DumpOptions::default()).unwrap();
     let materialized = materialize_chain(&parent, [&delta]).unwrap();
     assert_eq!(materialized, full);
 
@@ -292,12 +292,12 @@ fn pre_dump_moves_clean_pages_before_the_freeze() {
 
     setup.kernel.freeze(setup.pid).unwrap();
     let (checkpoint, stats) = pre
-        .complete(&mut setup.kernel, &[setup.pid], DumpOptions::default())
+        .complete(&mut setup.kernel, &[setup.pid], &DumpOptions::default())
         .unwrap();
 
     // The completed dump is bit-identical to a plain full dump taken at
     // this instant, but only the residue crossed the freeze window.
-    let full = dump_many(&mut setup.kernel, &[setup.pid], DumpOptions::default()).unwrap();
+    let full = dump_many(&mut setup.kernel, &[setup.pid], &DumpOptions::default()).unwrap();
     assert_eq!(checkpoint, full);
     assert_eq!(stats.total_page_bytes(), full.pages_bytes());
     assert!(stats.frozen_page_bytes > 0, "the residue is never empty");
@@ -330,7 +330,7 @@ fn store_materializes_a_chain_of_deltas() {
     let delta_1 = dump_incremental(
         &mut setup.kernel,
         &[setup.pid],
-        DumpOptions::default(),
+        &DumpOptions::default(),
         parent_id,
         &parent,
     )
@@ -350,7 +350,7 @@ fn store_materializes_a_chain_of_deltas() {
     let delta_2 = dump_incremental(
         &mut setup.kernel,
         &[setup.pid],
-        DumpOptions::default(),
+        &DumpOptions::default(),
         id_1,
         &baseline_1,
     )
@@ -359,7 +359,7 @@ fn store_materializes_a_chain_of_deltas() {
     let id_2 = store.put_delta(delta_2).unwrap();
 
     // full → delta → delta resolves to exactly today's full dump.
-    let full = dump_many(&mut setup.kernel, &[setup.pid], DumpOptions::default()).unwrap();
+    let full = dump_many(&mut setup.kernel, &[setup.pid], &DumpOptions::default()).unwrap();
     let materialized = store.materialize(id_2).unwrap();
     assert_eq!(materialized, full);
     assert_eq!(materialized.to_bytes(), full.to_bytes());

@@ -101,7 +101,7 @@ fn commit_failure_on_second_process_reinserts_the_first() {
     for &pid in &setup.pids {
         setup.kernel.freeze(pid).unwrap();
     }
-    let checkpoint = dump_many(&mut setup.kernel, &setup.pids, DumpOptions::default()).unwrap();
+    let checkpoint = dump_many(&mut setup.kernel, &setup.pids, &DumpOptions::default()).unwrap();
     let frozen_state = setup.kernel.state_fingerprint();
 
     fault::arm(FaultPhase::RestoreCommit, 1);
@@ -151,7 +151,7 @@ fn committed_restore_undo_reverts_the_swap() {
     for &pid in &setup.pids {
         setup.kernel.freeze(pid).unwrap();
     }
-    let checkpoint = dump_many(&mut setup.kernel, &setup.pids, DumpOptions::default()).unwrap();
+    let checkpoint = dump_many(&mut setup.kernel, &setup.pids, &DumpOptions::default()).unwrap();
 
     let txn = RestoreTransaction::prepare(&setup.kernel, &checkpoint, &setup.registry).unwrap();
     let committed = txn.commit(&mut setup.kernel).expect("commit");
@@ -178,7 +178,7 @@ fn prepare_failure_leaves_kernel_untouched() {
     for &pid in &setup.pids {
         setup.kernel.freeze(pid).unwrap();
     }
-    let checkpoint = dump_many(&mut setup.kernel, &setup.pids, DumpOptions::default()).unwrap();
+    let checkpoint = dump_many(&mut setup.kernel, &setup.pids, &DumpOptions::default()).unwrap();
     let frozen_state = setup.kernel.state_fingerprint();
 
     fault::arm(FaultPhase::RestoreBuild, 0);

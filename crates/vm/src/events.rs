@@ -186,6 +186,22 @@ pub enum EventKind {
         /// Application-defined code.
         code: u64,
     },
+    /// The staged engine handed one process to a stage (recorded with
+    /// that process's pid). Together with [`EventKind::StageRetired`],
+    /// a fleet run's journal fully orders how per-process stages
+    /// interleaved — in particular that freeze windows never overlap.
+    StageScheduled {
+        /// The stage, named by the phase it executes.
+        stage: Phase,
+    },
+    /// The staged engine finished a stage for one process.
+    StageRetired {
+        /// The stage, named by the phase it executes.
+        stage: Phase,
+        /// Host wall-clock duration of the stage for this process's
+        /// group.
+        duration_ns: u64,
+    },
 }
 
 /// One journal entry: an [`EventKind`] plus its envelope.

@@ -33,7 +33,7 @@ fn frozen_world() -> (
         .run_until_event(dynacut_apps::EVENT_READY, 200_000_000)
         .unwrap();
     kernel.freeze(pid).unwrap();
-    let image = dump(&mut kernel, pid, DumpOptions::default()).unwrap();
+    let image = dump(&mut kernel, pid, &DumpOptions::default()).unwrap();
     (image, registry, exe)
 }
 

@@ -16,7 +16,7 @@ fn checkpoint_redis() -> CheckpointImage {
         .unwrap();
     kernel.run_until_event(EVENT_READY, 200_000_000).unwrap();
     kernel.freeze(pid).unwrap();
-    dump_many(&mut kernel, &[pid], DumpOptions::default()).unwrap()
+    dump_many(&mut kernel, &[pid], &DumpOptions::default()).unwrap()
 }
 
 #[test]

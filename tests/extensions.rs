@@ -133,7 +133,7 @@ fn page_per_feature_layout_maximises_unmapping() {
         let pid = kernel.spawn(&spec).unwrap();
         kernel.run_for(10_000);
         kernel.freeze(pid).unwrap();
-        let mut image = dump(&mut kernel, pid, DumpOptions::default()).unwrap();
+        let mut image = dump(&mut kernel, pid, &DumpOptions::default()).unwrap();
         let feature = Feature::from_function("feat", &exe, "feat").unwrap();
         let outcome =
             dynacut::disable_in_image(&mut image, &feature, BlockPolicy::UnmapPages).unwrap();
@@ -338,7 +338,7 @@ fn stale_handler_library_can_be_unloaded() {
 
     // Unload it through a manual dump/edit/restore cycle.
     kernel.freeze(pid).unwrap();
-    let mut image = dump(&mut kernel, pid, DumpOptions::default()).unwrap();
+    let mut image = dump(&mut kernel, pid, &DumpOptions::default()).unwrap();
     let vmas_before = image.mm.vmas.len();
     let pages = image
         .unload_module(&handler_name, dynacut.registry())

@@ -105,7 +105,7 @@ proptest! {
         let (mut kernel, pid, registry) = boot_scratch();
         let base = scratch_base(&kernel, pid);
         kernel.freeze(pid).unwrap();
-        let parent = dump_many(&mut kernel, &[pid], DumpOptions::default()).unwrap();
+        let parent = dump_many(&mut kernel, &[pid], &DumpOptions::default()).unwrap();
         mark_clean_after_dump(&mut kernel, &[pid]).unwrap();
 
         // First delta window.
@@ -115,7 +115,7 @@ proptest! {
                 .write_unchecked(base + page * PAGE_SIZE, &fill);
         }
         let delta_1 = dump_incremental(
-            &mut kernel, &[pid], DumpOptions::default(), CkptId(0), &parent,
+            &mut kernel, &[pid], &DumpOptions::default(), CkptId(0), &parent,
         ).unwrap();
         mark_clean_after_dump(&mut kernel, &[pid]).unwrap();
         let baseline_1 = materialize_chain(&parent, [&delta_1]).unwrap();
@@ -130,11 +130,11 @@ proptest! {
             kernel.process_mut(pid).unwrap().mem.drop_page(base + page * PAGE_SIZE);
         }
         let delta_2 = dump_incremental(
-            &mut kernel, &[pid], DumpOptions::default(), CkptId(1), &baseline_1,
+            &mut kernel, &[pid], &DumpOptions::default(), CkptId(1), &baseline_1,
         ).unwrap();
 
         // The chain materializes to the exact full dump, byte for byte.
-        let full = dump_many(&mut kernel, &[pid], DumpOptions::default()).unwrap();
+        let full = dump_many(&mut kernel, &[pid], &DumpOptions::default()).unwrap();
         let materialized = materialize_chain(&parent, [&delta_1, &delta_2]).unwrap();
         prop_assert_eq!(&materialized, &full);
         prop_assert_eq!(materialized.to_bytes(), full.to_bytes());
@@ -165,10 +165,10 @@ proptest! {
                 .write_unchecked(base + page * PAGE_SIZE, &[byte; 8]);
         }
         kernel.freeze(pid).unwrap();
-        let parent = dump_many(&mut kernel, &[pid], DumpOptions::default()).unwrap();
+        let parent = dump_many(&mut kernel, &[pid], &DumpOptions::default()).unwrap();
         mark_clean_after_dump(&mut kernel, &[pid]).unwrap();
         let delta = dump_incremental(
-            &mut kernel, &[pid], DumpOptions::default(), CkptId(0), &parent,
+            &mut kernel, &[pid], &DumpOptions::default(), CkptId(0), &parent,
         ).unwrap();
         prop_assert_eq!(delta.pages_bytes(), 0);
         prop_assert!(delta.procs.iter().all(|p| p.dirty.pages.is_empty()));
@@ -225,7 +225,7 @@ fn nginx_master_and_worker_checkpoint_incrementally() {
     for &pid in &world.pids {
         world.kernel.freeze(pid).unwrap();
     }
-    let parent = dump_many(&mut world.kernel, &world.pids, DumpOptions::default()).unwrap();
+    let parent = dump_many(&mut world.kernel, &world.pids, &DumpOptions::default()).unwrap();
     mark_clean_after_dump(&mut world.kernel, &world.pids).unwrap();
     for &pid in &world.pids {
         world.kernel.thaw(pid).unwrap();
@@ -242,12 +242,12 @@ fn nginx_master_and_worker_checkpoint_incrementally() {
     let delta = dump_incremental(
         &mut world.kernel,
         &world.pids,
-        DumpOptions::default(),
+        &DumpOptions::default(),
         CkptId(0),
         &parent,
     )
     .unwrap();
-    let full = dump_many(&mut world.kernel, &world.pids, DumpOptions::default()).unwrap();
+    let full = dump_many(&mut world.kernel, &world.pids, &DumpOptions::default()).unwrap();
 
     assert_eq!(delta.procs.len(), world.pids.len());
     assert!(delta.pages_bytes() < full.pages_bytes());

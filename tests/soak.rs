@@ -170,7 +170,7 @@ fn randomized_feature_churn_matches_the_model() {
             for &pid in &pids {
                 kernel.freeze(pid).unwrap();
             }
-            let checkpoint = dump_many(&mut kernel, &pids, DumpOptions::default()).unwrap();
+            let checkpoint = dump_many(&mut kernel, &pids, &DumpOptions::default()).unwrap();
             for &pid in &pids {
                 kernel.remove_process(pid).unwrap();
             }
