@@ -40,5 +40,21 @@ cargo run --release -q -p dynacut-bench --bin figures -- fleet > /dev/null
 test -s results/fleet.json
 grep -q '"schema": "dynacut-fleet-v1"' results/fleet.json
 
+# Decoded-block translation cache (DESIGN §11): the vm suite pins
+# rewrite-precise invalidation (self-modifying code, host-planted
+# traps, unmap/protect) and cached-vs-uncached fingerprint parity; the
+# core suite pins trap visibility across a full customize cycle with a
+# hot cache. `figures interp` regenerates results/interp.json and
+# panics unless MIPS > 0, cached >= uncached, speedup >= 2x,
+# retirement counts are identical and fingerprints match (the
+# dynacut-interp-v1 schema gate).
+cargo test -q -p dynacut-vm --test block_cache
+cargo test -q -p dynacut --test cache_trap_visibility
+cargo test -q -p dynacut-bench interp
+cargo run --release -q -p dynacut-bench --bin figures -- interp > /dev/null
+test -s results/interp.json
+grep -q '"schema": "dynacut-interp-v1"' results/interp.json
+grep -q '"fingerprints_match": true' results/interp.json
+
 # API docs must build warning-free.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet

@@ -9,7 +9,7 @@ use dynacut_bench::{experiments, flight};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures <fig2|fig4|fig6|fig7|fig8|fig8-incremental|fig9|fig10|table1|plt|ablation|flight|fleet|all> [more...]"
+        "usage: figures <fig2|fig4|fig6|fig7|fig8|fig8-incremental|fig9|fig10|table1|plt|ablation|flight|fleet|interp|all> [more...]"
     );
     std::process::exit(2);
 }
@@ -35,6 +35,7 @@ fn main() {
             "ablation",
             "flight",
             "fleet",
+            "interp",
         ];
     }
     for (index, target) in targets.iter().enumerate() {
@@ -55,6 +56,7 @@ fn main() {
             "ablation" => experiments::ablation::print(),
             "flight" => flight::print(),
             "fleet" => experiments::fleet::print(),
+            "interp" => experiments::interp::print(),
             other => {
                 eprintln!("unknown target `{other}`");
                 usage();

@@ -1,0 +1,415 @@
+//! The interpreter experiment: guest throughput (MIPS) with the
+//! decoded-block translation cache off vs on (DESIGN §11), on the Redis
+//! and Nginx workloads.
+//!
+//! Each server is booted twice and driven with **identical** traffic —
+//! a steady-state request batch timed on the host clock, then a full
+//! customize cycle whose freshly planted traps must fire on the very
+//! next request. The cached run must be at least [`MIN_SPEEDUP`]× the
+//! uncached run in steady state, and the two kernels must land on the
+//! same `state_fingerprint()` with the same retirement count — the
+//! cache is a pure interpreter accelerator, invisible to the guest.
+//!
+//! Emits `results/interp.json` (`dynacut-interp-v1`), schema-gated by
+//! CI: MIPS > 0, cached ≥ uncached, fingerprints bit-identical.
+
+use crate::report::Table;
+use crate::workloads::{boot_server, Server, Workload};
+use dynacut::{Downtime, DynaCut, FaultPolicy, Feature, RewritePlan};
+use dynacut_apps::{nginx, redis};
+use std::time::Instant;
+
+/// Schema identifier embedded in the JSON for forward compatibility.
+pub const SCHEMA: &str = "dynacut-interp-v1";
+
+/// Steady-state requests per measured batch in the headline run.
+pub const STEADY_REQUESTS: usize = 600;
+
+/// The acceptance floor on the steady-state speedup.
+pub const MIN_SPEEDUP: f64 = 2.0;
+
+/// Top-level keys the JSON must contain (the CI schema check).
+pub const REQUIRED_KEYS: &[&str] = &[
+    "schema",
+    "steady_requests",
+    "servers",
+    "server",
+    "uncached_mips",
+    "cached_mips",
+    "speedup",
+    "insns_measured",
+    "cache_hits",
+    "cache_misses",
+    "cache_invalidations",
+    "fingerprints_match",
+];
+
+/// One boot-drive-customize pass over a server, cache on or off.
+#[derive(Debug, Clone)]
+pub struct ServerRun {
+    /// Guest instructions retired per host second, in millions.
+    pub mips: f64,
+    /// Instructions retired inside the timed batch.
+    pub insns_measured: u64,
+    /// Host wall time of the timed batch.
+    pub wall_ns: u64,
+    /// Block-cache hit count over the whole run.
+    pub hits: u64,
+    /// Block-cache miss count over the whole run.
+    pub misses: u64,
+    /// Block-cache invalidation count over the whole run.
+    pub invalidations: u64,
+    /// `state_fingerprint()` after the customize cycle and trap traffic.
+    pub fingerprint: String,
+}
+
+/// Cached and uncached passes over one server.
+#[derive(Debug, Clone)]
+pub struct ServerRow {
+    /// Server module name ("redis" / "nginx").
+    pub server: &'static str,
+    /// The reference pass with the cache disabled.
+    pub uncached: ServerRun,
+    /// The accelerated pass with the cache enabled.
+    pub cached: ServerRun,
+}
+
+impl ServerRow {
+    /// Steady-state MIPS ratio, cached over uncached.
+    pub fn speedup(&self) -> f64 {
+        self.cached.mips / self.uncached.mips
+    }
+
+    /// Whether the two passes ended on the same kernel fingerprint.
+    pub fn fingerprints_match(&self) -> bool {
+        self.cached.fingerprint == self.uncached.fingerprint
+    }
+}
+
+/// The whole figure: one row per server.
+#[derive(Debug, Clone)]
+pub struct InterpFigure {
+    /// Steady-state batch size the rows were measured with.
+    pub steady_requests: usize,
+    /// Per-server measurements.
+    pub rows: Vec<ServerRow>,
+}
+
+fn drive(workload: &mut Workload, server: Server, requests: usize) {
+    match server {
+        Server::Redis => workload.exercise_redis_workload(requests),
+        _ => workload.exercise_http_read_workload(requests),
+    }
+}
+
+/// Runs the post-measurement customize cycle — disable one hot command
+/// handler with the redirect policy — and pushes traffic through the
+/// planted traps so the run exercises rewrite-precise invalidation.
+fn customize_and_trap(workload: &mut Workload, server: Server) {
+    let mut dynacut = DynaCut::new(workload.registry.clone());
+    let (handler, error_handler) = match server {
+        Server::Redis => ("rd_cmd_set", redis::ERROR_HANDLER),
+        _ => ("ngx_put_handler", nginx::ERROR_HANDLER),
+    };
+    let feature = Feature::from_function(handler, &workload.exe, handler)
+        .expect("handler exists")
+        .redirect_to_function(&workload.exe, error_handler)
+        .expect("error handler exists");
+    let plan = RewritePlan::new()
+        .disable(feature)
+        .with_fault_policy(FaultPolicy::Redirect)
+        .with_downtime(Downtime::None);
+    let pids = workload.pids.clone();
+    dynacut
+        .customize(&mut workload.kernel, &pids, &plan)
+        .expect("customize");
+    for round in 0..4 {
+        match server {
+            Server::Redis => {
+                let reply = workload.request(format!("SET key{round} v\n").as_bytes());
+                assert_eq!(reply, redis::ERR_BLOCKED, "planted trap redirects SET");
+                let reply = workload.request(b"PING\n");
+                assert!(!reply.is_empty(), "server alive after trap");
+            }
+            _ => {
+                let reply = workload.request(format!("PUT /t{round} data").as_bytes());
+                assert_eq!(reply, nginx::RESP_403, "planted trap redirects PUT");
+                let reply = workload.request(format!("GET /t{round}\n").as_bytes());
+                assert_eq!(reply, nginx::RESP_200, "server alive after trap");
+            }
+        }
+    }
+}
+
+/// Boots `server`, measures a steady-state batch, then runs the
+/// customize cycle with trap traffic and fingerprints the kernel.
+fn measure(server: Server, cache_enabled: bool, requests: usize) -> ServerRun {
+    let mut workload = boot_server(server, false);
+    workload.kernel.set_block_cache_enabled(cache_enabled);
+    // Boot ran with the default (enabled) cache either way; count cache
+    // activity only from this point, once the toggle is in effect.
+    let hits_base = workload.kernel.flight().metrics().counter("block_cache.hits");
+    let misses_base = workload.kernel.flight().metrics().counter("block_cache.misses");
+    let invals_base = workload
+        .kernel
+        .flight()
+        .metrics()
+        .counter("block_cache.invalidations");
+    // Warmup: populate page tables, listener state and (if enabled) the
+    // block cache, so the timed batch is steady state.
+    drive(&mut workload, server, requests / 4 + 8);
+    let insns_before = workload.kernel.flight().metrics().counter("insns_retired");
+    let start = Instant::now();
+    drive(&mut workload, server, requests);
+    let wall_ns = (start.elapsed().as_nanos() as u64).max(1);
+    let insns_measured = workload.kernel.flight().metrics().counter("insns_retired") - insns_before;
+    customize_and_trap(&mut workload, server);
+    let metrics = workload.kernel.flight().metrics();
+    ServerRun {
+        mips: insns_measured as f64 * 1_000.0 / wall_ns as f64,
+        insns_measured,
+        wall_ns,
+        hits: metrics.counter("block_cache.hits") - hits_base,
+        misses: metrics.counter("block_cache.misses") - misses_base,
+        invalidations: metrics.counter("block_cache.invalidations") - invals_base,
+        fingerprint: workload.kernel.state_fingerprint(),
+    }
+}
+
+/// Measures one server cache-off then cache-on with identical traffic.
+pub fn run_server(server: Server, requests: usize) -> ServerRow {
+    ServerRow {
+        server: server.module(),
+        uncached: measure(server, false, requests),
+        cached: measure(server, true, requests),
+    }
+}
+
+/// Runs the whole figure: Redis and Nginx, off/on.
+pub fn run(requests: usize) -> InterpFigure {
+    InterpFigure {
+        steady_requests: requests,
+        rows: vec![
+            run_server(Server::Redis, requests),
+            run_server(Server::Nginx, requests),
+        ],
+    }
+}
+
+/// Serialises the figure as the `dynacut-interp-v1` JSON document.
+pub fn to_json(figure: &InterpFigure) -> String {
+    let rows: Vec<String> = figure
+        .rows
+        .iter()
+        .map(|row| {
+            format!(
+                concat!(
+                    "    {{\n",
+                    "      \"server\": \"{server}\",\n",
+                    "      \"uncached_mips\": {unc:.4},\n",
+                    "      \"cached_mips\": {cac:.4},\n",
+                    "      \"speedup\": {speedup:.4},\n",
+                    "      \"insns_measured\": {insns},\n",
+                    "      \"uncached_wall_ns\": {unc_wall},\n",
+                    "      \"cached_wall_ns\": {cac_wall},\n",
+                    "      \"cache_hits\": {hits},\n",
+                    "      \"cache_misses\": {misses},\n",
+                    "      \"cache_invalidations\": {invals},\n",
+                    "      \"fingerprints_match\": {fp}\n",
+                    "    }}"
+                ),
+                server = row.server,
+                unc = row.uncached.mips,
+                cac = row.cached.mips,
+                speedup = row.speedup(),
+                insns = row.cached.insns_measured,
+                unc_wall = row.uncached.wall_ns,
+                cac_wall = row.cached.wall_ns,
+                hits = row.cached.hits,
+                misses = row.cached.misses,
+                invals = row.cached.invalidations,
+                fp = row.fingerprints_match(),
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"{schema}\",\n",
+            "  \"steady_requests\": {requests},\n",
+            "  \"servers\": [\n{rows}\n  ]\n",
+            "}}\n"
+        ),
+        schema = SCHEMA,
+        requests = figure.steady_requests,
+        rows = rows.join(",\n"),
+    )
+}
+
+/// Checks the invariants CI relies on: every required key appears, the
+/// cache really ran (hits > 0), throughput is positive and no slower
+/// than the reference, the two passes retired the **same** instruction
+/// count over the timed batch and ended bit-identical, and the headline
+/// speedup clears [`MIN_SPEEDUP`].
+///
+/// # Errors
+///
+/// Returns a description of the first violated invariant.
+pub fn validate(json: &str, figure: &InterpFigure) -> Result<(), String> {
+    for key in REQUIRED_KEYS {
+        if !json.contains(&format!("\"{key}\"")) {
+            return Err(format!("missing required key `{key}`"));
+        }
+    }
+    if figure.rows.is_empty() {
+        return Err("no server rows".to_owned());
+    }
+    for row in &figure.rows {
+        let server = row.server;
+        if row.uncached.mips <= 0.0 || row.cached.mips <= 0.0 {
+            return Err(format!("{server}: non-positive MIPS"));
+        }
+        if row.cached.mips < row.uncached.mips {
+            return Err(format!(
+                "{server}: cached {:.2} MIPS slower than uncached {:.2}",
+                row.cached.mips, row.uncached.mips
+            ));
+        }
+        if row.speedup() < MIN_SPEEDUP {
+            return Err(format!(
+                "{server}: speedup {:.2}x below the {MIN_SPEEDUP}x floor",
+                row.speedup()
+            ));
+        }
+        if row.cached.insns_measured != row.uncached.insns_measured {
+            return Err(format!(
+                "{server}: cached retired {} insns but uncached {} — drift",
+                row.cached.insns_measured, row.uncached.insns_measured
+            ));
+        }
+        if row.cached.hits == 0 {
+            return Err(format!("{server}: cache never hit"));
+        }
+        if row.uncached.hits != 0 {
+            return Err(format!("{server}: disabled cache reported hits"));
+        }
+        if !row.fingerprints_match() {
+            return Err(format!("{server}: fingerprints diverge"));
+        }
+    }
+    Ok(())
+}
+
+/// Prints the MIPS table, writes `results/interp.json`, and panics if
+/// the document violates the schema (the CI gate).
+pub fn print() {
+    println!("== Interp: decoded-block cache, guest MIPS off/on (steady state) ==\n");
+    let figure = run(STEADY_REQUESTS);
+    let mut table = Table::new(&[
+        "server",
+        "uncached MIPS",
+        "cached MIPS",
+        "speedup",
+        "hits",
+        "invalidations",
+        "bit-identical",
+    ]);
+    for row in &figure.rows {
+        table.row(&[
+            row.server.to_owned(),
+            format!("{:.2}", row.uncached.mips),
+            format!("{:.2}", row.cached.mips),
+            format!("{:.2}x", row.speedup()),
+            row.cached.hits.to_string(),
+            row.cached.invalidations.to_string(),
+            row.fingerprints_match().to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+    let json = to_json(&figure);
+    if let Err(violation) = validate(&json, &figure) {
+        panic!("interp JSON failed schema validation: {violation}");
+    }
+    let path = "results/interp.json";
+    if let Err(err) = std::fs::create_dir_all("results").and_then(|()| std::fs::write(path, &json))
+    {
+        eprintln!("\n(could not write {path}: {err})");
+    } else {
+        println!("\nwrote {path}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_row(speedup: f64) -> ServerRow {
+        let base = ServerRun {
+            mips: 10.0,
+            insns_measured: 1_000,
+            wall_ns: 100_000,
+            hits: 0,
+            misses: 40,
+            invalidations: 1,
+            fingerprint: "fp".to_owned(),
+        };
+        ServerRow {
+            server: "redis",
+            uncached: base.clone(),
+            cached: ServerRun {
+                mips: 10.0 * speedup,
+                hits: 500,
+                ..base
+            },
+        }
+    }
+
+    #[test]
+    fn schema_is_valid_and_tampering_is_caught() {
+        let mut figure = InterpFigure {
+            steady_requests: 10,
+            rows: vec![synthetic_row(3.0)],
+        };
+        let json = to_json(&figure);
+        validate(&json, &figure).expect("schema valid");
+
+        figure.rows[0].cached.mips = figure.rows[0].uncached.mips * 1.5;
+        assert!(
+            validate(&to_json(&figure), &figure)
+                .unwrap_err()
+                .contains("floor"),
+            "sub-2x speedup is rejected"
+        );
+
+        let mut figure = InterpFigure {
+            steady_requests: 10,
+            rows: vec![synthetic_row(3.0)],
+        };
+        figure.rows[0].cached.fingerprint = "other".to_owned();
+        assert!(validate(&to_json(&figure), &figure)
+            .unwrap_err()
+            .contains("fingerprints"));
+
+        let mut figure = InterpFigure {
+            steady_requests: 10,
+            rows: vec![synthetic_row(3.0)],
+        };
+        figure.rows[0].cached.insns_measured += 1;
+        assert!(validate(&to_json(&figure), &figure)
+            .unwrap_err()
+            .contains("drift"));
+    }
+
+    /// A small real pass: identical retirement, matching fingerprints,
+    /// live cache. (The 2x speedup floor is asserted by the release-mode
+    /// `figures interp` run in CI, not in debug unit tests.)
+    #[test]
+    fn small_redis_pass_is_bit_identical_with_a_live_cache() {
+        let row = run_server(Server::Redis, 40);
+        assert!(row.fingerprints_match(), "fingerprints diverge");
+        assert_eq!(row.cached.insns_measured, row.uncached.insns_measured);
+        assert!(row.cached.hits > 0, "cache never hit");
+        assert_eq!(row.uncached.hits, 0);
+        assert!(row.cached.mips > 0.0 && row.uncached.mips > 0.0);
+    }
+}

@@ -12,5 +12,6 @@ pub mod fig8;
 pub mod fig8_incremental;
 pub mod fig9;
 pub mod fleet;
+pub mod interp;
 pub mod plt;
 pub mod table1;

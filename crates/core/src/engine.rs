@@ -536,6 +536,16 @@ impl DynaCut {
             Stage::RestoreCommit => {
                 let txn = cycle.txn.take().expect("restore was prepared");
                 cycle.committed = Some(txn.commit(kernel)?);
+                // The swap just replaced these processes' text with the
+                // rewritten images (planted traps, wiped blocks,
+                // re-enables). The restore path starts them with cold
+                // block caches; flush again here so the engine owns the
+                // invariant even if a future restore path forgets to.
+                for &pid in &cycle.pids {
+                    if let Ok(proc) = kernel.process_mut(pid) {
+                        proc.block_cache.flush();
+                    }
+                }
                 Ok(())
             }
             Stage::BaselineStore => self.stage_baseline_store(kernel, cycle),

@@ -1,0 +1,98 @@
+//! Customize-cycle pin for the decoded-block translation cache
+//! (DESIGN §11): a cycle's freshly planted `int3` bytes must fire on the
+//! very next request even though the request handler's blocks were hot
+//! in the cache when the cycle ran — and the whole cycle must be
+//! bit-identical under `state_fingerprint()` with the cache on and off.
+
+use dynacut::{Downtime, DynaCut, FaultPolicy, Feature, RewritePlan};
+use dynacut_apps::{libc::guest_libc, nginx, EVENT_READY};
+use dynacut_criu::ModuleRegistry;
+use dynacut_vm::{Kernel, LoadSpec};
+use std::sync::Arc;
+
+/// Boots nginx, warms the PUT handler, customizes PUT away with the
+/// redirect policy, and checks the 403 lands immediately. Returns the
+/// final kernel fingerprint plus the cache hit and trap counters.
+fn scenario(cache_enabled: bool) -> (String, u64, u64) {
+    let libc = guest_libc();
+    let exe = nginx::image(&libc);
+    let mut kernel = Kernel::new();
+    kernel.set_block_cache_enabled(cache_enabled);
+    kernel.add_file(nginx::CONFIG_PATH, &nginx::config_file());
+    let spec = LoadSpec::with_libs(exe, vec![libc]);
+    let mut registry = ModuleRegistry::new();
+    registry.insert(Arc::clone(&spec.exe));
+    for lib in &spec.libs {
+        registry.insert(Arc::clone(lib));
+    }
+    let exe = Arc::clone(&spec.exe);
+    kernel.spawn(&spec).unwrap();
+    kernel.run_until_event(EVENT_READY, 100_000_000).expect("boot");
+    let pids = kernel.pids();
+
+    // Warm the cache on the exact paths the cycle will patch: the PUT
+    // handler itself plus the GET path used as the control.
+    let conn = kernel.client_connect(nginx::PORT).unwrap();
+    for round in 0..3 {
+        assert_eq!(
+            kernel
+                .client_request(conn, format!("PUT /w{round} data").as_bytes(), 5_000_000)
+                .unwrap(),
+            nginx::RESP_201
+        );
+        assert_eq!(
+            kernel
+                .client_request(conn, format!("GET /w{round}\n").as_bytes(), 5_000_000)
+                .unwrap(),
+            nginx::RESP_200
+        );
+    }
+
+    let mut dynacut = DynaCut::new(registry);
+    let feature = Feature::from_function("HTTP PUT", &exe, "ngx_put_handler")
+        .unwrap()
+        .redirect_to_function(&exe, nginx::ERROR_HANDLER)
+        .unwrap();
+    let plan = RewritePlan::new()
+        .disable(feature)
+        .with_fault_policy(FaultPolicy::Redirect)
+        .with_downtime(Downtime::None);
+    dynacut.customize(&mut kernel, &pids, &plan).unwrap();
+
+    // First post-cycle PUT on the same live connection: the planted trap
+    // fires and redirects — no stale cached block runs the old handler.
+    assert_eq!(
+        kernel
+            .client_request(conn, b"PUT /after data", 5_000_000)
+            .unwrap(),
+        nginx::RESP_403,
+        "trap visible immediately (cache_enabled={cache_enabled})"
+    );
+    assert_eq!(
+        kernel
+            .client_request(conn, b"GET /after\n", 5_000_000)
+            .unwrap(),
+        nginx::RESP_200
+    );
+    for &pid in &pids {
+        assert!(kernel.exit_status(pid).is_none(), "{pid} survived");
+    }
+    let hits = kernel.flight().metrics().counter("block_cache.hits");
+    let traps = kernel.flight().metrics().counter("trap_hits.redirect");
+    (kernel.state_fingerprint(), hits, traps)
+}
+
+#[test]
+fn planted_trap_fires_through_hot_cache_after_customize() {
+    let (fp_cached, hits, traps) = scenario(true);
+    assert!(hits > 0, "the request path really ran out of the cache");
+    assert!(traps > 0, "the planted trap really fired");
+
+    let (fp_uncached, hits_off, traps_off) = scenario(false);
+    assert_eq!(hits_off, 0, "disabled cache never hits");
+    assert_eq!(traps, traps_off, "same trap activity either way");
+    assert_eq!(
+        fp_cached, fp_uncached,
+        "cache invisible across a full customize cycle with traps firing"
+    );
+}

@@ -261,7 +261,12 @@ impl CommittedRestore {
             let _ = kernel.remove_process(*pid);
         }
         for (_, original) in self.originals {
-            if let Some(proc) = original {
+            if let Some(mut proc) = original {
+                // The original was cloned before the commit edited its
+                // text; any blocks decoded back then are stale now.
+                // (`insert_process` also flushes — this states the
+                // invariant where the swap is reversed.)
+                proc.block_cache.flush();
                 let _ = kernel.insert_process(proc);
             }
         }
@@ -317,7 +322,14 @@ impl RestoreTransaction {
                     dynacut_vm::fault::FaultPhase::RestoreCommit,
                 ))
             } else {
-                kernel.insert_process(staged.proc.clone()).map_err(CriuError::from)
+                // A restored process must start with a cold block cache:
+                // its text was rebuilt from images that may carry planted
+                // trap bytes, wiped blocks, or re-enabled code, and no
+                // block decoded before the swap may survive it
+                // (DESIGN §11; `insert_process` enforces this too).
+                let mut replacement = staged.proc.clone();
+                replacement.block_cache.flush();
+                kernel.insert_process(replacement).map_err(CriuError::from)
             };
             match result {
                 Ok(()) => {

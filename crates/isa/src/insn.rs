@@ -8,6 +8,11 @@ use std::fmt;
 /// blocks. Executing it raises `SIGTRAP` in the DCVM kernel.
 pub const TRAP_OPCODE: u8 = 0xCC;
 
+/// The longest encoded instruction ([`Insn::Movi`]), in bytes. Fetch
+/// paths can decode any instruction out of a fixed `[u8; MAX_INSN_LEN]`
+/// buffer instead of allocating per fetch.
+pub const MAX_INSN_LEN: usize = 10;
+
 /// Memory access width for load/store instructions, in bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Width {
@@ -379,6 +384,25 @@ mod tests {
         assert_eq!(TRAP_OPCODE, 0xCC);
         assert_eq!(Insn::Trap.opcode(), 0xCC);
         assert_eq!(Insn::Trap.len(), 1);
+    }
+
+    #[test]
+    fn max_insn_len_bounds_every_encoding() {
+        use crate::Reg;
+        let longest = [
+            Insn::Movi(Reg::R0, u64::MAX),
+            Insn::Ld(Width::B8, Reg::R0, Reg::R1, i32::MAX),
+            Insn::St(Width::B8, Reg::R0, i32::MAX, Reg::R1),
+            Insn::Addi(Reg::R0, i32::MAX),
+            Insn::Lea(Reg::R0, i32::MIN),
+            Insn::Jmp(i32::MAX),
+            Insn::Jcc(Cond::Eq, i32::MIN),
+            Insn::Call(i32::MAX),
+        ];
+        for insn in longest {
+            assert!(insn.len() <= MAX_INSN_LEN, "{insn} exceeds MAX_INSN_LEN");
+        }
+        assert_eq!(Insn::Movi(Reg::R0, 0).len(), MAX_INSN_LEN);
     }
 
     #[test]

@@ -48,5 +48,5 @@ pub use decode::{decode, decode_all};
 pub use disasm::{disasm, Disasm};
 pub use encode::{encode, encode_into};
 pub use error::IsaError;
-pub use insn::{Cond, Insn, Opcode, Width, TRAP_OPCODE};
+pub use insn::{Cond, Insn, Opcode, Width, MAX_INSN_LEN, TRAP_OPCODE};
 pub use reg::Reg;

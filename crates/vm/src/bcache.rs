@@ -1,0 +1,197 @@
+//! The decoded-block translation cache.
+//!
+//! Every workload in this repo bottoms out in the interpreter's
+//! fetch/decode loop, which used to re-probe the VMA list and re-decode
+//! every instruction on every step. Real DBI substrates (DynamoRIO, the
+//! engine the paper uses for drcov tracing) get their speed from a code
+//! cache of pre-decoded basic blocks. This module is that cache, sized
+//! for DynaCut's defining constraint: the framework *patches trap bytes
+//! into running code*, so a stale cached block that hides a freshly
+//! planted `0xCC` is a correctness (and in DynaCut terms, security) bug,
+//! not a performance bug.
+//!
+//! # Invalidation invariant (DESIGN §11)
+//!
+//! No cached block may survive a write, remap, protection change,
+//! restore, or rewrite that overlaps it. Enforcement is
+//! **page-generation-based and lazy**: [`AddressSpace`] keeps a
+//! generation counter for every page the cache has registered
+//! ([`AddressSpace::note_code_page`]); any mutation of such a page —
+//! guest stores, host `write_unchecked`, `unmap`, `protect`,
+//! `drop_page` — bumps its generation. A [`CachedBlock`] snapshots the
+//! generations of every page it decodes from, and the dispatcher
+//! revalidates the snapshot before executing the block (and again after
+//! any memory-writing instruction inside it, so self-modifying code
+//! takes effect on the very next instruction). Restore paths
+//! ([`Kernel::insert_process`] and the explicit CRIU/engine hooks) flush
+//! the whole cache outright.
+//!
+//! The cache is **excluded from [`Kernel::state_fingerprint`]**: cached
+//! and uncached execution of the same workload are bit-identical in
+//! every guest-observable way, and the fingerprint enumerates exactly
+//! the guest-observable fields.
+//!
+//! [`AddressSpace`]: crate::AddressSpace
+//! [`AddressSpace::note_code_page`]: crate::AddressSpace::note_code_page
+//! [`Kernel::insert_process`]: crate::Kernel::insert_process
+//! [`Kernel::state_fingerprint`]: crate::Kernel::state_fingerprint
+
+use crate::mem::AddressSpace;
+use dynacut_isa::Insn;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Upper bound on instructions per cached block. Blocks end at the
+/// first terminator or syscall anyway; the cap only bounds pathological
+/// straight-line runs.
+pub(crate) const MAX_BLOCK_INSNS: usize = 32;
+
+/// Blocks held per process before the cache is wholesale flushed. Guest
+/// text in this simulation is small; the cap is a memory backstop, not
+/// a tuning knob.
+const MAX_CACHED_BLOCKS: usize = 4096;
+
+/// A straight-line run of decoded instructions starting at one entry pc
+/// and ending at the first block terminator, syscall, or
+/// [`MAX_BLOCK_INSNS`].
+#[derive(Debug)]
+pub(crate) struct CachedBlock {
+    /// The decoded run: `(instruction, encoded length)` pairs, in
+    /// address order from the entry pc.
+    pub(crate) insns: Box<[(Insn, u8)]>,
+    /// Generation snapshot of every code page the run decodes from, as
+    /// `(page base, generation)` pairs. The block is valid exactly
+    /// while every page still carries its snapshotted generation.
+    pub(crate) pages: Vec<(u64, u64)>,
+}
+
+impl CachedBlock {
+    /// Whether every page this block was decoded from still carries the
+    /// generation it had at decode time.
+    pub(crate) fn pages_valid(&self, mem: &AddressSpace) -> bool {
+        self.pages
+            .iter()
+            .all(|&(base, gen)| mem.code_page_gen(base) == gen)
+    }
+}
+
+/// A per-process cache of decoded instruction blocks keyed by entry pc.
+///
+/// Cloning a [`Process`](crate::Process) clones the cache by bumping
+/// the blocks' refcounts; the page-generation snapshots stay consistent
+/// because the address space (and its generation table) is cloned
+/// alongside.
+#[derive(Debug, Clone, Default)]
+pub struct BlockCache {
+    blocks: HashMap<u64, Arc<CachedBlock>>,
+}
+
+impl BlockCache {
+    /// The cached block entered at `pc`, if any (validity not checked —
+    /// the dispatcher revalidates page generations).
+    pub(crate) fn get(&self, pc: u64) -> Option<&Arc<CachedBlock>> {
+        self.blocks.get(&pc)
+    }
+
+    /// Caches `block` under its entry pc, flushing everything first if
+    /// the cache is at capacity.
+    pub(crate) fn insert(&mut self, pc: u64, block: Arc<CachedBlock>) {
+        if self.blocks.len() >= MAX_CACHED_BLOCKS {
+            self.blocks.clear();
+        }
+        self.blocks.insert(pc, block);
+    }
+
+    /// Evicts the block entered at `pc`, if cached.
+    pub(crate) fn remove(&mut self, pc: u64) {
+        self.blocks.remove(&pc);
+    }
+
+    /// Evicts every cached block. Restore paths call this: a restored
+    /// (or un-restored) process's text was rebuilt from images that may
+    /// carry rewrites, so nothing decoded before the swap may survive
+    /// it.
+    pub fn flush(&mut self) {
+        self.blocks.clear();
+    }
+
+    /// Number of blocks currently cached.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the cache holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynacut_obj::{Perms, PAGE_SIZE};
+
+    fn one_page_space() -> AddressSpace {
+        let mut mem = AddressSpace::new();
+        mem.map(0x1000, PAGE_SIZE, Perms::RX, "text").unwrap();
+        mem
+    }
+
+    fn block_over(mem: &mut AddressSpace, page: u64) -> CachedBlock {
+        let gen = mem.note_code_page(page);
+        CachedBlock {
+            insns: vec![(Insn::Nop, 1)].into_boxed_slice(),
+            pages: vec![(page, gen)],
+        }
+    }
+
+    #[test]
+    fn block_survives_writes_to_other_pages_only() {
+        let mut mem = one_page_space();
+        mem.map(0x2000, PAGE_SIZE, Perms::RW, "data").unwrap();
+        let block = block_over(&mut mem, 0x1000);
+        assert!(block.pages_valid(&mem));
+        mem.write_unchecked(0x2000, &[1]);
+        assert!(block.pages_valid(&mem), "data write leaves code alone");
+        mem.write_unchecked(0x1004, &[0xCC]);
+        assert!(!block.pages_valid(&mem), "code write bumps the generation");
+    }
+
+    #[test]
+    fn unmap_protect_and_drop_invalidate() {
+        for op in 0..3 {
+            let mut mem = one_page_space();
+            let block = block_over(&mut mem, 0x1000);
+            match op {
+                0 => mem.unmap(0x1000, PAGE_SIZE).unwrap(),
+                1 => mem.protect(0x1000, PAGE_SIZE, Perms::R).unwrap(),
+                _ => mem.drop_page(0x1000),
+            }
+            assert!(!block.pages_valid(&mem), "op {op} must invalidate");
+        }
+    }
+
+    #[test]
+    fn generations_survive_unmap_remap() {
+        // A block cached before an unmap must not revalidate after the
+        // range is re-mapped: generations are never reset.
+        let mut mem = one_page_space();
+        let block = block_over(&mut mem, 0x1000);
+        mem.unmap(0x1000, PAGE_SIZE).unwrap();
+        mem.map(0x1000, PAGE_SIZE, Perms::RX, "text").unwrap();
+        assert!(!block.pages_valid(&mem));
+    }
+
+    #[test]
+    fn cache_capacity_flushes_instead_of_growing() {
+        let mut cache = BlockCache::default();
+        let mut mem = one_page_space();
+        for i in 0..(MAX_CACHED_BLOCKS + 1) as u64 {
+            let block = Arc::new(block_over(&mut mem, 0x1000));
+            cache.insert(i, block);
+        }
+        assert!(cache.len() <= MAX_CACHED_BLOCKS);
+        cache.flush();
+        assert!(cache.is_empty());
+    }
+}

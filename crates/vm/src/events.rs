@@ -312,9 +312,15 @@ pub struct Metrics {
 }
 
 impl Metrics {
-    /// Adds `by` to the named counter (creating it at zero).
+    /// Adds `by` to the named counter. The key is only allocated the
+    /// first time a counter is touched, so steady-state increments from
+    /// hot paths (trap hits, block-cache stats) are allocation-free.
     pub fn incr(&mut self, name: &str, by: u64) {
-        *self.counters.entry(name.to_owned()).or_insert(0) += by;
+        if let Some(value) = self.counters.get_mut(name) {
+            *value += by;
+        } else {
+            self.counters.insert(name.to_owned(), by);
+        }
     }
 
     /// Current value of a counter (0 if never incremented).
@@ -356,8 +362,17 @@ pub struct FlightRecorder {
     metrics: Metrics,
     /// Fault-policy label per pid, set by the orchestrator when a
     /// customization installs a `SIGTRAP` policy — lets the interpreter
-    /// attribute trap hits to the policy that planted the byte.
-    trap_policy: BTreeMap<Pid, &'static str>,
+    /// attribute trap hits to the policy that planted the byte. The
+    /// `trap_hits.<label>` counter key is built once here so the SIGTRAP
+    /// hot path never formats a `String` per trap.
+    trap_policy: BTreeMap<Pid, PolicyLabel>,
+}
+
+/// A trap-policy label plus its pre-built metrics counter key.
+#[derive(Debug, Clone)]
+struct PolicyLabel {
+    label: &'static str,
+    counter_key: String,
 }
 
 impl Default for FlightRecorder {
@@ -459,15 +474,34 @@ impl FlightRecorder {
     }
 
     /// Labels future `SIGTRAP` hits on `pid` with the fault policy that
-    /// installed the trap bytes (`"redirect"`, `"verify"`, …).
+    /// installed the trap bytes (`"redirect"`, `"verify"`, …). The
+    /// per-policy counter key is formatted once, here.
     pub fn set_trap_policy(&mut self, pid: Pid, label: &'static str) {
-        self.trap_policy.insert(pid, label);
+        self.trap_policy.insert(
+            pid,
+            PolicyLabel {
+                label,
+                counter_key: format!("trap_hits.{label}"),
+            },
+        );
     }
 
     /// The trap-policy label for `pid`; `"none"` if no policy was
     /// registered.
     pub fn trap_policy(&self, pid: Pid) -> &'static str {
-        self.trap_policy.get(&pid).copied().unwrap_or("none")
+        self.trap_policy.get(&pid).map_or("none", |p| p.label)
+    }
+
+    /// Records one `SIGTRAP` hit on `pid`: bumps the policy-attributed
+    /// `trap_hits.<label>` counter (using the key pre-built by
+    /// [`set_trap_policy`](FlightRecorder::set_trap_policy) — no
+    /// allocation on this path) and journals a [`EventKind::TrapHit`].
+    pub fn record_trap_hit(&mut self, time_ns: u64, pid: Pid, pc: u64, handled: bool) {
+        match self.trap_policy.get(&pid) {
+            Some(policy) => self.metrics.incr(&policy.counter_key, 1),
+            None => self.metrics.incr("trap_hits.none", 1),
+        }
+        self.record(time_ns, Some(pid), EventKind::TrapHit { pc, handled });
     }
 }
 
@@ -570,5 +604,23 @@ mod tests {
         assert_eq!(rec.trap_policy(Pid(1)), "none");
         rec.set_trap_policy(Pid(1), "redirect");
         assert_eq!(rec.trap_policy(Pid(1)), "redirect");
+    }
+
+    #[test]
+    fn record_trap_hit_attributes_the_policy_counter_and_journals() {
+        let mut rec = FlightRecorder::new();
+        rec.record_trap_hit(10, Pid(1), 0x40, false);
+        assert_eq!(rec.metrics().counter("trap_hits.none"), 1);
+        rec.set_trap_policy(Pid(1), "redirect");
+        rec.record_trap_hit(11, Pid(1), 0x40, true);
+        rec.record_trap_hit(12, Pid(1), 0x40, true);
+        assert_eq!(rec.metrics().counter("trap_hits.redirect"), 2);
+        assert!(matches!(
+            rec.iter().last().unwrap().kind,
+            EventKind::TrapHit {
+                pc: 0x40,
+                handled: true
+            }
+        ));
     }
 }

@@ -1,5 +1,6 @@
 //! The instruction interpreter: fetch, decode, execute, fault.
 
+use crate::bcache::{CachedBlock, MAX_BLOCK_INSNS};
 use crate::cpu::Flags;
 use crate::hook::Hook;
 use crate::process::Process;
@@ -7,7 +8,8 @@ use crate::signal::{
     Signal, SIGFRAME_SIZE, SIG_FRAME_FAULT_ADDR, SIG_FRAME_FLAGS, SIG_FRAME_PC, SIG_FRAME_REGS,
     SIG_FRAME_SIGNO,
 };
-use dynacut_isa::{decode, Cond, Insn, IsaError, Reg};
+use dynacut_isa::{decode, Cond, Insn, IsaError, Reg, MAX_INSN_LEN};
+use dynacut_obj::PAGE_SIZE;
 
 /// Outcome of the pure-CPU part of execution.
 pub(crate) enum Exec {
@@ -19,25 +21,83 @@ pub(crate) enum Exec {
 /// Fetches and decodes the instruction at `pc`.
 ///
 /// Returns the instruction and its length, or the fault signal to raise.
-pub(crate) fn fetch_insn(proc: &Process, pc: u64) -> Result<(Insn, usize), (Signal, u64)> {
-    let mut first = [0u8; 1];
-    if proc.mem.fetch_checked(pc, &mut first).is_err() {
+/// Decodes out of a fixed `[u8; MAX_INSN_LEN]` stack buffer (no per-fetch
+/// allocation) and goes through the software iTLB
+/// ([`AddressSpace::fetch_exec`](crate::AddressSpace::fetch_exec)), which
+/// is why it takes `&mut Process`.
+pub(crate) fn fetch_insn(proc: &mut Process, pc: u64) -> Result<(Insn, usize), (Signal, u64)> {
+    let mut buf = [0u8; MAX_INSN_LEN];
+    if proc.mem.fetch_exec(pc, &mut buf[..1]).is_err() {
         return Err((Signal::Sigsegv, pc));
     }
-    match decode(&first, 0) {
+    match decode(&buf[..1], 0) {
         Ok((insn, len)) => Ok((insn, len)),
-        Err(IsaError::TruncatedInsn { needed, .. }) => {
-            let mut buf = vec![0u8; needed];
-            if proc.mem.fetch_checked(pc, &mut buf).is_err() {
+        Err(IsaError::TruncatedInsn { needed, .. }) if needed <= MAX_INSN_LEN => {
+            if proc.mem.fetch_exec(pc, &mut buf[..needed]).is_err() {
                 return Err((Signal::Sigsegv, pc));
             }
-            match decode(&buf, 0) {
+            match decode(&buf[..needed], 0) {
                 Ok((insn, len)) => Ok((insn, len)),
                 Err(_) => Err((Signal::Sigill, pc)),
             }
         }
         Err(_) => Err((Signal::Sigill, pc)),
     }
+}
+
+/// Decodes the straight-line block entered at `entry`: instructions are
+/// appended until (and including) the first terminator or syscall, or
+/// until [`MAX_BLOCK_INSNS`].
+///
+/// Every page the run decodes from is registered with
+/// [`AddressSpace::note_code_page`](crate::AddressSpace::note_code_page)
+/// and its generation snapshotted, so any later mutation of those pages
+/// invalidates the block.
+///
+/// A decode failure on the *first* instruction is the caller's fault to
+/// deliver. A failure later simply ends the block early: execution will
+/// reach that pc, miss the cache, and raise the fault with the exact
+/// same `(signal, addr)` the uncached interpreter would.
+pub(crate) fn decode_block(proc: &mut Process, entry: u64) -> Result<CachedBlock, (Signal, u64)> {
+    let mut insns: Vec<(Insn, u8)> = Vec::new();
+    let mut pages: Vec<(u64, u64)> = Vec::new();
+    let mut pc = entry;
+    loop {
+        let (insn, len) = match fetch_insn(proc, pc) {
+            Ok(pair) => pair,
+            Err(fault) if insns.is_empty() => return Err(fault),
+            Err(_) => break,
+        };
+        let mut base = pc & !(PAGE_SIZE - 1);
+        let last = (pc + len as u64 - 1) & !(PAGE_SIZE - 1);
+        while base <= last {
+            if !pages.iter().any(|&(b, _)| b == base) {
+                let gen = proc.mem.note_code_page(base);
+                pages.push((base, gen));
+            }
+            base += PAGE_SIZE;
+        }
+        insns.push((insn, len as u8));
+        pc += len as u64;
+        if insn.is_terminator() || matches!(insn, Insn::Syscall) || insns.len() >= MAX_BLOCK_INSNS {
+            break;
+        }
+    }
+    Ok(CachedBlock {
+        insns: insns.into_boxed_slice(),
+        pages,
+    })
+}
+
+/// Whether executing the instruction can write guest memory (stores and
+/// stack pushes). After one of these retires inside a cached block, the
+/// dispatcher must revalidate the block's page generations so
+/// self-modifying code takes effect on the very next instruction.
+pub(crate) fn writes_memory(insn: &Insn) -> bool {
+    matches!(
+        insn,
+        Insn::St(..) | Insn::Push(_) | Insn::Call(_) | Insn::Callr(_)
+    )
 }
 
 /// Executes one decoded instruction against the process state.

@@ -70,6 +70,10 @@ pub struct Kernel {
     hook: Option<Box<dyn Hook>>,
     events: Vec<Event>,
     flight: FlightRecorder,
+    /// Inverted so a `Default`-constructed kernel runs with the
+    /// decoded-block cache *enabled*. See
+    /// [`set_block_cache_enabled`](Kernel::set_block_cache_enabled).
+    block_cache_disabled: bool,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -110,6 +114,25 @@ impl Kernel {
     /// Removes and returns the installed hook.
     pub fn take_hook(&mut self) -> Option<Box<dyn Hook>> {
         self.hook.take()
+    }
+
+    /// Enables or disables the decoded-block translation cache (enabled
+    /// by default). Disabling also flushes every process's cache, so a
+    /// later re-enable starts cold. Cached and uncached execution are
+    /// bit-identical in every guest-observable way — the toggle exists
+    /// for the `figures interp` off/on comparison and for bisecting.
+    pub fn set_block_cache_enabled(&mut self, enabled: bool) {
+        self.block_cache_disabled = !enabled;
+        if !enabled {
+            for proc in self.procs.values_mut() {
+                proc.block_cache.flush();
+            }
+        }
+    }
+
+    /// Whether the decoded-block translation cache is enabled.
+    pub fn block_cache_enabled(&self) -> bool {
+        !self.block_cache_disabled
     }
 
     // ----- processes ----------------------------------------------------
@@ -217,13 +240,17 @@ impl Kernel {
     /// # Errors
     ///
     /// Fails if the pid is already in use.
-    pub fn insert_process(&mut self, proc: Process) -> Result<(), VmError> {
+    pub fn insert_process(&mut self, mut proc: Process) -> Result<(), VmError> {
         if self.procs.contains_key(&proc.pid) {
             return Err(VmError::BadProcessState {
                 pid: proc.pid,
                 expected: "a free pid slot",
             });
         }
+        // Every live-memory swap funnels through here (restore commit,
+        // rollback, undo), so this flush is the invalidation choke
+        // point: nothing decoded before the swap survives it.
+        proc.block_cache.flush();
         self.next_pid = self.next_pid.max(proc.pid.0);
         self.procs.insert(proc.pid, proc);
         Ok(())
@@ -656,9 +683,26 @@ impl Kernel {
     }
 
     /// Runs one process for at most `budget` instructions.
+    ///
+    /// With the block cache enabled (the default), execution dispatches
+    /// whole decoded straight-line blocks: a cache hit revalidates the
+    /// block's page generations and then retires its instructions
+    /// without touching `decode` or the VMA walk again. Every
+    /// per-instruction accounting rule of the uncached path — clock,
+    /// `insns_retired`, hook callbacks, signal-delivery interleaving —
+    /// is reproduced exactly, so cached and uncached runs are
+    /// bit-identical under [`state_fingerprint`](Kernel::state_fingerprint).
     fn step_slice(&mut self, pid: Pid, budget: u64) {
         let mut hook = self.hook.take();
-        for _ in 0..budget {
+        let use_cache = !self.block_cache_disabled;
+        // Hot-path stats are accumulated locally and flushed to the
+        // metrics registry once per slice.
+        let mut cache_hits = 0u64;
+        let mut cache_misses = 0u64;
+        let mut cache_invalidations = 0u64;
+        let mut retired = 0u64;
+        let mut budget_left = budget;
+        'outer: while budget_left > 0 {
             let Some(proc) = self.procs.get_mut(&pid) else {
                 break;
             };
@@ -673,57 +717,179 @@ impl Kernel {
                     break;
                 }
             }
-            let pc = proc.cpu.pc;
-            let (insn, len) = match interp::fetch_insn(proc, pc) {
-                Ok(pair) => pair,
-                Err((signal, fault_addr)) => {
-                    interp::deliver_signal(proc, signal, fault_addr, hook.as_deref_mut());
-                    self.clock_ns += 1;
-                    continue;
+            let entry = proc.cpu.pc;
+
+            if !use_cache {
+                // Uncached reference path: one fetch/decode/exec per
+                // budget unit.
+                budget_left -= 1;
+                let (insn, len) = match interp::fetch_insn(proc, entry) {
+                    Ok(pair) => pair,
+                    Err((signal, fault_addr)) => {
+                        interp::deliver_signal(proc, signal, fault_addr, hook.as_deref_mut());
+                        self.clock_ns += 1;
+                        continue;
+                    }
+                };
+                match interp::exec_insn(proc, &insn, len) {
+                    Exec::Done => {
+                        proc.insns_retired += 1;
+                        retired += 1;
+                        self.clock_ns += 1;
+                        if let Some(hook) = hook.as_deref_mut() {
+                            hook.on_insn(pid, entry);
+                        }
+                    }
+                    Exec::Fault(signal, fault_addr) => {
+                        let handled =
+                            interp::deliver_signal(proc, signal, fault_addr, hook.as_deref_mut());
+                        let exited = proc.is_exited();
+                        self.clock_ns += 1;
+                        if signal == Signal::Sigtrap {
+                            // A patched trap byte fired: record the hit
+                            // and attribute it to the policy that
+                            // planted it, so unhandled traps are not
+                            // just opaque 128+SIGTRAP exit codes.
+                            self.flight
+                                .record_trap_hit(self.clock_ns, pid, fault_addr, handled);
+                        }
+                        if exited {
+                            break;
+                        }
+                    }
+                    Exec::Syscall => {
+                        proc.insns_retired += 1;
+                        retired += 1;
+                        self.clock_ns += SYSCALL_COST_NS;
+                        if let Some(hook) = hook.as_deref_mut() {
+                            hook.on_insn(pid, entry);
+                        }
+                        let blocked = self.do_syscall(pid, entry, hook.as_deref_mut());
+                        if blocked {
+                            break;
+                        }
+                    }
+                }
+                continue;
+            }
+
+            // ----- cached dispatch --------------------------------------
+            let block = match proc.block_cache.get(entry).cloned() {
+                Some(block) if block.pages_valid(&proc.mem) => {
+                    cache_hits += 1;
+                    block
+                }
+                stale => {
+                    if stale.is_some() {
+                        // A write, remap, or page drop bumped one of the
+                        // block's page generations since it was decoded.
+                        cache_invalidations += 1;
+                        proc.block_cache.remove(entry);
+                    }
+                    cache_misses += 1;
+                    match interp::decode_block(proc, entry) {
+                        Ok(block) => {
+                            let block = Arc::new(block);
+                            proc.block_cache.insert(entry, Arc::clone(&block));
+                            block
+                        }
+                        Err((signal, fault_addr)) => {
+                            // Same accounting as an uncached fetch error:
+                            // one budget unit, one clock tick, nothing
+                            // retired.
+                            budget_left -= 1;
+                            interp::deliver_signal(
+                                proc,
+                                signal,
+                                fault_addr,
+                                hook.as_deref_mut(),
+                            );
+                            self.clock_ns += 1;
+                            continue;
+                        }
+                    }
                 }
             };
-            match interp::exec_insn(proc, &insn, len) {
-                Exec::Done => {
-                    proc.insns_retired += 1;
-                    self.clock_ns += 1;
-                    if let Some(hook) = hook.as_deref_mut() {
-                        hook.on_insn(pid, pc);
-                    }
+
+            for (i, &(insn, len)) in block.insns.iter().enumerate() {
+                if budget_left == 0 {
+                    // Slice over mid-block; the next slice re-enters at
+                    // the current pc (a fresh cache key).
+                    break 'outer;
                 }
-                Exec::Fault(signal, fault_addr) => {
-                    let handled =
-                        interp::deliver_signal(proc, signal, fault_addr, hook.as_deref_mut());
-                    let exited = proc.is_exited();
-                    self.clock_ns += 1;
-                    if signal == Signal::Sigtrap {
-                        // A patched trap byte fired: record the hit and
-                        // attribute it to the policy that planted it, so
-                        // unhandled traps are not just opaque 128+SIGTRAP
-                        // exit codes.
-                        let policy = self.flight.trap_policy(pid);
-                        self.flight.metrics_mut().incr(&format!("trap_hits.{policy}"), 1);
-                        self.flight.record(
-                            self.clock_ns,
-                            Some(pid),
-                            EventKind::TrapHit { pc: fault_addr, handled },
-                        );
-                    }
-                    if exited {
-                        break;
-                    }
+                let Some(proc) = self.procs.get_mut(&pid) else {
+                    break 'outer;
+                };
+                // The first instruction runs in the same budget unit as
+                // the signal delivered above (matching the uncached
+                // interleaving); before any later one, a newly pending
+                // signal sends us back to the delivery point.
+                if i > 0 && !proc.pending_signals.is_empty() {
+                    continue 'outer;
                 }
-                Exec::Syscall => {
-                    proc.insns_retired += 1;
-                    self.clock_ns += SYSCALL_COST_NS;
-                    if let Some(hook) = hook.as_deref_mut() {
-                        hook.on_insn(pid, pc);
+                budget_left -= 1;
+                let pc = proc.cpu.pc;
+                match interp::exec_insn(proc, &insn, len as usize) {
+                    Exec::Done => {
+                        proc.insns_retired += 1;
+                        retired += 1;
+                        self.clock_ns += 1;
+                        if let Some(hook) = hook.as_deref_mut() {
+                            hook.on_insn(pid, pc);
+                        }
+                        // Self-modifying code: if that instruction wrote
+                        // memory, it may have overwritten this very
+                        // block. Revalidate before running another
+                        // cached instruction.
+                        if interp::writes_memory(&insn) && !block.pages_valid(&proc.mem) {
+                            cache_invalidations += 1;
+                            proc.block_cache.remove(entry);
+                            continue 'outer;
+                        }
                     }
-                    let blocked = self.do_syscall(pid, pc, hook.as_deref_mut());
-                    if blocked {
-                        break;
+                    Exec::Fault(signal, fault_addr) => {
+                        let handled =
+                            interp::deliver_signal(proc, signal, fault_addr, hook.as_deref_mut());
+                        let exited = proc.is_exited();
+                        self.clock_ns += 1;
+                        if signal == Signal::Sigtrap {
+                            self.flight
+                                .record_trap_hit(self.clock_ns, pid, fault_addr, handled);
+                        }
+                        if exited {
+                            break 'outer;
+                        }
+                        continue 'outer;
+                    }
+                    Exec::Syscall => {
+                        proc.insns_retired += 1;
+                        retired += 1;
+                        self.clock_ns += SYSCALL_COST_NS;
+                        if let Some(hook) = hook.as_deref_mut() {
+                            hook.on_insn(pid, pc);
+                        }
+                        let blocked = self.do_syscall(pid, pc, hook.as_deref_mut());
+                        if blocked {
+                            break 'outer;
+                        }
+                        continue 'outer;
                     }
                 }
             }
+        }
+        if retired > 0 {
+            self.flight.metrics_mut().incr("insns_retired", retired);
+        }
+        if cache_hits > 0 {
+            self.flight.metrics_mut().incr("block_cache.hits", cache_hits);
+        }
+        if cache_misses > 0 {
+            self.flight.metrics_mut().incr("block_cache.misses", cache_misses);
+        }
+        if cache_invalidations > 0 {
+            self.flight
+                .metrics_mut()
+                .incr("block_cache.invalidations", cache_invalidations);
         }
         self.hook = hook;
     }

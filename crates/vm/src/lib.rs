@@ -25,6 +25,7 @@
 //! The kernel exposes dump/restore accessors ([`Kernel::freeze`], VMA and
 //! page iteration, register access) consumed by the `dynacut-criu` crate.
 
+mod bcache;
 mod cpu;
 mod error;
 pub mod events;
@@ -41,6 +42,7 @@ mod signal;
 mod syscall;
 mod vma;
 
+pub use bcache::BlockCache;
 pub use cpu::{CpuState, Flags};
 pub use error::VmError;
 pub use events::{

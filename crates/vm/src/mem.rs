@@ -50,6 +50,17 @@ pub struct AddressSpace {
     vmas: Vec<Vma>,
     pages: BTreeMap<u64, Box<[u8]>>,
     dirty: BTreeSet<u64>,
+    /// Generation counters for pages the block cache has decoded from
+    /// (see [`note_code_page`](AddressSpace::note_code_page)). Entries
+    /// are created lazily and **never removed** — a page that is
+    /// unmapped and re-mapped keeps its bumped generation, so no block
+    /// cached before the unmap can ever revalidate. Excluded from
+    /// checkpoints and fingerprints: purely host-side cache metadata.
+    code_gen: BTreeMap<u64, u64>,
+    /// Software iTLB: the `(start, end)` bounds of the last VMA an
+    /// instruction fetch hit. A fetch wholly inside the memoised range
+    /// skips the VMA walk; any mapping change clears the memo.
+    exec_vma: Option<(u64, u64)>,
 }
 
 impl AddressSpace {
@@ -76,6 +87,7 @@ impl AddressSpace {
         }
         self.vmas.push(Vma::new(start, end, perms, name));
         self.vmas.sort_by_key(|vma| vma.start);
+        self.exec_vma = None;
         Ok(())
     }
 
@@ -114,6 +126,8 @@ impl AddressSpace {
             self.pages.remove(&base);
             self.dirty.remove(&base);
         }
+        self.bump_code_gens(start, end);
+        self.exec_vma = None;
         Ok(())
     }
 
@@ -163,6 +177,8 @@ impl AddressSpace {
         }
         next.sort_by_key(|vma| vma.start);
         self.vmas = next;
+        self.bump_code_gens(start, end);
+        self.exec_vma = None;
         Ok(())
     }
 
@@ -240,9 +256,30 @@ impl AddressSpace {
         Ok(())
     }
 
-    /// Instruction fetch (exec-permission-checked).
-    pub(crate) fn fetch_checked(&self, addr: u64, buf: &mut [u8]) -> Result<(), VmError> {
-        self.check(addr, buf.len() as u64, Access::Exec)?;
+    /// Instruction fetch through the software iTLB: a fetch wholly
+    /// inside the last executable VMA skips the permission walk. Any
+    /// mapping change ([`map`](AddressSpace::map),
+    /// [`unmap`](AddressSpace::unmap),
+    /// [`protect`](AddressSpace::protect)) clears the memo, so the fast
+    /// path can never outlive the VMA it memoised.
+    pub(crate) fn fetch_exec(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), VmError> {
+        let end = addr.checked_add(buf.len() as u64).ok_or(VmError::BadAccess {
+            addr,
+            kind: "exec",
+        })?;
+        match self.exec_vma {
+            Some((lo, hi)) if addr >= lo && end <= hi => {}
+            _ => {
+                self.check(addr, buf.len() as u64, Access::Exec)?;
+                // Memoise only single-VMA fetches; a fetch spanning two
+                // executable VMAs stays on the slow path.
+                if let Some(vma) = self.vma_at(addr) {
+                    if end <= vma.end {
+                        self.exec_vma = Some((vma.start, vma.end));
+                    }
+                }
+            }
+        }
         self.copy_out(addr, buf);
         Ok(())
     }
@@ -286,6 +323,9 @@ impl AddressSpace {
                 .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
             page[in_page..in_page + chunk].copy_from_slice(&bytes[done..done + chunk]);
             self.dirty.insert(page_base);
+            if let Some(gen) = self.code_gen.get_mut(&page_base) {
+                *gen += 1;
+            }
             done += chunk;
         }
     }
@@ -312,6 +352,9 @@ impl AddressSpace {
         let base = addr & !(PAGE_SIZE - 1);
         self.pages.remove(&base);
         self.dirty.remove(&base);
+        if let Some(gen) = self.code_gen.get_mut(&base) {
+            *gen += 1;
+        }
     }
 
     /// Iterates over the bases of pages written since the last
@@ -349,6 +392,35 @@ impl AddressSpace {
         let base = addr & !(PAGE_SIZE - 1);
         if self.pages.contains_key(&base) {
             self.dirty.insert(base);
+        }
+    }
+
+    /// Registers the page containing `addr` as holding cached code and
+    /// returns its current generation. The block cache calls this for
+    /// every page a decoded block spans; from then on any mutation of
+    /// the page — stores, host patches, unmap, mprotect, page drops —
+    /// bumps the generation, invalidating every block that snapshotted
+    /// the old value. Entries are never removed (see the field docs).
+    pub fn note_code_page(&mut self, addr: u64) -> u64 {
+        let base = addr & !(PAGE_SIZE - 1);
+        *self.code_gen.entry(base).or_insert(0)
+    }
+
+    /// The current generation of the page containing `addr`: 0 until
+    /// the page is first registered via
+    /// [`note_code_page`](AddressSpace::note_code_page), bumped on every
+    /// mutation thereafter.
+    pub fn code_page_gen(&self, addr: u64) -> u64 {
+        let base = addr & !(PAGE_SIZE - 1);
+        self.code_gen.get(&base).copied().unwrap_or(0)
+    }
+
+    /// Bumps the generation of every registered code page intersecting
+    /// `[start, end)`.
+    fn bump_code_gens(&mut self, start: u64, end: u64) {
+        let first = start & !(PAGE_SIZE - 1);
+        for (_, gen) in self.code_gen.range_mut(first..end) {
+            *gen += 1;
         }
     }
 }
@@ -419,7 +491,7 @@ mod tests {
             Err(VmError::BadAccess { kind: "write", .. })
         ));
         assert!(matches!(
-            space.fetch_checked(0x1000, &mut buf),
+            space.fetch_exec(0x1000, &mut buf),
             Err(VmError::BadAccess { kind: "exec", .. })
         ));
     }
@@ -470,7 +542,21 @@ mod tests {
         assert_eq!(space.vma_at(0x2000).unwrap().perms, Perms::NONE);
         assert_eq!(space.vma_at(0x3000).unwrap().perms, Perms::RX);
         let mut buf = [0u8; 1];
-        assert!(space.fetch_checked(0x2000, &mut buf).is_err());
+        assert!(space.fetch_exec(0x2000, &mut buf).is_err());
+    }
+
+    #[test]
+    fn fetch_exec_memo_does_not_outlive_the_vma() {
+        let mut space = space_with(0x1000, 2 * PAGE_SIZE, Perms::RX);
+        let mut buf = [0u8; 1];
+        assert!(space.fetch_exec(0x1000, &mut buf).is_ok());
+        // Second fetch in the same VMA rides the memo.
+        assert!(space.fetch_exec(0x1004, &mut buf).is_ok());
+        space.protect(0x1000, PAGE_SIZE, Perms::NONE).unwrap();
+        assert!(
+            space.fetch_exec(0x1000, &mut buf).is_err(),
+            "mprotect must clear the iTLB memo"
+        );
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Process control blocks.
 
+use crate::bcache::BlockCache;
 use crate::cpu::CpuState;
 use crate::fs::FdTable;
 use crate::loader::LoadedModule;
@@ -90,6 +91,10 @@ pub struct Process {
     /// Syscall allow-bitmask (bit *n* permits syscall number *n*); the
     /// seccomp-filter analogue of paper §5. All-ones permits everything.
     pub syscall_filter: u64,
+    /// Decoded-block translation cache. Pure host-side acceleration
+    /// state: never checkpointed, never fingerprinted, flushed on
+    /// restore (see DESIGN §11).
+    pub block_cache: BlockCache,
 }
 
 impl Process {
@@ -113,6 +118,7 @@ impl Process {
             frozen_from: None,
             modules: Vec::new(),
             syscall_filter: u64::MAX,
+            block_cache: BlockCache::default(),
         }
     }
 

@@ -1,0 +1,232 @@
+//! Regression pins for the decoded-block translation cache (DESIGN §11).
+//!
+//! The invariant under test: no stale cached block may survive a write,
+//! remap, or page drop that overlaps it — a cached block hiding a
+//! freshly planted `0xCC` trap byte would let code DynaCut disabled keep
+//! executing, the exact security failure the paper's design rules out.
+//! And with no invalidation event at all, cached and uncached execution
+//! must be bit-identical under `state_fingerprint()`.
+
+use dynacut_isa::{encode, Insn, Reg, Width, TRAP_OPCODE};
+use dynacut_obj::{Perms, PAGE_SIZE};
+use dynacut_vm::{Kernel, Pid, Process, Signal, Sysno};
+
+const TEXT: u64 = 0x1000;
+const STACK: u64 = 0x8000;
+
+const RWX: Perms = Perms {
+    read: true,
+    write: true,
+    exec: true,
+};
+
+/// Encodes `insns` back to back and returns the bytes plus the start
+/// offset of each instruction (so tests can name patch targets).
+fn assemble(insns: &[Insn]) -> (Vec<u8>, Vec<u64>) {
+    let mut bytes = Vec::new();
+    let mut offsets = Vec::new();
+    for insn in insns {
+        offsets.push(bytes.len() as u64);
+        bytes.extend(encode(insn));
+    }
+    (bytes, offsets)
+}
+
+/// A kernel running one hand-built process whose text starts at `TEXT`.
+/// Text is RWX so guests can modify their own code.
+fn boot(insns: &[Insn]) -> (Kernel, Pid, Vec<u64>) {
+    let (bytes, offsets) = assemble(insns);
+    assert!(bytes.len() as u64 <= PAGE_SIZE, "test program fits one page");
+    let pid = Pid(1);
+    let mut proc = Process::new(pid, "bc_test");
+    proc.mem.map(TEXT, PAGE_SIZE, RWX, "text").unwrap();
+    proc.mem.write_unchecked(TEXT, &bytes);
+    proc.mem.map(STACK, PAGE_SIZE, Perms::RW, "[stack]").unwrap();
+    proc.cpu.set_sp(STACK + PAGE_SIZE);
+    proc.cpu.pc = TEXT;
+    let mut kernel = Kernel::new();
+    kernel.insert_process(proc).unwrap();
+    (kernel, pid, offsets.iter().map(|off| TEXT + off).collect())
+}
+
+/// A compute loop: `r1 = 0; for r2 in 0..iters { r1 += r2 }; exit(r1 & 0xff)`.
+fn compute_loop(iters: u64) -> Vec<Insn> {
+    vec![
+        Insn::Movi(Reg::R1, 0),
+        Insn::Movi(Reg::R2, iters),
+        // loop:
+        Insn::Add(Reg::R1, Reg::R2),
+        Insn::Addi(Reg::R2, -1),
+        Insn::Cmpi(Reg::R2, 0),
+        // Back to loop: Add(3) + Addi(6) + Cmpi(6) + Jcc(5) bytes.
+        Insn::Jcc(dynacut_isa::Cond::Ne, -20),
+        Insn::Movi(Reg::R3, 0xff),
+        Insn::And(Reg::R1, Reg::R3),
+        Insn::Movi(Reg::R0, Sysno::Exit as u64),
+        Insn::Syscall,
+    ]
+}
+
+/// The guest overwrites its own *next* instruction with a trap byte; the
+/// trap must fire on that very instruction even though it sits inside
+/// the currently executing cached block.
+#[test]
+fn self_modifying_guest_traps_on_its_own_patch() {
+    let insns = [
+        Insn::Movi(Reg::R1, 0),                      // patched below: target addr
+        Insn::Movi(Reg::R2, u64::from(TRAP_OPCODE)), // the int3 byte
+        Insn::St(Width::B1, Reg::R1, 0, Reg::R2),    // plant it
+        Insn::Nop,                                   // <- overwritten mid-block
+        Insn::Movi(Reg::R0, Sysno::Exit as u64),     // never reached
+        Insn::Syscall,
+    ];
+    let (bytes, offsets) = assemble(&insns);
+    let nop_addr = TEXT + offsets[3];
+    // Re-assemble with the real target address in R1.
+    let mut insns = insns;
+    insns[0] = Insn::Movi(Reg::R1, nop_addr);
+    let (bytes2, _) = assemble(&insns);
+    assert_eq!(bytes.len(), bytes2.len(), "patching the imm keeps layout");
+
+    let (mut kernel, pid, _) = boot(&insns);
+    assert!(kernel.block_cache_enabled(), "cache is on by default");
+    let status = kernel.run_until_exit(pid, 1_000_000).expect("terminates");
+    assert_eq!(status.fatal_signal, Some(Signal::Sigtrap));
+    assert_eq!(
+        kernel.process(pid).unwrap().cpu.pc,
+        nop_addr,
+        "the very next instruction after the store is the planted trap"
+    );
+    let invalidations = kernel
+        .flight()
+        .metrics()
+        .counter("block_cache.invalidations");
+    assert!(
+        invalidations >= 1,
+        "the self-modifying store invalidated the running block \
+         (invalidations={invalidations})"
+    );
+}
+
+/// A host-side patch (how DynaCut plants `int3` into live memory) fires
+/// the next time control reaches the patched pc, even though the loop's
+/// block is hot in the cache.
+#[test]
+fn host_planted_trap_fires_despite_hot_cache() {
+    let insns = [
+        // loop: nop; nop; nop; jmp loop
+        Insn::Nop,
+        Insn::Nop,
+        Insn::Nop,
+        Insn::Jmp(-8), // back over 3 nops + the 5-byte jmp
+    ];
+    let (mut kernel, pid, addrs) = boot(&insns);
+    kernel.run_for(2_000);
+    let hits_before = kernel.flight().metrics().counter("block_cache.hits");
+    assert!(hits_before > 0, "loop block is hot (hits={hits_before})");
+
+    kernel
+        .process_mut(pid)
+        .unwrap()
+        .mem
+        .write_unchecked(addrs[1], &[TRAP_OPCODE]);
+    let status = kernel.run_until_exit(pid, 1_000_000).expect("trap kills");
+    assert_eq!(status.fatal_signal, Some(Signal::Sigtrap));
+    assert_eq!(
+        kernel.process(pid).unwrap().cpu.pc,
+        addrs[1],
+        "death at exactly the patched byte, not a stale cached copy"
+    );
+}
+
+/// Unmapping cached text must not leave the old block executable: the
+/// next dispatch faults exactly like an uncached fetch would.
+#[test]
+fn unmapped_text_faults_instead_of_executing_stale_blocks() {
+    let insns = [Insn::Nop, Insn::Nop, Insn::Nop, Insn::Jmp(-8)];
+    let (mut kernel, pid, _) = boot(&insns);
+    kernel.run_for(2_000);
+    assert!(kernel.flight().metrics().counter("block_cache.hits") > 0);
+
+    kernel
+        .process_mut(pid)
+        .unwrap()
+        .mem
+        .unmap(TEXT, PAGE_SIZE)
+        .unwrap();
+    let status = kernel.run_until_exit(pid, 1_000_000).expect("segv kills");
+    assert_eq!(status.fatal_signal, Some(Signal::Sigsegv));
+}
+
+/// `mprotect` to non-executable must stop cached execution too.
+#[test]
+fn protect_revokes_cached_execution() {
+    let insns = [Insn::Nop, Insn::Nop, Insn::Nop, Insn::Jmp(-8)];
+    let (mut kernel, pid, _) = boot(&insns);
+    kernel.run_for(2_000);
+
+    kernel
+        .process_mut(pid)
+        .unwrap()
+        .mem
+        .protect(TEXT, PAGE_SIZE, Perms::RW)
+        .unwrap();
+    let status = kernel.run_until_exit(pid, 1_000_000).expect("segv kills");
+    assert_eq!(status.fatal_signal, Some(Signal::Sigsegv));
+}
+
+/// Cached and uncached runs of the same program are bit-identical under
+/// `state_fingerprint()` — including a program that modifies itself.
+#[test]
+fn fingerprints_match_cached_vs_uncached() {
+    let programs: Vec<Vec<Insn>> = vec![
+        compute_loop(500),
+        vec![
+            // Exercise call/ret/push/pop through the cache.
+            Insn::Call(1),                           // over the halt
+            Insn::Halt,                              // skipped
+            Insn::Push(Reg::R1),
+            Insn::Pop(Reg::R2),
+            Insn::Movi(Reg::R0, Sysno::Exit as u64),
+            Insn::Movi(Reg::R1, 0),
+            Insn::Syscall,
+        ],
+    ];
+    for (i, insns) in programs.iter().enumerate() {
+        let (mut cached, pid, _) = boot(insns);
+        let (mut uncached, _, _) = boot(insns);
+        uncached.set_block_cache_enabled(false);
+        let a = cached.run_until_exit(pid, 10_000_000);
+        let b = uncached.run_until_exit(pid, 10_000_000);
+        assert_eq!(a, b, "same exit status");
+        assert_eq!(
+            cached.state_fingerprint(),
+            uncached.state_fingerprint(),
+            "cache must be invisible to guest-observable state"
+        );
+        assert!(cached.flight().metrics().counter("block_cache.misses") > 0);
+        if i == 0 {
+            // Only the loop re-enters its blocks; straight-line code is
+            // all compulsory misses.
+            assert!(cached.flight().metrics().counter("block_cache.hits") > 0);
+        }
+        assert_eq!(uncached.flight().metrics().counter("block_cache.hits"), 0);
+    }
+}
+
+/// The flight metrics expose the cache and the retirement counter used
+/// for MIPS, and the counter agrees with per-process accounting.
+#[test]
+fn metrics_surface_cache_stats_and_insns_retired() {
+    let (mut kernel, pid, _) = boot(&compute_loop(200));
+    let status = kernel.run_until_exit(pid, 10_000_000).expect("exits");
+    assert_eq!(status.fatal_signal, None);
+    let metrics = kernel.flight().metrics();
+    assert!(metrics.counter("block_cache.hits") > 0);
+    assert!(metrics.counter("block_cache.misses") > 0);
+    assert_eq!(
+        metrics.counter("insns_retired"),
+        kernel.process(pid).unwrap().insns_retired,
+        "metrics counter mirrors per-process retirement"
+    );
+}
