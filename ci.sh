@@ -56,5 +56,23 @@ test -s results/interp.json
 grep -q '"schema": "dynacut-interp-v1"' results/interp.json
 grep -q '"fingerprints_match": true' results/interp.json
 
+# Zero-copy CoW restore (DESIGN §12): the criu battery proptests
+# intern/restore-via-handle/CoW/release interleavings for exact
+# refcounts and byte-identity with the copying path; the core suite
+# pins the per-cycle byte accounting and cross-mode fingerprint
+# parity; `figures restore` regenerates results/restore.json and
+# panics unless the copying restore moved >= 5x the bytes at 8
+# replicas, the two modes' kernels fingerprint-match, no run leaked a
+# page ref, and zero-copy cost stays flat from 2 to 8 replicas (the
+# dynacut-restore-v1 gate — all deterministic byte counts).
+cargo test -q -p dynacut-criu --test zero_copy
+cargo test -q -p dynacut --test restore_accounting
+cargo test -q -p dynacut-bench experiments::restore
+cargo run --release -q -p dynacut-bench --bin figures -- restore > /dev/null
+test -s results/restore.json
+grep -q '"schema": "dynacut-restore-v1"' results/restore.json
+grep -q '"fingerprints_match": true' results/restore.json
+grep -q '"refcount_leaked_bytes": 0' results/restore.json
+
 # API docs must build warning-free.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet

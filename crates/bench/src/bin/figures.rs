@@ -9,7 +9,7 @@ use dynacut_bench::{experiments, flight};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures <fig2|fig4|fig6|fig7|fig8|fig8-incremental|fig9|fig10|table1|plt|ablation|flight|fleet|interp|all> [more...]"
+        "usage: figures <fig2|fig4|fig6|fig7|fig8|fig8-incremental|fig9|fig10|table1|plt|ablation|flight|fleet|interp|restore|all> [more...]"
     );
     std::process::exit(2);
 }
@@ -36,6 +36,7 @@ fn main() {
             "flight",
             "fleet",
             "interp",
+            "restore",
         ];
     }
     for (index, target) in targets.iter().enumerate() {
@@ -57,6 +58,7 @@ fn main() {
             "flight" => flight::print(),
             "fleet" => experiments::fleet::print(),
             "interp" => experiments::interp::print(),
+            "restore" => experiments::restore::print(),
             other => {
                 eprintln!("unknown target `{other}`");
                 usage();

@@ -14,4 +14,5 @@ pub mod fig9;
 pub mod fleet;
 pub mod interp;
 pub mod plt;
+pub mod restore;
 pub mod table1;

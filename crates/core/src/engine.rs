@@ -214,6 +214,11 @@ pub struct FleetTotals {
     /// Logical page bytes written into the checkpoint store (what a
     /// store without content addressing would hold for these cycles).
     pub stored_page_bytes: usize,
+    /// Page bytes restore phases physically copied, fleet-wide (see
+    /// [`CustomizeReport::restore_copied_bytes`]). On the zero-copy path
+    /// this scales with *distinct rewritten pages*, not resident set ×
+    /// replicas.
+    pub restore_copied_bytes: usize,
     /// Page bytes the session's store physically holds after the run:
     /// one copy per distinct page content.
     pub unique_page_bytes: usize,
@@ -364,6 +369,7 @@ impl DynaCut {
             report.totals.prewritten_page_bytes += group_report.prewritten_page_bytes;
             report.totals.image_bytes += group_report.image_bytes;
             report.totals.stored_page_bytes += group_report.stored_page_bytes.unwrap_or(0);
+            report.totals.restore_copied_bytes += group_report.restore_copied_bytes;
             let window = group_report.freeze_window();
             report.totals.max_freeze_window = report.totals.max_freeze_window.max(window);
             report.totals.sum_freeze_window += window;
@@ -530,7 +536,31 @@ impl DynaCut {
             Stage::RestorePrepare => {
                 let checkpoint = cycle.checkpoint.as_ref().expect("dump stage ran");
                 let registry = cycle.staged_registry.as_ref().expect("inject stage ran");
-                cycle.txn = Some(RestoreTransaction::prepare(kernel, checkpoint, registry)?);
+                if self.zero_copy_restore {
+                    // Zero-copy: intern the edited payload into the
+                    // session's content-addressed store (copying only
+                    // pages it has never seen — later replicas hash-hit
+                    // the first one's baseline) and back every staged
+                    // page with a shared frame. The interning refs are
+                    // released inside `prepare_shared`; the staged
+                    // processes keep the frames alive, so the store's
+                    // refcounts are unchanged on every path.
+                    let copied_before = self.store.page_store().copied_bytes();
+                    let txn = RestoreTransaction::prepare_shared(
+                        kernel,
+                        checkpoint,
+                        registry,
+                        self.store.page_store_mut(),
+                    )?;
+                    cycle.report.restore_copied_bytes =
+                        (self.store.page_store().copied_bytes() - copied_before) as usize;
+                    cycle.txn = Some(txn);
+                } else {
+                    // Copying baseline: every dumped page is written
+                    // into the staged address spaces byte for byte.
+                    cycle.report.restore_copied_bytes = checkpoint.pages_bytes();
+                    cycle.txn = Some(RestoreTransaction::prepare(kernel, checkpoint, registry)?);
+                }
                 Ok(())
             }
             Stage::RestoreCommit => {
@@ -818,6 +848,7 @@ impl DynaCut {
         metrics.incr("bytes_patched", report.bytes_written);
         metrics.incr("pages_precopied_bytes", report.prewritten_page_bytes as u64);
         metrics.incr("pages_frozen_bytes", report.frozen_page_bytes as u64);
+        metrics.incr("pages_restore_copied_bytes", report.restore_copied_bytes as u64);
         metrics.incr("injections", report.handler_bases.len() as u64);
         for (phase, elapsed) in &report.phases {
             metrics.observe(&format!("phase.{phase}"), elapsed.as_nanos() as u64);

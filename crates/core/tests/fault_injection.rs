@@ -1,7 +1,8 @@
 //! Exhaustive error-path suite for transactional customize (DESIGN §5).
 //!
 //! Every phase of the customize cycle — pre-dump, dump, image edit,
-//! library injection, restore build, restore commit, baseline store and
+//! library injection, restore handle resolution, restore build, CoW
+//! frame materialization, restore commit, baseline store and
 //! mark-clean — is failed on demand via [`dynacut_vm::fault`] against
 //! both a single-process guest (Redis) and a multi-process guest (Nginx
 //! master + worker). Each case asserts the transactional contract:
@@ -25,12 +26,17 @@ use dynacut_vm::{Kernel, LoadSpec, Pid, ProcState};
 use std::sync::Arc;
 
 /// Every injection point in the customize cycle, in execution order.
-const ALL_PHASES: [FaultPhase; 8] = [
+/// The default restore is zero-copy, so `RestoreHandles` (handle
+/// resolution and interning) and `CowMaterialize` (frame installation)
+/// bracket the per-process `RestoreBuild`.
+const ALL_PHASES: [FaultPhase; 10] = [
     FaultPhase::PreDump,
     FaultPhase::Dump,
     FaultPhase::ImageEdit,
     FaultPhase::LibraryInjection,
+    FaultPhase::RestoreHandles,
     FaultPhase::RestoreBuild,
+    FaultPhase::CowMaterialize,
     FaultPhase::RestoreCommit,
     FaultPhase::BaselineStore,
     FaultPhase::MarkClean,
@@ -38,11 +44,13 @@ const ALL_PHASES: [FaultPhase; 8] = [
 
 /// Phases whose hook fires once **per process**, so `skip = 1` targets
 /// the second process (the Nginx worker) after the first succeeded.
-const PER_PROCESS_PHASES: [FaultPhase; 5] = [
+const PER_PROCESS_PHASES: [FaultPhase; 7] = [
     FaultPhase::Dump,
     FaultPhase::ImageEdit,
     FaultPhase::LibraryInjection,
+    FaultPhase::RestoreHandles,
     FaultPhase::RestoreBuild,
+    FaultPhase::CowMaterialize,
     FaultPhase::RestoreCommit,
 ];
 
@@ -120,7 +128,9 @@ fn flight_phase(phase: FaultPhase) -> Phase {
         FaultPhase::Dump => Phase::Dump,
         FaultPhase::ImageEdit => Phase::ImageEdit,
         FaultPhase::LibraryInjection => Phase::Inject,
-        FaultPhase::RestoreBuild => Phase::RestorePrepare,
+        FaultPhase::RestoreHandles | FaultPhase::RestoreBuild | FaultPhase::CowMaterialize => {
+            Phase::RestorePrepare
+        }
         FaultPhase::RestoreCommit => Phase::RestoreCommit,
         FaultPhase::BaselineStore | FaultPhase::MarkClean => Phase::BaselineStore,
         other => panic!("unmapped fault phase {other}"),
@@ -285,6 +295,16 @@ fn assert_rollback_then_retry(
         );
     }
 
+    // Zero leaked `SharedPages` refs: the aborted handle-based restore
+    // interned its payload and must have released every reference on
+    // the error path, so the store's refcount-derived footprint still
+    // equals the sum over stored checkpoints.
+    assert_eq!(
+        dynacut.store().logical_pages_bytes(),
+        dynacut.store().stored_pages_bytes(),
+        "no leaked page refs after rollback ({ctx})"
+    );
+
     // The flight journal is the observable record of the failure: it
     // must name the phase the cycle died in and every rollback step.
     assert_failed_cycle_journal(&server.kernel, seq0, flight_phase(phase), &server.pids, &ctx);
@@ -348,6 +368,11 @@ fn assert_rollback_then_retry(
     for &pid in &server.pids {
         assert!(server.kernel.exit_status(pid).is_none(), "{pid} alive after retry ({ctx})");
     }
+    assert_eq!(
+        dynacut.store().logical_pages_bytes(),
+        dynacut.store().stored_pages_bytes(),
+        "no leaked page refs after the successful retry either ({ctx})"
+    );
 }
 
 const NGINX_PROBE: (&[u8], &[u8]) = (b"GET /i.html\n", nginx::RESP_200);
@@ -522,6 +547,33 @@ fn second_cycle_failure_restores_the_displaced_baseline() {
         nginx::RESP_201,
         "PUT re-enabled by the retried cycle"
     );
+}
+
+/// With the copying restore opted in, the zero-copy hooks are never
+/// reached: the armed fault stays armed and the identical customize
+/// commits — proving `RestoreHandles`/`CowMaterialize` live strictly on
+/// the handle-based path.
+#[test]
+fn copying_restore_never_reaches_the_zero_copy_hooks() {
+    for phase in [FaultPhase::RestoreHandles, FaultPhase::CowMaterialize] {
+        let mut server = boot_redis();
+        let mut dynacut = DynaCut::new(server.registry.clone())
+            .with_incremental()
+            .with_copying_restore();
+        let plan = redis_plan(&server);
+        fault::arm(phase, 0);
+        dynacut
+            .customize(&mut server.kernel, &server.pids, &plan)
+            .unwrap_or_else(|err| panic!("copying restore must not hit {phase}: {err}"));
+        assert_eq!(fault::armed_count(), 1, "fault still armed ({phase})");
+        fault::disarm_all();
+        let conn = server.kernel.client_connect(redis::PORT).unwrap();
+        assert_eq!(
+            server.kernel.client_request(conn, REDIS_PROOF.0, 5_000_000).unwrap(),
+            REDIS_PROOF.1,
+            "the customization committed under the copying restore"
+        );
+    }
 }
 
 /// An armed fault whose phase is never reached stays armed (and is

@@ -32,7 +32,8 @@
 
 use crate::dump::{dump, dump_many, DumpOptions};
 use crate::images::*;
-use crate::page_store::{PageStore, SharedPages};
+use crate::page_store::{PageKey, PageStore, SharedPages};
+use crate::restore::{build_process_shared, RestoreTransaction, StagedProcess};
 use crate::CriuError;
 use dynacut_obj::PAGE_SIZE;
 use dynacut_vm::{Kernel, Pid};
@@ -583,6 +584,15 @@ impl CheckpointStore {
         &self.pages
     }
 
+    /// Mutable access to the backing page store, for handle-based
+    /// restore paths ([`RestoreTransaction::prepare_shared`]) that
+    /// intern a transient payload and release it before returning.
+    /// Callers own the refcount discipline: every reference taken
+    /// through this must be released through it.
+    pub fn page_store_mut(&mut self) -> &mut PageStore {
+        &mut self.pages
+    }
+
     /// Physically held page bytes: one copy per distinct page content.
     pub fn unique_pages_bytes(&self) -> usize {
         self.pages.unique_bytes()
@@ -707,6 +717,171 @@ impl CheckpointStore {
     ) -> Result<Vec<Pid>, CriuError> {
         let image = self.materialize(id)?;
         crate::restore_many(kernel, &image, registry)
+    }
+
+    /// Restores the checkpoint `id` **zero-copy**: instead of
+    /// materializing the page payload, the delta chain is resolved at
+    /// the *key* level (newest delta wins per page) and every restored
+    /// page is backed by a [`SharedFrame`](dynacut_vm::SharedFrame)
+    /// handle straight out of the content-addressed store. No page byte
+    /// is copied by the restore itself ([`PageStore::copied_bytes`] does
+    /// not move); the first guest write to each page copy-on-writes it
+    /// private. Guest-visible state — `state_fingerprint()` included —
+    /// is bit-identical to [`restore`](CheckpointStore::restore).
+    ///
+    /// The commit is transactional exactly like the copying path, and
+    /// flushes every restored process's block cache (both explicitly and
+    /// through `insert_process`), so no decoded block survives the swap.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`CriuError::MissingParent`] if `id` or any ancestor
+    /// is absent or released, [`CriuError::BadImage`] /
+    /// [`CriuError::Inconsistent`] on a malformed chain, or propagates
+    /// build/commit failures (kernel untouched or rolled back).
+    pub fn restore_shared(
+        &self,
+        kernel: &mut Kernel,
+        id: CkptId,
+        registry: &crate::ModuleRegistry,
+    ) -> Result<Vec<Pid>, CriuError> {
+        let resolved = self.resolve_shared(id)?;
+        let mut staged: Vec<StagedProcess> = Vec::with_capacity(resolved.len());
+        for (image, keys) in &resolved {
+            if dynacut_vm::fault::hit(dynacut_vm::fault::FaultPhase::RestoreHandles) {
+                return Err(CriuError::FaultInjected(
+                    dynacut_vm::fault::FaultPhase::RestoreHandles,
+                ));
+            }
+            staged.push(build_process_shared(
+                kernel,
+                image,
+                registry,
+                keys,
+                &self.pages,
+            )?);
+        }
+        let committed = RestoreTransaction::from_staged(staged).commit(kernel)?;
+        Ok(committed.pids().to_vec())
+    }
+
+    /// Resolves checkpoint `id` to per-process skeletons plus one page
+    /// key per pagemap entry, walking the delta chain with newest-wins
+    /// semantics — the key-level analogue of [`materialize`], with no
+    /// page bytes touched.
+    ///
+    /// [`materialize`]: CheckpointStore::materialize
+    fn resolve_shared(&self, id: CkptId) -> Result<Vec<(ProcessImage, Vec<PageKey>)>, CriuError> {
+        // Collect the chain newest-first, stopping at the full base.
+        let mut chain: Vec<&StoredCheckpoint> = Vec::new();
+        let mut cursor = id;
+        loop {
+            let entry = self.get(cursor).ok_or(CriuError::MissingParent(cursor))?;
+            chain.push(entry);
+            match entry {
+                StoredCheckpoint::Full { .. } => break,
+                StoredCheckpoint::Delta { skeleton, .. } => cursor = skeleton.parent,
+            }
+        }
+
+        // Replay oldest-first, carrying a per-pid map of page base → key.
+        let mut keymaps: BTreeMap<Pid, BTreeMap<u64, PageKey>> = BTreeMap::new();
+        let mut skeletons: Vec<(Pid, ProcessImage)> = Vec::new();
+        for entry in chain.iter().rev() {
+            match entry {
+                StoredCheckpoint::Full { skeleton, pages } => {
+                    keymaps.clear();
+                    skeletons.clear();
+                    for (proc, shared) in skeleton.procs.iter().zip(pages) {
+                        if shared.page_count() != proc.pagemap.pages.len() {
+                            return Err(CriuError::BadImage(format!(
+                                "stored checkpoint holds {} page refs but pagemap lists {} pages",
+                                shared.page_count(),
+                                proc.pagemap.pages.len()
+                            )));
+                        }
+                        let map = proc
+                            .pagemap
+                            .pages
+                            .iter()
+                            .copied()
+                            .zip(shared.keys().iter().copied())
+                            .collect();
+                        keymaps.insert(proc.core.pid, map);
+                        skeletons.push((proc.core.pid, proc.clone()));
+                    }
+                }
+                StoredCheckpoint::Delta { skeleton, pages } => {
+                    let mut next_maps: BTreeMap<Pid, BTreeMap<u64, PageKey>> = BTreeMap::new();
+                    let mut next_skeletons: Vec<(Pid, ProcessImage)> = Vec::new();
+                    for (d, shared) in skeleton.procs.iter().zip(pages) {
+                        if shared.page_count() != d.dirty.pages.len() {
+                            return Err(CriuError::BadImage(format!(
+                                "stored delta holds {} page refs but {} dirty pages are listed",
+                                shared.page_count(),
+                                d.dirty.pages.len()
+                            )));
+                        }
+                        let dirty: BTreeMap<u64, PageKey> = d
+                            .dirty
+                            .pages
+                            .iter()
+                            .copied()
+                            .zip(shared.keys().iter().copied())
+                            .collect();
+                        let parent_map = keymaps.get(&d.core.pid);
+                        let mut map = BTreeMap::new();
+                        for &base in &d.pagemap.pages {
+                            let key = match dirty.get(&base) {
+                                Some(&key) => key,
+                                None => *parent_map.and_then(|m| m.get(&base)).ok_or_else(|| {
+                                    CriuError::Inconsistent(format!(
+                                        "clean page {base:#x} is missing from the parent checkpoint"
+                                    ))
+                                })?,
+                            };
+                            map.insert(base, key);
+                        }
+                        next_maps.insert(d.core.pid, map);
+                        next_skeletons.push((
+                            d.core.pid,
+                            ProcessImage {
+                                core: d.core.clone(),
+                                mm: d.mm.clone(),
+                                pagemap: d.pagemap.clone(),
+                                pages: PagesImage::default(),
+                                files: d.files.clone(),
+                                tcp: d.tcp.clone(),
+                                exec_pages_dumped: d.exec_pages_dumped,
+                            },
+                        ));
+                    }
+                    // Processes absent from the delta exited before it.
+                    keymaps = next_maps;
+                    skeletons = next_skeletons;
+                }
+            }
+        }
+
+        skeletons
+            .into_iter()
+            .map(|(pid, image)| {
+                let map = keymaps
+                    .get(&pid)
+                    .ok_or_else(|| CriuError::Inconsistent(format!("no key map for pid {}", pid.0)))?;
+                let keys = image
+                    .pagemap
+                    .pages
+                    .iter()
+                    .map(|base| {
+                        map.get(base).copied().ok_or_else(|| {
+                            CriuError::Inconsistent(format!("no key for page {base:#x}"))
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok((image, keys))
+            })
+            .collect()
     }
 }
 

@@ -53,8 +53,8 @@ pub use incremental::{
 };
 pub use page_store::{PageKey, PageStore, SharedPages};
 pub use restore::{
-    build_process, restore, restore_chain, restore_many, CommittedRestore, ModuleRegistry,
-    RestoreTransaction, StagedProcess,
+    build_process, build_process_shared, restore, restore_chain, restore_many, CommittedRestore,
+    ModuleRegistry, RestoreTransaction, StagedProcess,
 };
 
 /// Error type shared by dump, restore and editing operations.

@@ -27,6 +27,7 @@
 use crate::images::PagesImage;
 use crate::CriuError;
 use dynacut_obj::PAGE_SIZE;
+use dynacut_vm::SharedFrame;
 use std::collections::BTreeMap;
 
 /// Content hash of one page: 128-bit FNV-1a over the page bytes.
@@ -60,14 +61,28 @@ impl std::fmt::Display for PageKey {
 
 #[derive(Debug, Clone)]
 struct PageEntry {
-    bytes: Vec<u8>,
+    /// The page bytes, held as a [`SharedFrame`] so restores can hand
+    /// zero-copy handles straight into guest address spaces.
+    frame: SharedFrame,
     refs: u64,
 }
 
-/// The content-addressed store: hash → (page bytes, refcount).
+/// The content-addressed store: hash → (page frame, refcount).
+///
+/// Store refcounts (`refs`) and frame handles are deliberately distinct
+/// lifetimes: `refs` counts *checkpoint* references (what the store must
+/// keep retrievable), while [`SharedFrame::handle_count`] counts every
+/// live alias including pages mapped into running address spaces. A
+/// frame whose store entry is released stays alive for as long as any
+/// guest still maps it — but [`PageStore::get`] and materialization fail
+/// loudly, because the *store* no longer vouches for it.
 #[derive(Debug, Clone, Default)]
 pub struct PageStore {
     pages: BTreeMap<PageKey, PageEntry>,
+    /// Cumulative bytes physically copied into the store by first-sight
+    /// interns. Hash hits copy nothing; this counter is the store-side
+    /// half of the zero-copy restore accounting.
+    copied_bytes: u64,
 }
 
 impl PageStore {
@@ -80,18 +95,36 @@ impl PageStore {
     /// bytes are copied only on first sight.
     pub fn intern(&mut self, bytes: &[u8]) -> PageKey {
         let key = PageKey::of(bytes);
-        let entry = self.pages.entry(key).or_insert_with(|| PageEntry {
-            bytes: bytes.to_vec(),
-            refs: 0,
+        let entry = self.pages.entry(key).or_insert_with(|| {
+            self.copied_bytes += bytes.len() as u64;
+            PageEntry {
+                frame: SharedFrame::new(bytes),
+                refs: 0,
+            }
         });
-        debug_assert_eq!(entry.bytes, bytes, "page hash collision on {key}");
+        debug_assert_eq!(entry.frame.bytes(), bytes, "page hash collision on {key}");
         entry.refs += 1;
         key
     }
 
     /// The bytes of an interned page, if it is still referenced.
     pub fn get(&self, key: PageKey) -> Option<&[u8]> {
-        self.pages.get(&key).map(|entry| entry.bytes.as_slice())
+        self.pages.get(&key).map(|entry| entry.frame.bytes())
+    }
+
+    /// A zero-copy handle on an interned page, if it is still
+    /// referenced. Cloning the frame does **not** take a store
+    /// reference — the Arc keeps the bytes alive, the store's refcount
+    /// keeps them *retrievable*.
+    pub fn frame(&self, key: PageKey) -> Option<SharedFrame> {
+        self.pages.get(&key).map(|entry| entry.frame.clone())
+    }
+
+    /// Cumulative bytes physically copied into the store by first-sight
+    /// interns (hash hits and frame handouts copy nothing). Monotonic:
+    /// never decremented by releases.
+    pub fn copied_bytes(&self) -> u64 {
+        self.copied_bytes
     }
 
     /// Current refcount of a page (0 if absent).
@@ -116,7 +149,10 @@ impl PageStore {
 
     /// Bytes actually held: one copy per distinct page content.
     pub fn unique_bytes(&self) -> usize {
-        self.pages.values().map(|entry| entry.bytes.len()).sum()
+        self.pages
+            .values()
+            .map(|entry| entry.frame.bytes().len())
+            .sum()
     }
 
     /// Bytes callers handed in: every reference counts its page size.
@@ -124,7 +160,7 @@ impl PageStore {
     pub fn logical_bytes(&self) -> usize {
         self.pages
             .values()
-            .map(|entry| entry.refs as usize * entry.bytes.len())
+            .map(|entry| entry.refs as usize * entry.frame.bytes().len())
             .sum()
     }
 
@@ -247,6 +283,44 @@ mod tests {
         assert!(store.get(key).is_none());
         assert_eq!(store.unique_bytes(), 0);
         assert_eq!(store.dedup_ratio(), 1.0);
+    }
+
+    #[test]
+    fn copied_bytes_counts_only_first_sight_interns() {
+        let mut store = PageStore::new();
+        store.intern(&page(0x01));
+        store.intern(&page(0x01));
+        store.intern(&page(0x02));
+        assert_eq!(store.copied_bytes(), 2 * PAGE_SIZE, "hash hits copy nothing");
+        let key = PageKey::of(&page(0x01));
+        store.frame(key).unwrap();
+        assert_eq!(store.copied_bytes(), 2 * PAGE_SIZE, "handouts copy nothing");
+    }
+
+    #[test]
+    fn frames_outlive_released_entries_but_store_lookups_fail() {
+        let mut store = PageStore::new();
+        let key = store.intern(&page(0x77));
+        let frame = store.frame(key).unwrap();
+        store.release(key);
+        assert!(store.get(key).is_none(), "store no longer vouches");
+        assert!(store.frame(key).is_none());
+        assert_eq!(frame.bytes(), &page(0x77)[..], "the handle keeps the bytes alive");
+        assert_eq!(frame.handle_count(), 1);
+    }
+
+    #[test]
+    fn reintern_after_release_recopies_and_yields_a_fresh_frame() {
+        let mut store = PageStore::new();
+        let key = store.intern(&page(0x33));
+        let old = store.frame(key).unwrap();
+        store.release(key);
+        let key2 = store.intern(&page(0x33));
+        assert_eq!(key, key2, "content addressing is stable");
+        assert_eq!(store.copied_bytes(), 2 * PAGE_SIZE);
+        let fresh = store.frame(key2).unwrap();
+        assert_eq!(old.bytes(), fresh.bytes());
+        assert_eq!(old.handle_count(), 1, "old frame is not resurrected");
     }
 
     #[test]

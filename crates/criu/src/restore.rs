@@ -1,6 +1,17 @@
 //! Restoring a process from (possibly rewritten) images.
+//!
+//! Two page paths exist (DESIGN §12): the **copying** path writes every
+//! dumped page into the staged address space byte by byte
+//! ([`build_process`]), and the **zero-copy** path installs refcounted
+//! [`SharedFrame`](dynacut_vm::SharedFrame) handles from the
+//! [`PageStore`] instead ([`build_process_shared`],
+//! [`RestoreTransaction::prepare_shared`]), deferring any physical copy
+//! to the first guest write (CoW). Both produce fingerprint-identical
+//! kernels; the copying path remains the oracle the test battery checks
+//! the fast path against.
 
 use crate::images::*;
+use crate::page_store::{PageKey, PageStore, SharedPages};
 use crate::CriuError;
 use dynacut_obj::{materialize, Image, PAGE_SIZE};
 use dynacut_vm::{
@@ -81,6 +92,51 @@ pub fn build_process(
     image: &ProcessImage,
     registry: &ModuleRegistry,
 ) -> Result<StagedProcess, CriuError> {
+    build_process_with(kernel, image, registry, PageSource::Inline(&image.pages))
+}
+
+/// Builds a restored [`Process`] whose dumped pages are backed by
+/// zero-copy [`SharedFrame`](dynacut_vm::SharedFrame) handles out of
+/// `store` instead of byte copies.
+///
+/// `keys[i]` names the frame for `image.pagemap.pages[i]`; `image.pages`
+/// is ignored (and typically empty — the payload lives in the store).
+/// Every installed page starts shared and read-only-backed; the first
+/// guest write copy-on-writes it private. Guest-visible state is
+/// bit-identical to [`build_process`] of the materialized payload.
+///
+/// # Errors
+///
+/// Fails like [`build_process`], and additionally with
+/// [`CriuError::Inconsistent`] if a key has no live frame in the store
+/// or the key list disagrees with the pagemap.
+pub fn build_process_shared(
+    kernel: &Kernel,
+    image: &ProcessImage,
+    registry: &ModuleRegistry,
+    keys: &[PageKey],
+    store: &PageStore,
+) -> Result<StagedProcess, CriuError> {
+    build_process_with(kernel, image, registry, PageSource::Shared { keys, store })
+}
+
+/// Where a staged process's dumped pages come from.
+enum PageSource<'a> {
+    /// Byte payload carried inline in the image (the copying path).
+    Inline(&'a PagesImage),
+    /// Refcounted frames in a page store (the zero-copy path).
+    Shared {
+        keys: &'a [PageKey],
+        store: &'a PageStore,
+    },
+}
+
+fn build_process_with(
+    kernel: &Kernel,
+    image: &ProcessImage,
+    registry: &ModuleRegistry,
+    source: PageSource<'_>,
+) -> Result<StagedProcess, CriuError> {
     if dynacut_vm::fault::hit(dynacut_vm::fault::FaultPhase::RestoreBuild) {
         return Err(CriuError::FaultInjected(
             dynacut_vm::fault::FaultPhase::RestoreBuild,
@@ -147,24 +203,50 @@ pub fn build_process(
     }
     proc.modules = modules;
 
-    // 4. Dumped pages, verbatim.
-    if image.pages.bytes.len() != image.pagemap.pages.len() * PAGE_SIZE as usize {
-        return Err(CriuError::Inconsistent(format!(
-            "pages.img holds {} bytes but pagemap lists {} pages",
-            image.pages.bytes.len(),
-            image.pagemap.pages.len()
-        )));
-    }
-    for (index, &page_base) in image.pagemap.pages.iter().enumerate() {
-        if !image.exec_pages_dumped {
-            let exec = image.mm.vma_at(page_base).map(|v| v.perms.exec).unwrap_or(false);
-            if exec {
-                continue; // stock CRIU: text always comes from the binary
+    // 4. Dumped pages: copied verbatim, or installed as shared frames
+    //    (the zero-copy path — same guest-visible effect, no byte copy
+    //    until a write CoW-faults the page private).
+    match source {
+        PageSource::Inline(pages) => {
+            if pages.bytes.len() != image.pagemap.pages.len() * PAGE_SIZE as usize {
+                return Err(CriuError::Inconsistent(format!(
+                    "pages.img holds {} bytes but pagemap lists {} pages",
+                    pages.bytes.len(),
+                    image.pagemap.pages.len()
+                )));
+            }
+            for (index, &page_base) in image.pagemap.pages.iter().enumerate() {
+                if skip_undumped_text(image, page_base) {
+                    continue;
+                }
+                let start = index * PAGE_SIZE as usize;
+                proc.mem
+                    .write_unchecked(page_base, &pages.bytes[start..start + PAGE_SIZE as usize]);
             }
         }
-        let start = index * PAGE_SIZE as usize;
-        proc.mem
-            .write_unchecked(page_base, &image.pages.bytes[start..start + PAGE_SIZE as usize]);
+        PageSource::Shared { keys, store } => {
+            if dynacut_vm::fault::hit(dynacut_vm::fault::FaultPhase::CowMaterialize) {
+                return Err(CriuError::FaultInjected(
+                    dynacut_vm::fault::FaultPhase::CowMaterialize,
+                ));
+            }
+            if keys.len() != image.pagemap.pages.len() {
+                return Err(CriuError::Inconsistent(format!(
+                    "{} page handles but pagemap lists {} pages",
+                    keys.len(),
+                    image.pagemap.pages.len()
+                )));
+            }
+            for (&key, &page_base) in keys.iter().zip(&image.pagemap.pages) {
+                if skip_undumped_text(image, page_base) {
+                    continue;
+                }
+                let frame = store.frame(key).ok_or_else(|| {
+                    CriuError::Inconsistent(format!("{key} is not in the page store"))
+                })?;
+                proc.mem.install_shared_page(page_base, frame);
+            }
+        }
     }
 
     // 5. Registers and signal state.
@@ -213,6 +295,19 @@ pub fn build_process(
         listeners,
         conns: conn_ids,
     })
+}
+
+/// Stock-CRIU text handling: with `exec_pages_dumped` off, executable
+/// pages always come from the binary, never from the dump.
+fn skip_undumped_text(image: &ProcessImage, page_base: u64) -> bool {
+    if image.exec_pages_dumped {
+        return false;
+    }
+    image
+        .mm
+        .vma_at(page_base)
+        .map(|vma| vma.perms.exec)
+        .unwrap_or(false)
 }
 
 /// A multi-process restore staged as a transaction: `prepare` builds
@@ -277,6 +372,13 @@ impl CommittedRestore {
 }
 
 impl RestoreTransaction {
+    /// Wraps already-built staged processes (the store's zero-copy
+    /// restore resolves handles itself and only needs the commit
+    /// machinery).
+    pub(crate) fn from_staged(staged: Vec<StagedProcess>) -> Self {
+        RestoreTransaction { staged }
+    }
+
     /// Builds every process of `checkpoint` without mutating the kernel.
     ///
     /// # Errors
@@ -293,6 +395,67 @@ impl RestoreTransaction {
             .iter()
             .map(|image| build_process(kernel, image, registry))
             .collect::<Result<Vec<_>, _>>()?;
+        Ok(RestoreTransaction { staged })
+    }
+
+    /// Builds every process of `checkpoint` with its dumped pages backed
+    /// by zero-copy frames out of `store` instead of byte copies.
+    ///
+    /// The checkpoint's payload is interned into the store for the
+    /// duration of the call — so identical pages across processes (and
+    /// against checkpoints already stored, e.g. an earlier replica's
+    /// baseline) are physically copied at most once — and **every
+    /// reference taken here is released before returning**, on success
+    /// and on every error path alike. The staged processes keep the
+    /// frames alive through their own handles, so the store's refcounts
+    /// are exactly what they were before the call: zero leaked
+    /// `SharedPages` refs by construction, which the fault-injection
+    /// battery asserts.
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`prepare`](RestoreTransaction::prepare); the kernel is
+    /// untouched and the store's refcounts are unchanged.
+    pub fn prepare_shared(
+        kernel: &Kernel,
+        checkpoint: &CheckpointImage,
+        registry: &ModuleRegistry,
+        store: &mut PageStore,
+    ) -> Result<Self, CriuError> {
+        let mut handles: Vec<SharedPages> = Vec::with_capacity(checkpoint.procs.len());
+        let release_all = |handles: &[SharedPages], store: &mut PageStore| {
+            for handle in handles {
+                handle.release(store);
+            }
+        };
+        let mut staged = Vec::with_capacity(checkpoint.procs.len());
+        for image in &checkpoint.procs {
+            if dynacut_vm::fault::hit(dynacut_vm::fault::FaultPhase::RestoreHandles) {
+                release_all(&handles, store);
+                return Err(CriuError::FaultInjected(
+                    dynacut_vm::fault::FaultPhase::RestoreHandles,
+                ));
+            }
+            if image.pages.bytes.len() != image.pagemap.pages.len() * PAGE_SIZE as usize {
+                release_all(&handles, store);
+                return Err(CriuError::Inconsistent(format!(
+                    "pages.img holds {} bytes but pagemap lists {} pages",
+                    image.pages.bytes.len(),
+                    image.pagemap.pages.len()
+                )));
+            }
+            let shared = SharedPages::intern(store, &image.pages);
+            handles.push(shared);
+            let keys = handles.last().expect("just pushed").keys().to_vec();
+            match build_process_shared(kernel, image, registry, &keys, store) {
+                Ok(built) => staged.push(built),
+                Err(err) => {
+                    release_all(&handles, store);
+                    return Err(err);
+                }
+            }
+        }
+        release_all(&handles, store);
         Ok(RestoreTransaction { staged })
     }
 

@@ -1,0 +1,530 @@
+//! The zero-copy restore battery (DESIGN §12): arbitrary
+//! restore-via-handle / guest-write-CoW / release interleavings must
+//! keep the PageStore's refcounts exact and every materialized page
+//! bit-identical to what the copying restore would have produced; live
+//! guests restored through `restore_shared` must be fingerprint-equal
+//! to the copying path, take CoW faults only on first write, and never
+//! write through a shared frame into a sibling replica or the store.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use dynacut_criu::{
+    dump_incremental, dump_many, mark_clean_after_dump, CheckpointStore, CriuError, DumpOptions,
+    ModuleRegistry, PageStore, PagesImage, RestoreTransaction, SharedPages,
+};
+use dynacut_isa::{Assembler, Cond, Insn, Reg};
+use dynacut_obj::{Image, ModuleBuilder, ObjectKind, Perms, PAGE_SIZE};
+use dynacut_vm::{AddressSpace, Kernel, LoadSpec, Pid, Sysno};
+use proptest::prelude::*;
+use proptest::sample::Index;
+
+// ----- property tests over handle/CoW/release interleavings -------------
+
+/// Page payloads drawn from a tiny alphabet so random inputs actually
+/// collide and exercise the dedup paths.
+fn arb_pages() -> impl Strategy<Value = PagesImage> {
+    proptest::collection::vec(0u8..4, 0..8).prop_map(|fills| {
+        let mut bytes = Vec::with_capacity(fills.len() * PAGE_SIZE as usize);
+        for fill in fills {
+            bytes.extend(std::iter::repeat_n(fill, PAGE_SIZE as usize));
+        }
+        PagesImage { bytes }
+    })
+}
+
+/// One step of the interleaving the tentpole must survive.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Checkpoint a payload into the store (takes store refs).
+    Intern(PagesImage),
+    /// Restore a live checkpoint into a fresh address space by handing
+    /// out frames — the zero-copy path; takes **no** store refs.
+    Restore(Index),
+    /// Guest write into a restored space: first touch per page CoWs.
+    GuestWrite { space: Index, page: Index, fill: u8 },
+    /// Tear a replica down (drops its frame handles).
+    DropSpace(Index),
+    /// Release a checkpoint's store refs.
+    Release(Index),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        arb_pages().prop_map(Op::Intern),
+        any::<Index>().prop_map(Op::Restore),
+        (any::<Index>(), any::<Index>(), any::<u8>())
+            .prop_map(|(space, page, fill)| Op::GuestWrite { space, page, fill }),
+        any::<Index>().prop_map(Op::DropSpace),
+        any::<Index>().prop_map(Op::Release),
+    ]
+}
+
+/// Where restored pages land in the model address spaces.
+const BASE: u64 = 0x10_0000;
+
+/// A restored replica plus the byte-exact model of what the *copying*
+/// restore path would have produced for it.
+struct Replica {
+    space: AddressSpace,
+    /// page base → expected bytes (updated on guest writes).
+    model: BTreeMap<u64, Vec<u8>>,
+    /// pages the model says have taken a CoW fault.
+    privatised: BTreeSet<u64>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole's core safety argument, stated as a property:
+    /// however intern / restore-via-handle / guest-write-CoW / drop /
+    /// release interleave, (1) the store's refcounts are exactly the
+    /// live checkpoint handles — mapping frames into guests never moves
+    /// them, (2) every restored page reads back bit-identical to the
+    /// copying path, before and after CoW, and (3) CoW faults happen
+    /// exactly once per written page.
+    #[test]
+    fn interleavings_keep_refcounts_exact_and_bytes_identical(
+        ops in proptest::collection::vec(arb_op(), 1..32),
+    ) {
+        let mut store = PageStore::new();
+        let mut handles: Vec<(SharedPages, PagesImage)> = Vec::new();
+        let mut replicas: Vec<Replica> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Intern(pages) => {
+                    let shared = SharedPages::intern(&mut store, &pages);
+                    handles.push((shared, pages));
+                }
+                Op::Restore(which) => {
+                    if handles.is_empty() {
+                        continue;
+                    }
+                    let (handle, pages) = &handles[which.index(handles.len())];
+                    let mut space = AddressSpace::new();
+                    let mut model = BTreeMap::new();
+                    for (i, key) in handle.keys().iter().enumerate() {
+                        let addr = BASE + i as u64 * PAGE_SIZE;
+                        let frame = store.frame(*key).expect("live handle");
+                        space.install_shared_page(addr, frame);
+                        let bytes = &pages.bytes[i * PAGE_SIZE as usize..][..PAGE_SIZE as usize];
+                        model.insert(addr, bytes.to_vec());
+                    }
+                    replicas.push(Replica { space, model, privatised: BTreeSet::new() });
+                }
+                Op::GuestWrite { space, page, fill } => {
+                    if replicas.is_empty() {
+                        continue;
+                    }
+                    let chosen = space.index(replicas.len());
+                    let replica = &mut replicas[chosen];
+                    if replica.model.is_empty() {
+                        continue;
+                    }
+                    let bases: Vec<u64> = replica.model.keys().copied().collect();
+                    let base = bases[page.index(bases.len())];
+                    // Scribble a short run mid-page, like a guest would.
+                    let offset = 7u64.min(PAGE_SIZE - 16);
+                    replica.space.write_unchecked(base + offset, &[fill; 16]);
+                    let expect = replica.model.get_mut(&base).expect("modelled page");
+                    expect[offset as usize..offset as usize + 16].fill(fill);
+                    replica.privatised.insert(base);
+                }
+                Op::DropSpace(which) => {
+                    if replicas.is_empty() {
+                        continue;
+                    }
+                    replicas.swap_remove(which.index(replicas.len()));
+                }
+                Op::Release(which) => {
+                    if handles.is_empty() {
+                        continue;
+                    }
+                    let (handle, _) = handles.swap_remove(which.index(handles.len()));
+                    handle.release(&mut store);
+                }
+            }
+
+            // (1) Refcount exactness: the store's logical footprint is
+            // the sum over live checkpoint handles and nothing else —
+            // restores, CoW faults and teardowns never move it.
+            let logical: usize = handles.iter().map(|(h, _)| h.pages_bytes()).sum();
+            prop_assert_eq!(store.logical_bytes(), logical);
+
+            // (2) Byte identity with the copying path, per replica.
+            for replica in &replicas {
+                let actual: BTreeMap<u64, Vec<u8>> = replica
+                    .space
+                    .populated_pages()
+                    .map(|(base, bytes)| (base, bytes.to_vec()))
+                    .collect();
+                prop_assert_eq!(&actual, &replica.model);
+                // (3) Exactly one CoW fault per written page; untouched
+                // pages stay on their shared frames.
+                prop_assert_eq!(
+                    replica.space.cow_fault_count(),
+                    replica.privatised.len() as u64
+                );
+                for &base in replica.model.keys() {
+                    prop_assert_eq!(
+                        replica.space.page_shared(base),
+                        !replica.privatised.contains(&base)
+                    );
+                }
+            }
+        }
+
+        // Draining the checkpoint handles empties the store even while
+        // replicas still hold frames: mapped guests never pin store
+        // entries, only the frames themselves.
+        for (handle, _) in handles.drain(..) {
+            handle.release(&mut store);
+        }
+        prop_assert_eq!(store.unique_pages(), 0);
+        prop_assert_eq!(store.logical_bytes(), 0);
+        for replica in &replicas {
+            let actual: BTreeMap<u64, Vec<u8>> = replica
+                .space
+                .populated_pages()
+                .map(|(base, bytes)| (base, bytes.to_vec()))
+                .collect();
+            prop_assert_eq!(&actual, &replica.model);
+        }
+    }
+}
+
+// ----- live-guest regressions -------------------------------------------
+
+/// The echo server from the incremental tests: a multi-page BSS scratch
+/// area makes guest writes dirty a predictable handful of pages.
+fn echo_server() -> Image {
+    let mut asm = Assembler::new();
+    asm.func("_start");
+    asm.push(Insn::Movi(Reg::R0, Sysno::Socket as u64));
+    asm.push(Insn::Syscall);
+    asm.push(Insn::Mov(Reg::R10, Reg::R0));
+    asm.push(Insn::Movi(Reg::R0, Sysno::Bind as u64));
+    asm.push(Insn::Mov(Reg::R1, Reg::R10));
+    asm.push(Insn::Movi(Reg::R2, 8080));
+    asm.push(Insn::Syscall);
+    asm.push(Insn::Movi(Reg::R0, Sysno::Listen as u64));
+    asm.push(Insn::Mov(Reg::R1, Reg::R10));
+    asm.push(Insn::Syscall);
+    asm.push(Insn::Movi(Reg::R0, Sysno::EmitEvent as u64));
+    asm.push(Insn::Movi(Reg::R1, 1));
+    asm.push(Insn::Syscall);
+    asm.label("accept_loop");
+    asm.push(Insn::Movi(Reg::R0, Sysno::Accept as u64));
+    asm.push(Insn::Mov(Reg::R1, Reg::R10));
+    asm.push(Insn::Syscall);
+    asm.push(Insn::Mov(Reg::R11, Reg::R0));
+    asm.label("serve_loop");
+    asm.push(Insn::Movi(Reg::R0, Sysno::Read as u64));
+    asm.push(Insn::Mov(Reg::R1, Reg::R11));
+    asm.lea_ext(Reg::R2, "buf", 0);
+    asm.push(Insn::Movi(Reg::R3, 64));
+    asm.push(Insn::Syscall);
+    asm.push(Insn::Cmpi(Reg::R0, 0));
+    asm.jcc(Cond::Eq, "accept_loop");
+    asm.push(Insn::Mov(Reg::R3, Reg::R0));
+    asm.push(Insn::Movi(Reg::R0, Sysno::Write as u64));
+    asm.push(Insn::Mov(Reg::R1, Reg::R11));
+    asm.lea_ext(Reg::R2, "buf", 0);
+    asm.push(Insn::Syscall);
+    asm.jmp("serve_loop");
+
+    let mut builder = ModuleBuilder::new("echo_server", ObjectKind::Executable);
+    builder.text(asm.finish().unwrap());
+    builder.bss("buf", 4 * PAGE_SIZE);
+    builder.entry("_start");
+    builder.link(&[]).unwrap()
+}
+
+struct Setup {
+    kernel: Kernel,
+    pid: Pid,
+    registry: ModuleRegistry,
+}
+
+/// Base of the first restored page still backed by a shared frame —
+/// the target for host-side patches that must arrive as CoW faults.
+fn first_shared_page(kernel: &Kernel, pid: Pid) -> u64 {
+    let mem = &kernel.process(pid).unwrap().mem;
+    mem.populated_pages()
+        .map(|(base, _)| base)
+        .find(|&base| mem.page_shared(base))
+        .expect("restored process has shared pages")
+}
+
+fn boot() -> Setup {
+    let exe = echo_server();
+    let mut registry = ModuleRegistry::new();
+    registry.insert(std::sync::Arc::new(exe.clone()));
+    let mut kernel = Kernel::new();
+    let pid = kernel.spawn(&LoadSpec::exe_only(exe)).unwrap();
+    kernel.run_until_event(1, 10_000_000).expect("server up");
+    Setup {
+        kernel,
+        pid,
+        registry,
+    }
+}
+
+/// `restore_shared` is guest-invisible: fingerprint-equal to the
+/// copying restore, zero bytes physically copied by the restore itself,
+/// the store's refcounts untouched — and the replica still serves, its
+/// first writes arriving as CoW faults.
+#[test]
+fn restore_shared_matches_copying_restore_bit_for_bit() {
+    let mut setup = boot();
+    setup.kernel.freeze(setup.pid).unwrap();
+    let full = dump_many(&mut setup.kernel, &[setup.pid], &DumpOptions::default()).unwrap();
+
+    let mut store = CheckpointStore::new();
+    let id = store.put_full(full);
+
+    // Copying path first, as the oracle.
+    setup.kernel.remove_process(setup.pid).unwrap();
+    store
+        .restore(&mut setup.kernel, id, &setup.registry)
+        .unwrap();
+    let copying_fingerprint = setup.kernel.state_fingerprint();
+    assert_eq!(
+        setup
+            .kernel
+            .process(setup.pid)
+            .unwrap()
+            .mem
+            .shared_page_count(),
+        0,
+        "the copying restore owns every page privately"
+    );
+
+    // Zero-copy path: no page bytes move, no store refs move.
+    let copied_before = store.page_store().copied_bytes();
+    let logical_before = store.logical_pages_bytes();
+    setup.kernel.remove_process(setup.pid).unwrap();
+    store
+        .restore_shared(&mut setup.kernel, id, &setup.registry)
+        .unwrap();
+    assert_eq!(
+        setup.kernel.state_fingerprint(),
+        copying_fingerprint,
+        "zero-copy restore is bit-identical under state_fingerprint()"
+    );
+    assert_eq!(
+        store.page_store().copied_bytes(),
+        copied_before,
+        "the restore itself copied zero page bytes"
+    );
+    assert_eq!(
+        store.logical_pages_bytes(),
+        logical_before,
+        "handing out frames takes no store refs"
+    );
+    let proc = setup.kernel.process(setup.pid).unwrap();
+    assert!(
+        proc.mem.shared_page_count() > 0,
+        "restored pages are backed by shared frames"
+    );
+    assert_eq!(proc.mem.cow_fault_count(), 0, "no write yet, no CoW yet");
+
+    // The replica serves (restore left it runnable)...
+    let conn = setup.kernel.client_connect(8080).unwrap();
+    let reply = setup
+        .kernel
+        .client_request(conn, b"still-here", 1_000_000)
+        .unwrap();
+    assert_eq!(reply, b"still-here");
+
+    // ...and a host-side patch to a restored page — how the rewriter
+    // edits a replica — arrives as exactly one CoW fault.
+    let target = first_shared_page(&setup.kernel, setup.pid);
+    let mem = &mut setup.kernel.process_mut(setup.pid).unwrap().mem;
+    let faults_before = mem.cow_fault_count();
+    mem.write_unchecked(target, &[0xAB; 8]);
+    assert_eq!(mem.cow_fault_count(), faults_before + 1);
+    assert!(!mem.page_shared(target), "the patch privatised the page");
+}
+
+/// Two kernels restored from one store share frames; one diverging via
+/// CoW never leaks into the other, and the store still materializes the
+/// original checkpoint bit-for-bit afterwards.
+#[test]
+fn cow_divergence_is_invisible_to_sibling_replicas_and_the_store() {
+    let mut setup = boot();
+    setup.kernel.freeze(setup.pid).unwrap();
+    let full = dump_many(&mut setup.kernel, &[setup.pid], &DumpOptions::default()).unwrap();
+    let mut store = CheckpointStore::new();
+    let id = store.put_full(full.clone());
+
+    // Two fresh kernels, both restored zero-copy from the same store:
+    // their frames alias, their guest state is identical.
+    let mut kernel_a = Kernel::new();
+    store
+        .restore_shared(&mut kernel_a, id, &setup.registry)
+        .unwrap();
+    let mut kernel_b = Kernel::new();
+    store
+        .restore_shared(&mut kernel_b, id, &setup.registry)
+        .unwrap();
+    assert_eq!(
+        kernel_a.state_fingerprint(),
+        kernel_b.state_fingerprint(),
+        "both replicas restore to identical guest state"
+    );
+
+    // Patch A on a shared page; B and the store must not move.
+    let fingerprint_b = kernel_b.state_fingerprint();
+    let target = first_shared_page(&kernel_a, setup.pid);
+    {
+        let mem = &mut kernel_a.process_mut(setup.pid).unwrap().mem;
+        mem.write_unchecked(target, &[0x5A; 8]);
+    }
+    let proc_a = kernel_a.process(setup.pid).unwrap();
+    assert_eq!(proc_a.mem.cow_fault_count(), 1, "A diverged via CoW");
+    let mut patched = [0u8; 8];
+    proc_a.mem.read_unchecked(target, &mut patched);
+    assert_eq!(patched, [0x5A; 8]);
+
+    let proc_b = kernel_b.process(setup.pid).unwrap();
+    assert_eq!(proc_b.mem.cow_fault_count(), 0, "B never faulted");
+    assert_eq!(
+        kernel_b.state_fingerprint(),
+        fingerprint_b,
+        "A's writes are invisible to B"
+    );
+    assert_eq!(
+        store.materialize(id).unwrap(),
+        full,
+        "the store's frames are immutable: the checkpoint still \
+         materializes bit-for-bit after A diverged"
+    );
+}
+
+/// A store-backed delta chain spanning an unmap-remap window restores
+/// zero-copy to exactly the state the materialize-then-restore path
+/// produces — newest-wins key resolution agrees with byte replay.
+#[test]
+fn delta_chain_restore_shared_matches_materialized_restore() {
+    let mut setup = boot();
+    setup.kernel.freeze(setup.pid).unwrap();
+    let bss = {
+        let proc = setup.kernel.process(setup.pid).unwrap();
+        proc.mem
+            .vmas()
+            .iter()
+            .find(|v| v.perms.write && v.end - v.start >= 4 * PAGE_SIZE)
+            .expect("bss vma")
+            .start
+    };
+    {
+        let mem = &mut setup.kernel.process_mut(setup.pid).unwrap().mem;
+        mem.write_unchecked(bss, &[0x11; 16]);
+        mem.write_unchecked(bss + PAGE_SIZE, &[0x22; 16]);
+    }
+    let parent = dump_many(&mut setup.kernel, &[setup.pid], &DumpOptions::default()).unwrap();
+    mark_clean_after_dump(&mut setup.kernel, &[setup.pid]).unwrap();
+    let mut store = CheckpointStore::new();
+    let parent_id = store.put_full(parent.clone());
+
+    // Delta window: one page unmapped for good, one recycled.
+    {
+        let mem = &mut setup.kernel.process_mut(setup.pid).unwrap().mem;
+        mem.unmap(bss, PAGE_SIZE).unwrap();
+        mem.unmap(bss + PAGE_SIZE, PAGE_SIZE).unwrap();
+        mem.map(bss + PAGE_SIZE, PAGE_SIZE, Perms::RW, "recycled")
+            .unwrap();
+        mem.write_unchecked(bss + PAGE_SIZE, &[0x33; 16]);
+    }
+    let delta = dump_incremental(
+        &mut setup.kernel,
+        &[setup.pid],
+        &DumpOptions::default(),
+        parent_id,
+        &parent,
+    )
+    .unwrap();
+    let id = store.put_delta(delta).unwrap();
+
+    // Oracle: materialize the chain and restore by copying.
+    setup.kernel.remove_process(setup.pid).unwrap();
+    store
+        .restore(&mut setup.kernel, id, &setup.registry)
+        .unwrap();
+    let copying_fingerprint = setup.kernel.state_fingerprint();
+
+    // Zero-copy chain restore.
+    let copied_before = store.page_store().copied_bytes();
+    setup.kernel.remove_process(setup.pid).unwrap();
+    store
+        .restore_shared(&mut setup.kernel, id, &setup.registry)
+        .unwrap();
+    assert_eq!(setup.kernel.state_fingerprint(), copying_fingerprint);
+    assert_eq!(store.page_store().copied_bytes(), copied_before);
+    let mem = &setup.kernel.process(setup.pid).unwrap().mem;
+    assert!(!mem.page_present(bss), "unmapped page stayed gone");
+    let mut back = [0u8; 16];
+    mem.read_unchecked(bss + PAGE_SIZE, &mut back);
+    assert_eq!(back, [0x33; 16], "newest delta won the recycled page");
+}
+
+/// `prepare_shared` against a store that already holds the checkpoint
+/// copies nothing and leaves the refcounts exactly as found — on the
+/// success path here; the fault-injection battery covers the error
+/// paths.
+#[test]
+fn prepare_shared_is_refcount_neutral_and_copy_free_on_a_warm_store() {
+    let mut setup = boot();
+    setup.kernel.freeze(setup.pid).unwrap();
+    let full = dump_many(&mut setup.kernel, &[setup.pid], &DumpOptions::default()).unwrap();
+    let mut store = CheckpointStore::new();
+    store.put_full(full.clone());
+
+    let copied_before = store.page_store().copied_bytes();
+    let logical_before = store.page_store().logical_bytes();
+    let unique_before = store.page_store().unique_pages();
+
+    let txn = RestoreTransaction::prepare_shared(
+        &setup.kernel,
+        &full,
+        &setup.registry,
+        store.page_store_mut(),
+    )
+    .unwrap();
+    assert_eq!(
+        store.page_store().copied_bytes(),
+        copied_before,
+        "every page hash-hit the stored baseline: zero bytes copied"
+    );
+    assert_eq!(store.page_store().logical_bytes(), logical_before);
+    assert_eq!(store.page_store().unique_pages(), unique_before);
+
+    setup.kernel.remove_process(setup.pid).unwrap();
+    txn.commit(&mut setup.kernel).unwrap();
+    let conn = setup.kernel.client_connect(8080).unwrap();
+    let reply = setup
+        .kernel
+        .client_request(conn, b"warm", 1_000_000)
+        .unwrap();
+    assert_eq!(reply, b"warm");
+}
+
+/// Restoring a released checkpoint fails cleanly with `MissingParent`
+/// and leaves the kernel untouched.
+#[test]
+fn restore_shared_after_release_fails_without_touching_the_kernel() {
+    let mut setup = boot();
+    setup.kernel.freeze(setup.pid).unwrap();
+    let full = dump_many(&mut setup.kernel, &[setup.pid], &DumpOptions::default()).unwrap();
+    let mut store = CheckpointStore::new();
+    let id = store.put_full(full);
+    store.release(id).unwrap();
+
+    let before = setup.kernel.state_fingerprint();
+    let err = store
+        .restore_shared(&mut setup.kernel, id, &setup.registry)
+        .unwrap_err();
+    assert!(matches!(err, CriuError::MissingParent(_)), "got {err}");
+    assert_eq!(setup.kernel.state_fingerprint(), before);
+}

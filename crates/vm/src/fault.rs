@@ -37,6 +37,13 @@ pub enum FaultPhase {
     LibraryInjection,
     /// Building one restored process from its images (no kernel writes).
     RestoreBuild,
+    /// Resolving one process's page-store handles for a zero-copy
+    /// restore (interning the checkpoint payload, before any frame is
+    /// installed).
+    RestoreHandles,
+    /// Installing shared frames / taking the lazy CoW-materialization
+    /// path for one staged process.
+    CowMaterialize,
     /// Swapping one restored process in for its original.
     RestoreCommit,
     /// Storing the checkpoint (full or delta) into the checkpoint store.
@@ -53,6 +60,8 @@ impl std::fmt::Display for FaultPhase {
             FaultPhase::ImageEdit => "image_edit",
             FaultPhase::LibraryInjection => "library_injection",
             FaultPhase::RestoreBuild => "restore_build",
+            FaultPhase::RestoreHandles => "restore_handles",
+            FaultPhase::CowMaterialize => "cow_materialize",
             FaultPhase::RestoreCommit => "restore_commit",
             FaultPhase::BaselineStore => "baseline_store",
             FaultPhase::MarkClean => "mark_clean",

@@ -53,7 +53,7 @@ pub use fs::{FdTable, FileDesc, VfsFile};
 pub use hook::{Hook, NullHook};
 pub use kernel::{ClientConn, ExitStatus, Kernel, RunOutcome};
 pub use loader::{LoadSpec, LoadedModule, EXE_BASE, LIB_BASE, STACK_BASE, STACK_SIZE};
-pub use mem::AddressSpace;
+pub use mem::{AddressSpace, SharedFrame};
 pub use net::{ConnId, TcpConn, TcpState};
 pub use process::{Pid, Process, ProcState, SYSCALL_FILTER_BITS};
 pub use signal::{

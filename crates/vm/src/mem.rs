@@ -3,6 +3,68 @@
 use crate::{VmError, Vma};
 use dynacut_obj::{Perms, PAGE_SIZE};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// One immutable, refcounted page frame that several address spaces (and
+/// a host-side page store) can back simultaneously.
+///
+/// This is the zero-copy restore currency: a restore installs clones of
+/// a frame into every replica instead of copying the page bytes N
+/// times. Frames are **immutable by construction** — the only way to
+/// change what a guest reads is copy-on-write inside the owning
+/// [`AddressSpace`] — so sharing a frame across processes can never leak
+/// one replica's writes into another.
+#[derive(Clone, PartialEq, Eq)]
+pub struct SharedFrame(Arc<[u8]>);
+
+impl SharedFrame {
+    /// Wraps one page's bytes in a shareable frame.
+    pub fn new(bytes: &[u8]) -> Self {
+        SharedFrame(Arc::from(bytes))
+    }
+
+    /// The page bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// How many handles (address-space slots, store entries, staged
+    /// processes) currently share this frame.
+    pub fn handle_count(&self) -> usize {
+        Arc::strong_count(&self.0)
+    }
+}
+
+impl std::fmt::Debug for SharedFrame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SharedFrame({} bytes, {} handles)",
+            self.0.len(),
+            self.handle_count()
+        )
+    }
+}
+
+/// How a populated page is backed: privately owned bytes, or a read-only
+/// [`SharedFrame`] that copy-on-writes into a private page on the first
+/// write.
+#[derive(Debug, Clone)]
+enum PageSlot {
+    /// Bytes owned by this address space alone.
+    Private(Box<[u8]>),
+    /// A shared read-only frame; the first write copies it private.
+    Shared(SharedFrame),
+}
+
+impl PageSlot {
+    fn bytes(&self) -> &[u8] {
+        match self {
+            PageSlot::Private(page) => page,
+            PageSlot::Shared(frame) => frame.bytes(),
+        }
+    }
+}
 
 /// What a guest access wanted to do; decides which permission bit applies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,8 +110,12 @@ pub(crate) enum Access {
 #[derive(Debug, Clone, Default)]
 pub struct AddressSpace {
     vmas: Vec<Vma>,
-    pages: BTreeMap<u64, Box<[u8]>>,
+    pages: BTreeMap<u64, PageSlot>,
     dirty: BTreeSet<u64>,
+    /// Copy-on-write faults taken: how many shared pages this space has
+    /// privatised because of a write. Host-side accounting only — never
+    /// checkpointed, never fingerprinted.
+    cow_faults: u64,
     /// Generation counters for pages the block cache has decoded from
     /// (see [`note_code_page`](AddressSpace::note_code_page)). Entries
     /// are created lazily and **never removed** — a page that is
@@ -303,7 +369,10 @@ impl AddressSpace {
             let in_page = (cursor - page_base) as usize;
             let chunk = ((PAGE_SIZE as usize) - in_page).min(buf.len() - done);
             match self.pages.get(&page_base) {
-                Some(page) => buf[done..done + chunk].copy_from_slice(&page[in_page..in_page + chunk]),
+                Some(slot) => {
+                    let page = slot.bytes();
+                    buf[done..done + chunk].copy_from_slice(&page[in_page..in_page + chunk]);
+                }
                 None => buf[done..done + chunk].fill(0),
             }
             done += chunk;
@@ -317,10 +386,20 @@ impl AddressSpace {
             let page_base = cursor & !(PAGE_SIZE - 1);
             let in_page = (cursor - page_base) as usize;
             let chunk = ((PAGE_SIZE as usize) - in_page).min(bytes.len() - done);
-            let page = self
+            let slot = self
                 .pages
                 .entry(page_base)
-                .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+                .or_insert_with(|| PageSlot::Private(vec![0u8; PAGE_SIZE as usize].into_boxed_slice()));
+            // Copy-on-write: the first write to a shared frame privatises
+            // the whole page, leaving the frame (and every other space
+            // mapping it) untouched.
+            if let PageSlot::Shared(frame) = slot {
+                *slot = PageSlot::Private(frame.bytes().to_vec().into_boxed_slice());
+                self.cow_faults += 1;
+            }
+            let PageSlot::Private(page) = slot else {
+                unreachable!("slot privatised above")
+            };
             page[in_page..in_page + chunk].copy_from_slice(&bytes[done..done + chunk]);
             self.dirty.insert(page_base);
             if let Some(gen) = self.code_gen.get_mut(&page_base) {
@@ -330,6 +409,58 @@ impl AddressSpace {
         }
     }
 
+    /// Installs a [`SharedFrame`] as the backing of the page containing
+    /// `addr`, replacing any existing contents.
+    ///
+    /// This is the zero-copy restore primitive: the page reads the
+    /// frame's bytes without copying them, and the first guest write
+    /// copy-on-writes into a private page. The install has the same
+    /// guest-visible effect as `write_unchecked(base, frame.bytes())` —
+    /// it marks the page dirty and bumps a registered code-page
+    /// generation — so fingerprints cannot distinguish a shared-backed
+    /// restore from a copying one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is not exactly [`PAGE_SIZE`] bytes.
+    pub fn install_shared_page(&mut self, addr: u64, frame: SharedFrame) {
+        assert_eq!(
+            frame.bytes().len(),
+            PAGE_SIZE as usize,
+            "shared frames are whole pages"
+        );
+        let base = addr & !(PAGE_SIZE - 1);
+        self.pages.insert(base, PageSlot::Shared(frame));
+        self.dirty.insert(base);
+        if let Some(gen) = self.code_gen.get_mut(&base) {
+            *gen += 1;
+        }
+    }
+
+    /// Whether the page containing `addr` is currently backed by a
+    /// shared frame (no copy-on-write fault taken yet).
+    pub fn page_shared(&self, addr: u64) -> bool {
+        matches!(
+            self.pages.get(&(addr & !(PAGE_SIZE - 1))),
+            Some(PageSlot::Shared(_))
+        )
+    }
+
+    /// Number of populated pages still backed by shared frames.
+    pub fn shared_page_count(&self) -> usize {
+        self.pages
+            .values()
+            .filter(|slot| matches!(slot, PageSlot::Shared(_)))
+            .count()
+    }
+
+    /// Copy-on-write faults this space has taken (pages privatised by a
+    /// write to a shared frame). Multiply by [`PAGE_SIZE`] for the bytes
+    /// physically copied by faulting.
+    pub fn cow_fault_count(&self) -> u64 {
+        self.cow_faults
+    }
+
     /// Whether the page containing `addr` has been populated (written).
     pub fn page_present(&self, addr: u64) -> bool {
         self.pages.contains_key(&(addr & !(PAGE_SIZE - 1)))
@@ -337,7 +468,7 @@ impl AddressSpace {
 
     /// Iterates over populated pages as `(page_base, bytes)`.
     pub fn populated_pages(&self) -> impl Iterator<Item = (u64, &[u8])> {
-        self.pages.iter().map(|(&base, page)| (base, &page[..]))
+        self.pages.iter().map(|(&base, slot)| (base, slot.bytes()))
     }
 
     /// Number of populated pages.
@@ -633,6 +764,111 @@ mod tests {
         assert_eq!(space.dirty_pages().collect::<Vec<_>>(), vec![0x1000]);
     }
 
+    fn full_page(fill: u8) -> Vec<u8> {
+        vec![fill; PAGE_SIZE as usize]
+    }
+
+    #[test]
+    fn shared_page_reads_without_copying() {
+        let mut space = space_with(0x1000, PAGE_SIZE, Perms::RW);
+        let frame = SharedFrame::new(&full_page(0xAB));
+        space.install_shared_page(0x1000, frame.clone());
+        assert!(space.page_present(0x1000));
+        assert!(space.page_shared(0x1000));
+        assert!(space.page_dirty(0x1000), "install dirties like a write");
+        assert_eq!(space.shared_page_count(), 1);
+        assert_eq!(frame.handle_count(), 2, "frame + installed slot");
+        let mut buf = [0u8; 4];
+        space.read_checked(0x1000, &mut buf).unwrap();
+        assert_eq!(buf, [0xAB; 4]);
+        assert_eq!(space.cow_fault_count(), 0, "reads never fault");
+    }
+
+    #[test]
+    fn first_write_to_shared_page_copy_on_writes() {
+        let mut space = space_with(0x1000, PAGE_SIZE, Perms::RW);
+        let frame = SharedFrame::new(&full_page(0x11));
+        space.install_shared_page(0x1000, frame.clone());
+        space.write_checked(0x1004, &[0xEE; 2]).unwrap();
+        assert_eq!(space.cow_fault_count(), 1);
+        assert!(!space.page_shared(0x1000), "privatised by the write");
+        assert_eq!(frame.handle_count(), 1, "slot released its handle");
+        assert_eq!(frame.bytes(), &full_page(0x11)[..], "frame is immutable");
+        let mut buf = [0u8; 8];
+        space.read_checked(0x1000, &mut buf).unwrap();
+        assert_eq!(buf, [0x11, 0x11, 0x11, 0x11, 0xEE, 0xEE, 0x11, 0x11]);
+        // Further writes to the now-private page fault no more.
+        space.write_checked(0x1000, &[1]).unwrap();
+        assert_eq!(space.cow_fault_count(), 1);
+    }
+
+    #[test]
+    fn cow_in_one_space_is_invisible_to_another_sharing_the_frame() {
+        let frame = SharedFrame::new(&full_page(0x42));
+        let mut a = space_with(0x1000, PAGE_SIZE, Perms::RW);
+        let mut b = space_with(0x1000, PAGE_SIZE, Perms::RW);
+        a.install_shared_page(0x1000, frame.clone());
+        b.install_shared_page(0x1000, frame.clone());
+        assert_eq!(frame.handle_count(), 3);
+        a.write_unchecked(0x1000, &[0xFF]);
+        let mut buf = [0u8; 1];
+        b.read_checked(0x1000, &mut buf).unwrap();
+        assert_eq!(buf, [0x42], "b still reads the pristine frame");
+        assert!(b.page_shared(0x1000));
+        assert_eq!(frame.handle_count(), 2, "only a privatised");
+    }
+
+    #[test]
+    fn cow_bumps_code_page_generation() {
+        let mut space = space_with(0x1000, PAGE_SIZE, Perms::RX);
+        space.install_shared_page(0x1000, SharedFrame::new(&full_page(0x90)));
+        let gen = space.note_code_page(0x1000);
+        space.write_unchecked(0x1008, &[0xCC]);
+        assert!(
+            space.code_page_gen(0x1000) > gen,
+            "a CoW write invalidates decoded blocks like any other write"
+        );
+    }
+
+    #[test]
+    fn install_over_registered_code_page_bumps_generation() {
+        let mut space = space_with(0x1000, PAGE_SIZE, Perms::RX);
+        space.write_unchecked(0x1000, &[0x90; 4]);
+        let gen = space.note_code_page(0x1000);
+        space.install_shared_page(0x1000, SharedFrame::new(&full_page(0x90)));
+        assert!(
+            space.code_page_gen(0x1000) > gen,
+            "replacing the backing invalidates cached blocks"
+        );
+    }
+
+    #[test]
+    fn drop_and_unmap_release_shared_frames() {
+        let frame = SharedFrame::new(&full_page(9));
+        let mut space = space_with(0x1000, 2 * PAGE_SIZE, Perms::RW);
+        space.install_shared_page(0x1000, frame.clone());
+        space.install_shared_page(0x2000, frame.clone());
+        assert_eq!(frame.handle_count(), 3);
+        space.drop_page(0x1000);
+        assert_eq!(frame.handle_count(), 2);
+        space.unmap(0x2000, PAGE_SIZE).unwrap();
+        assert_eq!(frame.handle_count(), 1, "unmap dropped the slot");
+        assert_eq!(space.shared_page_count(), 0);
+    }
+
+    #[test]
+    fn clone_shares_frames_but_privatises_independently() {
+        let frame = SharedFrame::new(&full_page(5));
+        let mut a = space_with(0x1000, PAGE_SIZE, Perms::RW);
+        a.install_shared_page(0x1000, frame.clone());
+        let mut b = a.clone();
+        assert_eq!(frame.handle_count(), 3, "clone aliases the frame");
+        b.write_unchecked(0x1000, &[7]);
+        let mut buf = [0u8; 1];
+        a.read_unchecked(0x1000, &mut buf);
+        assert_eq!(buf, [5], "clone's CoW does not touch the original");
+    }
+
     proptest::proptest! {
         #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
 
@@ -664,6 +900,56 @@ mod tests {
                         "dirty page {base:#x} not populated"
                     );
                 }
+            }
+        }
+
+        /// Shared-frame installs are observationally identical to copying
+        /// writes: a space driven by `install_shared_page` and one driven
+        /// by `write_unchecked` of the same bytes agree on populated
+        /// pages, their contents, and the dirty bitmap — across arbitrary
+        /// interleavings of installs, partial writes, drops, and sweeps.
+        #[test]
+        fn shared_installs_are_equivalent_to_copying_writes(
+            ops in proptest::collection::vec((0u8..4, 0u64..6, 0u8..=255u8), 1..48)
+        ) {
+            use proptest::prelude::*;
+            let mut shared = space_with(0x1000, 6 * PAGE_SIZE, Perms::RW);
+            let mut copied = space_with(0x1000, 6 * PAGE_SIZE, Perms::RW);
+            for (op, page, fill) in ops {
+                let addr = 0x1000 + page * PAGE_SIZE;
+                match op {
+                    0 => {
+                        let bytes = vec![fill; PAGE_SIZE as usize];
+                        shared.install_shared_page(addr, SharedFrame::new(&bytes));
+                        copied.write_unchecked(addr, &bytes);
+                    }
+                    1 => {
+                        shared.write_unchecked(addr + 8, &[fill; 16]);
+                        copied.write_unchecked(addr + 8, &[fill; 16]);
+                    }
+                    2 => {
+                        shared.drop_page(addr);
+                        copied.drop_page(addr);
+                    }
+                    _ => {
+                        shared.mark_clean();
+                        copied.mark_clean();
+                    }
+                }
+                let a: Vec<(u64, Vec<u8>)> = shared
+                    .populated_pages()
+                    .map(|(base, bytes)| (base, bytes.to_vec()))
+                    .collect();
+                let b: Vec<(u64, Vec<u8>)> = copied
+                    .populated_pages()
+                    .map(|(base, bytes)| (base, bytes.to_vec()))
+                    .collect();
+                prop_assert_eq!(a, b, "page contents diverged");
+                prop_assert_eq!(
+                    shared.dirty_pages().collect::<Vec<_>>(),
+                    copied.dirty_pages().collect::<Vec<_>>(),
+                    "dirty bitmaps diverged"
+                );
             }
         }
     }

@@ -9,7 +9,7 @@
 
 use dynacut_isa::{encode, Insn, Reg, Width, TRAP_OPCODE};
 use dynacut_obj::{Perms, PAGE_SIZE};
-use dynacut_vm::{Kernel, Pid, Process, Signal, Sysno};
+use dynacut_vm::{Kernel, Pid, Process, SharedFrame, Signal, Sysno};
 
 const TEXT: u64 = 0x1000;
 const STACK: u64 = 0x8000;
@@ -212,6 +212,172 @@ fn fingerprints_match_cached_vs_uncached() {
         }
         assert_eq!(uncached.flight().metrics().counter("block_cache.hits"), 0);
     }
+}
+
+/// Pads `insns` to a whole page and wraps them in a [`SharedFrame`],
+/// the way a zero-copy restore hands out PageStore pages.
+fn shared_text_frame(insns: &[Insn]) -> (SharedFrame, Vec<u64>) {
+    let (bytes, offsets) = assemble(insns);
+    assert!(bytes.len() as u64 <= PAGE_SIZE, "test program fits one page");
+    let mut page = vec![0u8; PAGE_SIZE as usize];
+    page[..bytes.len()].copy_from_slice(&bytes);
+    (
+        SharedFrame::new(&page),
+        offsets.iter().map(|off| TEXT + off).collect(),
+    )
+}
+
+/// Boots `replicas` processes whose text pages all alias one shared
+/// frame — the fleet shape a zero-copy restore produces (DESIGN §12).
+fn boot_shared(insns: &[Insn], replicas: u32) -> (Kernel, Vec<Pid>, Vec<u64>, SharedFrame) {
+    let (frame, addrs) = shared_text_frame(insns);
+    let mut kernel = Kernel::new();
+    let mut pids = Vec::new();
+    for i in 0..replicas {
+        let pid = Pid(1 + i);
+        let mut proc = Process::new(pid, "bc_shared");
+        proc.mem.map(TEXT, PAGE_SIZE, RWX, "text").unwrap();
+        proc.mem.install_shared_page(TEXT, frame.clone());
+        proc.mem.map(STACK, PAGE_SIZE, Perms::RW, "[stack]").unwrap();
+        proc.cpu.set_sp(STACK + PAGE_SIZE);
+        proc.cpu.pc = TEXT;
+        kernel.insert_process(proc).unwrap();
+        pids.push(pid);
+    }
+    (kernel, pids, addrs, frame)
+}
+
+/// A write to a shared *code* page must take a CoW fault, bump the
+/// page's generation and evict the decoded block — the planted trap
+/// fires instead of the stale cached loop.
+#[test]
+fn cow_on_shared_code_page_bumps_generation_and_evicts_blocks() {
+    let insns = [Insn::Nop, Insn::Nop, Insn::Nop, Insn::Jmp(-8)];
+    let (mut kernel, pids, addrs, _frame) = boot_shared(&insns, 1);
+    let pid = pids[0];
+    kernel.run_for(2_000);
+    assert!(kernel.flight().metrics().counter("block_cache.hits") > 0);
+    let proc = kernel.process(pid).unwrap();
+    assert!(proc.mem.page_shared(TEXT), "execution alone never CoWs");
+    let gen_before = proc.mem.code_page_gen(TEXT);
+
+    kernel
+        .process_mut(pid)
+        .unwrap()
+        .mem
+        .write_unchecked(addrs[1], &[TRAP_OPCODE]);
+    let proc = kernel.process(pid).unwrap();
+    assert!(!proc.mem.page_shared(TEXT), "the write privatised the page");
+    assert_eq!(proc.mem.cow_fault_count(), 1, "exactly one CoW fault");
+    assert!(
+        proc.mem.code_page_gen(TEXT) > gen_before,
+        "CoW bumps the code page generation so cached blocks cannot \
+         revalidate"
+    );
+
+    let status = kernel.run_until_exit(pid, 1_000_000).expect("trap kills");
+    assert_eq!(status.fatal_signal, Some(Signal::Sigtrap));
+    assert_eq!(
+        kernel.process(pid).unwrap().cpu.pc,
+        addrs[1],
+        "death at the patched byte, not a stale cached copy"
+    );
+}
+
+/// Two replicas restored from one shared image: patching one must not
+/// leak into the other through the frame *or* through resurrected
+/// cached blocks — the sibling keeps running the original code.
+#[test]
+fn cow_in_one_replica_leaves_siblings_on_the_shared_image() {
+    let insns = [Insn::Nop, Insn::Nop, Insn::Nop, Insn::Jmp(-8)];
+    let (mut kernel, pids, addrs, frame) = boot_shared(&insns, 2);
+    let (a, b) = (pids[0], pids[1]);
+    kernel.run_for(4_000);
+    assert!(kernel.flight().metrics().counter("block_cache.hits") > 0);
+
+    // Patch replica B only.
+    kernel
+        .process_mut(b)
+        .unwrap()
+        .mem
+        .write_unchecked(addrs[1], &[TRAP_OPCODE]);
+    let status = kernel.run_until_exit(b, 1_000_000).expect("B traps");
+    assert_eq!(status.fatal_signal, Some(Signal::Sigtrap));
+    assert_eq!(kernel.process(b).unwrap().cpu.pc, addrs[1]);
+
+    // The frame itself is untouched: CoW copied, it never wrote through.
+    let trap_off = (addrs[1] - TEXT) as usize;
+    assert_ne!(
+        frame.bytes()[trap_off],
+        TRAP_OPCODE,
+        "the shared frame still holds the original byte"
+    );
+
+    // Replica A keeps spinning on the shared image, unpatched.
+    let retired_before = kernel.process(a).unwrap().insns_retired;
+    kernel.run_for(4_000);
+    let proc_a = kernel.process(a).unwrap();
+    assert!(
+        proc_a.insns_retired > retired_before,
+        "A still executes after B's death"
+    );
+    assert_eq!(proc_a.fatal_signal, None, "B's trap never reached A");
+    assert!(proc_a.mem.page_shared(TEXT), "A never took a CoW fault");
+    assert_eq!(proc_a.mem.cow_fault_count(), 0);
+}
+
+/// A restore that drops a *different* shared image onto hot text must
+/// evict the old decoded blocks: the replica runs the new program, not
+/// the cached old one.
+#[test]
+fn shared_image_restore_does_not_resurrect_stale_blocks() {
+    let insns = [Insn::Nop, Insn::Nop, Insn::Nop, Insn::Jmp(-8)];
+    let (mut kernel, pid, _) = boot(&insns);
+    kernel.run_for(2_000);
+    assert!(kernel.flight().metrics().counter("block_cache.hits") > 0);
+
+    // Restore installs a new image over the same page via a shared
+    // frame; the old loop block must not survive the swap.
+    let (frame, _) = shared_text_frame(&[
+        Insn::Movi(Reg::R1, 42),
+        Insn::Movi(Reg::R0, Sysno::Exit as u64),
+        Insn::Syscall,
+    ]);
+    let proc = kernel.process_mut(pid).unwrap();
+    proc.mem.install_shared_page(TEXT, frame);
+    proc.cpu.pc = TEXT;
+    let status = kernel.run_until_exit(pid, 1_000_000).expect("new image");
+    assert_eq!(status.fatal_signal, None, "no stale loop, clean exit");
+    assert_eq!(status.code, 42, "the restored program ran, byte for byte");
+}
+
+/// Cached and uncached runs over shared frames agree bit-for-bit under
+/// `state_fingerprint()`, including a run that CoWs its own text.
+#[test]
+fn fingerprints_match_cached_vs_uncached_over_shared_frames() {
+    let insns = [
+        Insn::Movi(Reg::R1, 0), // patched below: target addr
+        Insn::Movi(Reg::R2, u64::from(TRAP_OPCODE)),
+        Insn::St(Width::B1, Reg::R1, 0, Reg::R2), // CoW fault on own text
+        Insn::Nop,                                // <- becomes the trap
+        Insn::Halt,
+    ];
+    let (_, offsets) = assemble(&insns);
+    let mut insns = insns;
+    insns[0] = Insn::Movi(Reg::R1, TEXT + offsets[3]);
+
+    let (mut cached, pids, _, _) = boot_shared(&insns, 1);
+    let (mut uncached, _, _, _) = boot_shared(&insns, 1);
+    uncached.set_block_cache_enabled(false);
+    let a = cached.run_until_exit(pids[0], 1_000_000);
+    let b = uncached.run_until_exit(pids[0], 1_000_000);
+    assert_eq!(a, b, "same exit status");
+    assert_eq!(
+        cached.state_fingerprint(),
+        uncached.state_fingerprint(),
+        "shared frames and CoW are invisible to guest-observable state"
+    );
+    assert_eq!(cached.process(pids[0]).unwrap().mem.cow_fault_count(), 1);
 }
 
 /// The flight metrics expose the cache and the retirement counter used
