@@ -74,5 +74,27 @@ grep -q '"schema": "dynacut-restore-v1"' results/restore.json
 grep -q '"fingerprints_match": true' results/restore.json
 grep -q '"refcount_leaked_bytes": 0' results/restore.json
 
+# Canary-then-fleet rollout (DESIGN §13): the core suite pins
+# promote/demote end to end (one dump per rollout, zero-copy
+# promotion, clock-masked fingerprint parity on demotion, selective
+# verifier-event drain); the fault battery adds the CanarySoak /
+# PromoteRestore phases and the synthetic mid-soak report, each with
+# fleet-wide parity + no leaked page refs + retry-promotes. The page
+# store's collision/unknown-key typed errors ride the page_store and
+# criu unit runs above. `figures rollout` regenerates
+# results/rollout.json and panics unless the whole fleet paid exactly
+# one ProcessDumped, the promotion wave copied zero page bytes, a
+# CanaryPromoted was journalled, and the demotion round-trip restored
+# the clock-masked fingerprint (the dynacut-rollout-v1 schema gate).
+cargo test -q -p dynacut --test rollout
+cargo test -q -p dynacut --features fault-injection --test fault_injection
+cargo test -q -p dynacut-bench rollout
+cargo run --release -q -p dynacut-bench --bin figures -- rollout > /dev/null
+test -s results/rollout.json
+grep -q '"schema": "dynacut-rollout-v1"' results/rollout.json
+grep -q '"promotion_copied_bytes": 0' results/rollout.json
+grep -q '"process_dumps": 1' results/rollout.json
+grep -q '"demotion_fingerprints_match": true' results/rollout.json
+
 # API docs must build warning-free.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet

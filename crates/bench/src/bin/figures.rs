@@ -9,7 +9,7 @@ use dynacut_bench::{experiments, flight};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures <fig2|fig4|fig6|fig7|fig8|fig8-incremental|fig9|fig10|table1|plt|ablation|flight|fleet|interp|restore|all> [more...]"
+        "usage: figures <fig2|fig4|fig6|fig7|fig8|fig8-incremental|fig9|fig10|table1|plt|ablation|flight|fleet|interp|restore|rollout|all> [more...]"
     );
     std::process::exit(2);
 }
@@ -37,6 +37,7 @@ fn main() {
             "fleet",
             "interp",
             "restore",
+            "rollout",
         ];
     }
     for (index, target) in targets.iter().enumerate() {
@@ -59,6 +60,7 @@ fn main() {
             "fleet" => experiments::fleet::print(),
             "interp" => experiments::interp::print(),
             "restore" => experiments::restore::print(),
+            "rollout" => experiments::rollout::print(),
             other => {
                 eprintln!("unknown target `{other}`");
                 usage();

@@ -15,4 +15,5 @@ pub mod fleet;
 pub mod interp;
 pub mod plt;
 pub mod restore;
+pub mod rollout;
 pub mod table1;

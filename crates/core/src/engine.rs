@@ -30,7 +30,7 @@
 
 use crate::handler::{build_fault_handler, build_verifier_library};
 use crate::original::OriginalText;
-use crate::plan::{FaultPolicy, RewritePlan};
+use crate::plan::{FaultPolicy, RewritePlan, RolloutPlan};
 use crate::rewrite::{disable_in_image, enable_in_image, remove_blocks_in_image};
 use crate::session::{end_phase, start_phase, CustomizeReport, TxnJournal};
 use crate::{DynaCut, DynacutError};
@@ -773,7 +773,7 @@ impl DynaCut {
                 }
                 None => {
                     let bytes = checkpoint.pages_bytes();
-                    Ok((self.store.put_full(checkpoint.clone()), bytes))
+                    Ok((self.store.put_full(checkpoint.clone())?, bytes))
                 }
             }
         })();
@@ -861,3 +861,390 @@ impl DynaCut {
 
 /// `(stored checkpoint id, logical page bytes it occupies)`.
 type CkptIdAndBytes = (dynacut_criu::CkptId, usize);
+
+/// What one promoted replica group cost.
+#[derive(Debug, Clone)]
+pub struct PromotedReplica {
+    /// The group's pids.
+    pub pids: Vec<Pid>,
+    /// Host wall-clock from this group's freeze to its commit — the
+    /// whole downtime a promoted replica experiences. No dump, no
+    /// rewrite, no page copy happens inside it, so it is flat in fleet
+    /// size.
+    pub freeze_window: Duration,
+    /// Page bytes the promotion physically copied for this group.
+    /// Shared-image promotion installs store frames, so this is 0; the
+    /// rollout figure gates on it.
+    pub copied_bytes: u64,
+}
+
+/// The outcome of a [`DynaCut::rollout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RolloutDecision {
+    /// The canary soaked clean and its image now serves on every
+    /// replica.
+    Promoted,
+    /// A verifier report during the soak rolled the canary back; the
+    /// fleet is bit-identical to its pre-attempt state (modulo the
+    /// guest clock, which kept serving —
+    /// [`Kernel::state_fingerprint_timeless`]).
+    Demoted,
+}
+
+/// What a [`DynaCut::rollout`] did.
+#[derive(Debug, Clone)]
+pub struct RolloutReport {
+    /// Promote or demote.
+    pub decision: RolloutDecision,
+    /// The canary group's pids.
+    pub canary: Vec<Pid>,
+    /// The canary's customize-cycle report — the one real
+    /// dump/rewrite/restore the whole fleet paid for. On a demotion
+    /// this is the cost of the attempt that was rolled back.
+    pub canary_report: CustomizeReport,
+    /// Serve slices actually soaked (a demotion stops at the slice the
+    /// first report arrived in).
+    pub soak_slices: u64,
+    /// Falsely-blocked addresses the verifier reported during the soak,
+    /// drained selectively — interleaved guest events stay queued.
+    pub verifier_reports: Vec<u64>,
+    /// SIGTRAP hits on the canary during the soak. Under
+    /// [`FaultPolicy::Verify`] every one self-healed and produced a
+    /// report.
+    pub trap_hits: u64,
+    /// Per-group promotion receipts, in promotion order (empty on
+    /// demotion).
+    pub promoted: Vec<PromotedReplica>,
+    /// Page bytes the whole promotion wave physically copied — 0 when
+    /// every page came out of the shared store.
+    pub promotion_copied_bytes: u64,
+    /// Wall-clock duration of the whole rollout, soak included.
+    pub wall: Duration,
+}
+
+impl DynaCut {
+    /// Customizes a fleet the production way: **canary → soak →
+    /// promote | demote** (paper §3.2.3's customize-validate-promote,
+    /// scaled out).
+    ///
+    /// Exactly one replica group — `groups[0]`, the canary — runs a
+    /// full customize cycle under [`FaultPolicy::Verify`], so every
+    /// trap the rewrite planted self-heals and reports instead of
+    /// killing the process. The cycle is **held open**: its transaction
+    /// journal and committed-restore receipt stay live while the canary
+    /// serves for [`RolloutPlan::soak_slices`] slices.
+    ///
+    /// * **Clean soak** — the canary's stored image is promoted onto
+    ///   every remaining group via
+    ///   [`CheckpointStore::promote_shared`](dynacut_criu::CheckpointStore::promote_shared):
+    ///   one tiny freeze window per replica (serialized, with serve
+    ///   slices pumped between), no per-replica re-dump or re-rewrite,
+    ///   and zero page bytes copied — every page is a shared frame out
+    ///   of the content-addressed store. Only then does the canary
+    ///   cycle commit.
+    /// * **Any verifier report** (or injected fault) — the canary is
+    ///   **demoted** through the PR 2 transaction machinery: the
+    ///   committed restore is undone, the just-stored baseline released,
+    ///   and the journal rollback thaws/unrepairs/re-marks exactly as a
+    ///   failed cycle would. A failure while promoting replica *k*
+    ///   first unwinds replicas `0..k`, so the fleet is all-or-nothing.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`DynacutError::BadPlan`] unless the plan uses
+    /// [`FaultPolicy::Verify`], the session is incremental, and every
+    /// group matches the canary group's size; propagates canary-cycle,
+    /// soak and promotion failures after rolling the fleet back to its
+    /// pre-attempt state.
+    pub fn rollout(
+        &mut self,
+        kernel: &mut Kernel,
+        groups: &[Vec<Pid>],
+        plan: &RewritePlan,
+        rollout: &RolloutPlan,
+    ) -> Result<RolloutReport, DynacutError> {
+        plan.validate()?;
+        rollout.validate()?;
+        if groups.is_empty() {
+            return Err(DynacutError::BadPlan(
+                "rollout needs at least one replica group".into(),
+            ));
+        }
+        if plan.fault_policy != FaultPolicy::Verify {
+            return Err(DynacutError::BadPlan(
+                "rollout requires FaultPolicy::Verify: the canary's traps must self-heal \
+                 and report, not kill or redirect"
+                    .into(),
+            ));
+        }
+        if !self.incremental {
+            return Err(DynacutError::BadPlan(
+                "rollout requires incremental mode: promotion restores replicas from the \
+                 stored canary image"
+                    .into(),
+            ));
+        }
+        for group in &groups[1..] {
+            if group.len() != groups[0].len() {
+                return Err(DynacutError::BadPlan(format!(
+                    "every replica group must match the canary group's size ({}), got {}",
+                    groups[0].len(),
+                    group.len()
+                )));
+            }
+        }
+        let started = Instant::now();
+
+        // Stage 1 — the canary cycle: the full stage sequence over
+        // groups[0], deliberately *not* committed yet. The canary is
+        // live and serving the rewritten image after RestoreCommit, but
+        // the journal and the committed-restore receipt stay in hand so
+        // a dirty soak can still demote it.
+        let mut cycle = self.begin_cycle(&groups[0]);
+        cycle.begin(kernel);
+        for stage in cycle.stage_sequence() {
+            if let Err(err) = self.run_stage(kernel, &mut cycle, plan, stage) {
+                let CycleState { pids, journal, .. } = cycle;
+                self.rollback(kernel, &pids, journal);
+                return Err(err);
+            }
+        }
+
+        // Stage 2 — soak: pump serve slices and watch the canary. Only
+        // verifier-tagged events are drained (the PR 7 selective drain);
+        // everything else stays queued for its own consumers.
+        let soak_started = start_phase(kernel, Phase::Soak);
+        let seq0 = kernel.flight().next_seq();
+        let mut reports: Vec<u64> = Vec::new();
+        let mut soaked = 0u64;
+        let mut soak_fault = None;
+        while soaked < rollout.soak_slices {
+            if fault::hit(FaultPhase::CanarySoak) {
+                soak_fault = Some(DynacutError::FaultInjected(FaultPhase::CanarySoak));
+                break;
+            }
+            kernel.run_for(rollout.serve_slice_ns);
+            soaked += 1;
+            reports.extend(Self::verifier_reports(kernel));
+            if !reports.is_empty() {
+                // The first report decides; soaking further only delays
+                // the demotion.
+                break;
+            }
+        }
+        let trap_hits = kernel
+            .flight()
+            .since(seq0)
+            .filter(|event| {
+                matches!(event.kind, EventKind::TrapHit { .. })
+                    && event.pid.is_some_and(|pid| cycle.pids.contains(&pid))
+            })
+            .count() as u64;
+        kernel.record_flight(
+            None,
+            EventKind::PhaseEnd {
+                phase: Phase::Soak,
+                duration_ns: soak_started.elapsed().as_nanos() as u64,
+            },
+        );
+        kernel
+            .flight_mut()
+            .metrics_mut()
+            .incr("rollout.soak_slices", soaked);
+
+        if soak_fault.is_some() || !reports.is_empty() {
+            let canary = cycle.pids.clone();
+            let canary_report = cycle.report.clone();
+            self.demote_canary(kernel, cycle, reports.len());
+            if let Some(err) = soak_fault {
+                return Err(err);
+            }
+            return Ok(RolloutReport {
+                decision: RolloutDecision::Demoted,
+                canary,
+                canary_report,
+                soak_slices: soaked,
+                verifier_reports: reports,
+                trap_hits,
+                promoted: Vec::new(),
+                promotion_copied_bytes: 0,
+                wall: started.elapsed(),
+            });
+        }
+
+        // Stage 3 — the promotion wave: one tiny freeze window per
+        // remaining group, serialized like the fleet engine's windows,
+        // with serve slices pumped between. The canary cycle is still
+        // open: a failure at replica k unwinds replicas 0..k and then
+        // demotes the canary, so the fleet is all-or-nothing.
+        let ckpt_id = cycle
+            .report
+            .checkpoint_id
+            .expect("incremental canary cycle stored its baseline");
+        let mut promoted: Vec<(Vec<Pid>, CommittedRestore, Duration, u64)> =
+            Vec::with_capacity(groups.len() - 1);
+        let mut wave_err: Option<DynacutError> = None;
+        'wave: for group in &groups[1..] {
+            let window_started = Instant::now();
+            kernel.record_flight(None, EventKind::PhaseStart { phase: Phase::Promote });
+            for &pid in group.iter() {
+                kernel.record_flight(Some(pid), EventKind::StageScheduled { stage: Phase::Promote });
+            }
+            let mut frozen: Vec<Pid> = Vec::new();
+            let mut group_err: Option<DynacutError> = None;
+            for &pid in group.iter() {
+                match kernel.freeze(pid) {
+                    Ok(()) => frozen.push(pid),
+                    Err(err) => {
+                        group_err = Some(err.into());
+                        break;
+                    }
+                }
+            }
+            if group_err.is_none() {
+                let copied_before = self.store.page_store().copied_bytes();
+                let registry = cycle
+                    .staged_registry
+                    .as_ref()
+                    .expect("canary cycle staged its registry");
+                match self.store.promote_shared(kernel, ckpt_id, registry, group) {
+                    Ok(receipt) => {
+                        let copied = self.store.page_store().copied_bytes() - copied_before;
+                        let window = window_started.elapsed();
+                        for &pid in group.iter() {
+                            kernel.record_flight(
+                                Some(pid),
+                                EventKind::StageRetired {
+                                    stage: Phase::Promote,
+                                    duration_ns: window.as_nanos() as u64,
+                                },
+                            );
+                        }
+                        kernel.record_flight(
+                            None,
+                            EventKind::PhaseEnd {
+                                phase: Phase::Promote,
+                                duration_ns: window.as_nanos() as u64,
+                            },
+                        );
+                        promoted.push((group.clone(), receipt, window, copied));
+                        kernel.run_for(rollout.serve_slice_ns);
+                        continue 'wave;
+                    }
+                    Err(err) => group_err = Some(err.into()),
+                }
+            }
+            // This group failed before its swap landed: thaw what this
+            // window froze. The Promote PhaseStart stays dangling, as a
+            // failed stage's bracket always does.
+            for &pid in frozen.iter().rev() {
+                let _ = kernel.thaw(pid);
+                kernel.record_flight(
+                    Some(pid),
+                    EventKind::RollbackStep {
+                        step: RollbackStep::Thaw,
+                    },
+                );
+            }
+            wave_err = group_err;
+            break;
+        }
+
+        if let Some(err) = wave_err {
+            // Unwind the already-promoted replicas, newest first: each
+            // undo re-inserts the frozen original, which is then thawed
+            // back to its pre-freeze scheduler state.
+            for (group, receipt, _, _) in promoted.into_iter().rev() {
+                kernel.record_flight(
+                    None,
+                    EventKind::RollbackStep {
+                        step: RollbackStep::UndoRestore,
+                    },
+                );
+                receipt.undo(kernel);
+                for &pid in group.iter().rev() {
+                    let _ = kernel.thaw(pid);
+                    kernel.record_flight(
+                        Some(pid),
+                        EventKind::RollbackStep {
+                            step: RollbackStep::Thaw,
+                        },
+                    );
+                }
+            }
+            self.demote_canary(kernel, cycle, reports.len());
+            return Err(err);
+        }
+
+        // Stage 4 — commit. The canary's staged session state folds in
+        // exactly as a plain cycle's would; then the promoted replicas
+        // get their trap-policy labels (their memory carries the same
+        // verify traps the canary's does).
+        let canary = cycle.pids.clone();
+        let canary_report = self.commit_cycle(kernel, cycle, plan);
+        let mut promoted_out = Vec::with_capacity(promoted.len());
+        let mut promotion_copied = 0u64;
+        for (pids, _receipt, window, copied) in promoted {
+            for &pid in &pids {
+                kernel.flight_mut().set_trap_policy(pid, "verify");
+            }
+            promotion_copied += copied;
+            promoted_out.push(PromotedReplica {
+                pids,
+                freeze_window: window,
+                copied_bytes: copied,
+            });
+        }
+        let replica_procs: usize = promoted_out.iter().map(|group| group.pids.len()).sum();
+        kernel.record_flight(
+            None,
+            EventKind::CanaryPromoted {
+                replicas: replica_procs,
+                soak_slices: soaked,
+            },
+        );
+        kernel.flight_mut().metrics_mut().incr("rollout.promotions", 1);
+        Ok(RolloutReport {
+            decision: RolloutDecision::Promoted,
+            canary,
+            canary_report,
+            soak_slices: soaked,
+            verifier_reports: reports,
+            trap_hits,
+            promoted: promoted_out,
+            promotion_copied_bytes: promotion_copied,
+            wall: started.elapsed(),
+        })
+    }
+
+    /// Rolls a held-open canary cycle all the way back: undo the
+    /// committed restore (the pre-freeze original returns, its soak
+    /// divergence discarded with the replacement process), release the
+    /// baseline this cycle stored, then run the PR 2 journal rollback —
+    /// thaw, unrepair, re-mark dirty bits, restore the displaced
+    /// baseline. [`EventKind::CanaryDemoted`] is journalled before the
+    /// rollback so `CustomizeRollback` stays the terminal event.
+    fn demote_canary(&mut self, kernel: &mut Kernel, mut cycle: CycleState, reports: usize) {
+        kernel.record_flight(
+            None,
+            EventKind::RollbackStep {
+                step: RollbackStep::UndoRestore,
+            },
+        );
+        cycle
+            .committed
+            .take()
+            .expect("canary cycle committed its restore before the soak")
+            .undo(kernel);
+        if let Some(id) = cycle.report.checkpoint_id {
+            self.baselines.remove(&cycle.journal.baseline_key);
+            self.store
+                .release(id)
+                .expect("the canary's baseline entry releases cleanly");
+        }
+        kernel.record_flight(None, EventKind::CanaryDemoted { reports });
+        kernel.flight_mut().metrics_mut().incr("rollout.demotions", 1);
+        let CycleState { pids, journal, .. } = cycle;
+        self.rollback(kernel, &pids, journal);
+    }
+}

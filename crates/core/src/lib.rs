@@ -56,10 +56,12 @@ pub use error::DynacutError;
 pub use feature::Feature;
 pub use handler::{build_fault_handler, build_verifier_library, VERIFIER_EVENT_BIT};
 pub use original::OriginalText;
-pub use plan::{BlockPolicy, Downtime, FaultPolicy, RewritePlan};
+pub use plan::{BlockPolicy, Downtime, FaultPolicy, RewritePlan, RolloutPlan};
 pub use profile::Profiler;
 pub use rewrite::{disable_in_image, enable_in_image, remove_blocks_in_image, DisableOutcome};
-pub use engine::{FleetOptions, FleetReport, FleetTotals, Stage};
+pub use engine::{
+    FleetOptions, FleetReport, FleetTotals, PromotedReplica, RolloutDecision, RolloutReport, Stage,
+};
 pub use session::{CustomizeReport, DynaCut, Timings};
 // The flight-recorder vocabulary [`CustomizeReport::phases`] and the
 // journal assertions speak, re-exported so report consumers need not

@@ -208,6 +208,52 @@ impl RewritePlan {
     }
 }
 
+/// How a canary-then-fleet rollout paces and judges its soak (see
+/// [`DynaCut::rollout`](crate::DynaCut::rollout)).
+///
+/// The rewrite itself still comes from a [`RewritePlan`]; this plan only
+/// governs the deployment: how long the single customized canary serves
+/// in verifier mode before its image is promoted onto the rest of the
+/// fleet, and how traffic is pumped while it does.
+#[derive(Debug, Clone, Copy)]
+pub struct RolloutPlan {
+    /// Serve slices the canary soaks for. Any verifier report observed
+    /// during the soak demotes the canary instead of promoting it.
+    pub soak_slices: u64,
+    /// Guest nanoseconds per serve slice — pumped between soak checks
+    /// and between per-replica promotions, so the fleet keeps serving
+    /// throughout.
+    pub serve_slice_ns: u64,
+}
+
+impl Default for RolloutPlan {
+    fn default() -> Self {
+        RolloutPlan {
+            soak_slices: 8,
+            serve_slice_ns: 200_000,
+        }
+    }
+}
+
+impl RolloutPlan {
+    /// Checks the plan is runnable.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`DynacutError::BadPlan`](crate::DynacutError::BadPlan)
+    /// if the soak is zero slices — a rollout that never watches its
+    /// canary is just a fleet customize, and the promotion decision
+    /// would be vacuous.
+    pub fn validate(&self) -> Result<(), crate::DynacutError> {
+        if self.soak_slices == 0 {
+            return Err(crate::DynacutError::BadPlan(
+                "rollout soak must be at least one serve slice".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -337,14 +337,18 @@ impl DynaCut {
     /// Drains verifier reports from the kernel's event stream: the
     /// absolute addresses of blocks that were blocked but turned out to be
     /// needed (paper §3.2.3).
+    ///
+    /// Only events tagged with [`VERIFIER_EVENT_BIT`] are consumed;
+    /// interleaved guest events (phase markers, application codes) stay
+    /// queued for their own consumers. An earlier version drained the
+    /// whole stream and kept just the reports, silently destroying
+    /// everything else — which would have eaten the journal out from
+    /// under a canary soak.
     pub fn verifier_reports(kernel: &mut Kernel) -> Vec<u64> {
-        let events = kernel.drain_events();
-        let mut out = Vec::new();
-        for event in &events {
-            if event.code & VERIFIER_EVENT_BIT != 0 {
-                out.push(event.code & !VERIFIER_EVENT_BIT);
-            }
-        }
-        out
+        kernel
+            .drain_events_where(|event| event.code & VERIFIER_EVENT_BIT != 0)
+            .into_iter()
+            .map(|event| event.code & !VERIFIER_EVENT_BIT)
+            .collect()
     }
 }

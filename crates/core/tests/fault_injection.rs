@@ -18,7 +18,10 @@
 //! constant `false` otherwise.
 #![cfg(feature = "fault-injection")]
 
-use dynacut::{Downtime, DynaCut, EventKind, FaultPolicy, Feature, Phase, RewritePlan, RollbackStep};
+use dynacut::{
+    Downtime, DynaCut, EventKind, FaultPolicy, Feature, Phase, RewritePlan, RollbackStep,
+    RolloutDecision, RolloutPlan, VERIFIER_EVENT_BIT,
+};
 use dynacut_apps::{libc::guest_libc, nginx, redis, EVENT_READY};
 use dynacut_criu::ModuleRegistry;
 use dynacut_vm::fault::{self, FaultPhase};
@@ -596,5 +599,254 @@ fn unreached_phase_leaves_customize_untouched() {
     assert_eq!(
         server.kernel.client_request(conn, b"PUT /f data", 5_000_000).unwrap(),
         nginx::RESP_403
+    );
+}
+
+// ---------------------------------------------------------------------
+// Rollout phases (PR 7): the canary-then-fleet pipeline must be as
+// all-or-nothing as a single cycle. A fault during the soak or while
+// promoting replica k demotes the canary (unwinding replicas 0..k
+// first), leaving the whole fleet bit-identical to its pre-attempt
+// state modulo the guest clock — the fleet kept serving, so parity is
+// defined over `state_fingerprint_timeless`.
+// ---------------------------------------------------------------------
+
+/// Boots `replicas` identical single-process Redis replicas into one
+/// kernel, all sharing the listener backlog.
+fn boot_redis_fleet(replicas: usize) -> (Server, Vec<Vec<Pid>>) {
+    let libc = guest_libc();
+    let exe = redis::image(&libc);
+    let mut kernel = Kernel::new();
+    kernel.add_file(redis::CONFIG_PATH, &redis::config_file());
+    let spec = LoadSpec::with_libs(exe, vec![libc]);
+    let mut registry = ModuleRegistry::new();
+    registry.insert(Arc::clone(&spec.exe));
+    for lib in &spec.libs {
+        registry.insert(Arc::clone(lib));
+    }
+    let exe = Arc::clone(&spec.exe);
+    let mut groups = Vec::with_capacity(replicas);
+    for _ in 0..replicas {
+        let pid = kernel.spawn(&spec).unwrap();
+        kernel
+            .run_until_event(EVENT_READY, 500_000_000)
+            .expect("replica initializes");
+        groups.push(vec![pid]);
+    }
+    let pids = kernel.pids();
+    (
+        Server {
+            kernel,
+            pids,
+            exe,
+            registry,
+        },
+        groups,
+    )
+}
+
+/// The verifier-policy plan a rollout requires.
+fn redis_verify_plan(server: &Server) -> RewritePlan {
+    let setrange = Feature::from_function("SETRANGE", &server.exe, "rd_cmd_setrange").unwrap();
+    RewritePlan::new()
+        .disable(setrange)
+        .with_fault_policy(FaultPolicy::Verify)
+        .with_downtime(Downtime::None)
+}
+
+/// Asserts the fleet-wide demotion contract after a failed/demoted
+/// rollout: clock-masked fingerprint parity, every pid alive and
+/// thawed, zero leaked page refs — then retries the identical rollout
+/// and requires a clean zero-copy promotion.
+fn assert_demoted_then_repromote(
+    server: &mut Server,
+    dynacut: &mut DynaCut,
+    groups: &[Vec<Pid>],
+    plan: &RewritePlan,
+    rollout_plan: &RolloutPlan,
+    pristine: &str,
+    ctx: &str,
+) {
+    assert_eq!(
+        server.kernel.state_fingerprint_timeless(),
+        pristine,
+        "fleet-wide state parity after demotion ({ctx})"
+    );
+    for &pid in &server.pids {
+        assert!(server.kernel.exit_status(pid).is_none(), "{pid} alive ({ctx})");
+        assert_ne!(
+            server.kernel.process(pid).unwrap().state,
+            ProcState::Frozen,
+            "{pid} thawed ({ctx})"
+        );
+    }
+    assert_eq!(
+        dynacut.store().logical_pages_bytes(),
+        dynacut.store().stored_pages_bytes(),
+        "no leaked page refs after demotion ({ctx})"
+    );
+
+    let retry = dynacut
+        .rollout(&mut server.kernel, groups, plan, rollout_plan)
+        .unwrap_or_else(|err| panic!("retry after demotion must promote ({ctx}): {err}"));
+    assert_eq!(retry.decision, RolloutDecision::Promoted, "{ctx}");
+    assert_eq!(retry.promoted.len(), groups.len() - 1, "{ctx}");
+    assert_eq!(
+        retry.promotion_copied_bytes, 0,
+        "retry promotion still copies nothing ({ctx})"
+    );
+    assert_eq!(
+        dynacut.store().logical_pages_bytes(),
+        dynacut.store().stored_pages_bytes(),
+        "no leaked page refs after the retry promotion ({ctx})"
+    );
+}
+
+/// A fault while the canary soaks demotes the whole attempt. Skip 0
+/// fires before the first serve slice, skip 2 two slices in.
+#[test]
+fn canary_soak_fault_demotes_and_retry_promotes() {
+    for skip in [0usize, 2] {
+        let ctx = format!("soak fault, skip {skip}");
+        let (mut server, groups) = boot_redis_fleet(3);
+        let plan = redis_verify_plan(&server);
+        let rollout_plan = RolloutPlan {
+            soak_slices: 4,
+            serve_slice_ns: 200_000,
+        };
+        let mut dynacut = DynaCut::new(server.registry.clone()).with_incremental();
+        let pristine = server.kernel.state_fingerprint_timeless();
+        let demotions = server.kernel.flight().metrics().counter("rollout.demotions");
+
+        fault::arm(FaultPhase::CanarySoak, skip);
+        let err = dynacut
+            .rollout(&mut server.kernel, &groups, &plan, &rollout_plan)
+            .expect_err("armed soak must fail");
+        assert_eq!(err.injected_phase(), Some(FaultPhase::CanarySoak), "{ctx}");
+        assert_eq!(fault::armed_count(), 0, "fault consumed ({ctx})");
+        assert_eq!(
+            server.kernel.flight().metrics().counter("rollout.demotions"),
+            demotions + 1,
+            "demotion counted ({ctx})"
+        );
+        assert_demoted_then_repromote(
+            &mut server,
+            &mut dynacut,
+            &groups,
+            &plan,
+            &rollout_plan,
+            &pristine,
+            &ctx,
+        );
+    }
+}
+
+/// A fault while promoting replica k first unwinds the already-promoted
+/// replicas 0..k, then demotes the canary: all-or-nothing across the
+/// fleet, for every k.
+#[test]
+fn promote_restore_fault_unwinds_the_whole_wave() {
+    for skip in [0usize, 1, 2] {
+        let ctx = format!("promotion fault at replica {skip}");
+        let (mut server, groups) = boot_redis_fleet(4);
+        let plan = redis_verify_plan(&server);
+        let rollout_plan = RolloutPlan {
+            soak_slices: 2,
+            serve_slice_ns: 200_000,
+        };
+        let mut dynacut = DynaCut::new(server.registry.clone()).with_incremental();
+        let pristine = server.kernel.state_fingerprint_timeless();
+        let seq0 = server.kernel.flight().next_seq();
+
+        fault::arm(FaultPhase::PromoteRestore, skip);
+        let err = dynacut
+            .rollout(&mut server.kernel, &groups, &plan, &rollout_plan)
+            .expect_err("armed promotion must fail");
+        assert_eq!(err.injected_phase(), Some(FaultPhase::PromoteRestore), "{ctx}");
+        assert_eq!(fault::armed_count(), 0, "fault consumed ({ctx})");
+
+        // The journal shows the unwind: one UndoRestore per promoted
+        // replica plus one for the canary's own committed restore, and
+        // the terminal event is the canary's rollback.
+        let events: Vec<_> = server.kernel.flight().since(seq0).cloned().collect();
+        let undos = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    EventKind::RollbackStep {
+                        step: RollbackStep::UndoRestore
+                    }
+                )
+            })
+            .count();
+        assert_eq!(undos, skip + 1, "replicas 0..k unwound, then the canary ({ctx})");
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::CanaryDemoted { .. })),
+            "demotion journalled ({ctx})"
+        );
+        assert!(
+            matches!(
+                events.last().map(|e| &e.kind),
+                Some(EventKind::CustomizeRollback)
+            ),
+            "journal ends with the terminal rollback ({ctx})"
+        );
+        assert!(
+            !events.iter().any(|e| matches!(
+                e.kind,
+                EventKind::CustomizeCommit | EventKind::CanaryPromoted { .. }
+            )),
+            "a failed wave commits nothing ({ctx})"
+        );
+
+        assert_demoted_then_repromote(
+            &mut server,
+            &mut dynacut,
+            &groups,
+            &plan,
+            &rollout_plan,
+            &pristine,
+            &ctx,
+        );
+    }
+}
+
+/// A synthetic verifier report planted in the event queue demotes the
+/// canary mid-soak with the same fleet-wide guarantees as an injected
+/// fault — and the report comes back in the rollout report instead of
+/// an error.
+#[test]
+fn synthetic_verifier_report_mid_soak_demotes() {
+    let (mut server, groups) = boot_redis_fleet(3);
+    let plan = redis_verify_plan(&server);
+    let rollout_plan = RolloutPlan {
+        soak_slices: 4,
+        serve_slice_ns: 200_000,
+    };
+    let mut dynacut = DynaCut::new(server.registry.clone()).with_incremental();
+    let pristine = server.kernel.state_fingerprint_timeless();
+    const ADDR: u64 = 0xFAB;
+    server
+        .kernel
+        .inject_event(groups[0][0], VERIFIER_EVENT_BIT | ADDR);
+
+    let report = dynacut
+        .rollout(&mut server.kernel, &groups, &plan, &rollout_plan)
+        .expect("a report is a demotion, not an error");
+    assert_eq!(report.decision, RolloutDecision::Demoted);
+    assert_eq!(report.verifier_reports, vec![ADDR]);
+    assert!(report.promoted.is_empty());
+
+    assert_demoted_then_repromote(
+        &mut server,
+        &mut dynacut,
+        &groups,
+        &plan,
+        &rollout_plan,
+        &pristine,
+        "synthetic report",
     );
 }

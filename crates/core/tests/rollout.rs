@@ -1,0 +1,449 @@
+//! Canary-then-fleet rollout suite (DESIGN §13, paper §3.2.3 scaled
+//! out), plus the PR 7 regression tests for the correctness fixes that
+//! ride along:
+//!
+//! * a clean soak promotes the canary's interned image onto every
+//!   replica with **zero page bytes copied** and exactly one real dump,
+//! * a verifier report during the soak demotes through the transaction
+//!   machinery and leaves the fleet's clock-masked state fingerprint
+//!   bit-identical to the pre-attempt snapshot,
+//! * [`DynaCut::verifier_reports`] drains **only** verifier-tagged
+//!   events (the old implementation destroyed interleaved guest
+//!   events), and
+//! * malformed rollouts are rejected as [`DynacutError::BadPlan`]
+//!   before the fleet is touched.
+
+use dynacut::{
+    Downtime, DynaCut, DynacutError, EventKind, FaultPolicy, Feature, RewritePlan,
+    RolloutDecision, RolloutPlan, VERIFIER_EVENT_BIT,
+};
+use dynacut_apps::{libc::guest_libc, redis, EVENT_READY};
+use dynacut_criu::ModuleRegistry;
+use dynacut_isa::TRAP_OPCODE;
+use dynacut_vm::{Kernel, LoadSpec, Pid, ProcState};
+use std::sync::Arc;
+
+/// A fleet of identical single-process Redis replicas sharing one
+/// kernel and one `SO_REUSEPORT`-style listener backlog.
+struct Fleet {
+    kernel: Kernel,
+    groups: Vec<Vec<Pid>>,
+    exe: Arc<dynacut_obj::Image>,
+    registry: ModuleRegistry,
+}
+
+fn boot_fleet(replicas: usize) -> Fleet {
+    let libc = guest_libc();
+    let exe = redis::image(&libc);
+    let mut kernel = Kernel::new();
+    kernel.add_file(redis::CONFIG_PATH, &redis::config_file());
+    let spec = LoadSpec::with_libs(exe, vec![libc]);
+    let mut registry = ModuleRegistry::new();
+    registry.insert(Arc::clone(&spec.exe));
+    for lib in &spec.libs {
+        registry.insert(Arc::clone(lib));
+    }
+    let exe = Arc::clone(&spec.exe);
+    let mut groups = Vec::with_capacity(replicas);
+    for _ in 0..replicas {
+        let pid = kernel.spawn(&spec).unwrap();
+        // One `run_until_event` per spawn keeps the ready markers
+        // unambiguous.
+        kernel
+            .run_until_event(EVENT_READY, 500_000_000)
+            .expect("replica initializes");
+        groups.push(vec![pid]);
+    }
+    Fleet {
+        kernel,
+        groups,
+        exe,
+        registry,
+    }
+}
+
+impl Fleet {
+    /// One request into the shared backlog over a transient connection;
+    /// whichever unfrozen replica accepts first serves it.
+    fn request(&mut self, bytes: &[u8]) -> Vec<u8> {
+        let conn = self.kernel.client_connect(redis::PORT).unwrap();
+        let reply = self.kernel.client_request(conn, bytes, 10_000_000).unwrap();
+        let _ = self.kernel.client_close(conn);
+        reply
+    }
+
+    /// The first byte of the SETRANGE handler in `pid`'s memory.
+    fn setrange_entry_byte(&self, feature: &Feature, pid: Pid) -> u8 {
+        let proc = self.kernel.process(pid).unwrap();
+        let base = proc
+            .modules
+            .iter()
+            .find(|m| m.image.name == redis::MODULE)
+            .unwrap()
+            .base;
+        let mut byte = [0u8; 1];
+        proc.mem
+            .read_unchecked(base + feature.entry_block().unwrap().addr, &mut byte);
+        byte[0]
+    }
+}
+
+/// "Misclassify" SETRANGE as undesired under the verifier policy — the
+/// only policy a rollout accepts.
+fn verify_plan(exe: &dynacut_obj::Image) -> RewritePlan {
+    let setrange = Feature::from_function("SETRANGE", exe, "rd_cmd_setrange").unwrap();
+    RewritePlan::new()
+        .disable(setrange)
+        .with_fault_policy(FaultPolicy::Verify)
+        .with_downtime(Downtime::None)
+}
+
+/// Zero leaked page refs: the store's refcount-derived footprint equals
+/// the sum over stored checkpoints.
+fn assert_no_leaked_pages(dynacut: &DynaCut, ctx: &str) {
+    assert_eq!(
+        dynacut.store().logical_pages_bytes(),
+        dynacut.store().stored_pages_bytes(),
+        "no leaked page refs ({ctx})"
+    );
+}
+
+/// Regression (PR 7 fix): [`DynaCut::verifier_reports`] used
+/// `drain_events()`, silently destroying every queued guest event that
+/// was *not* a verifier report. The selective drain keeps them.
+#[test]
+fn verifier_reports_leave_other_guest_events_queued() {
+    let mut fleet = boot_fleet(1);
+    let pid = fleet.groups[0][0];
+    // Start from an empty queue so the assertion below is exact (boot
+    // can leave a stray ready marker behind).
+    fleet.kernel.drain_events();
+    const MARKER: u64 = 0x42;
+    const ADDR: u64 = 0x7000;
+    fleet.kernel.inject_event(pid, MARKER);
+    fleet.kernel.inject_event(pid, VERIFIER_EVENT_BIT | ADDR);
+    fleet.kernel.inject_event(pid, MARKER + 1);
+
+    let reports = DynaCut::verifier_reports(&mut fleet.kernel);
+    assert_eq!(reports, vec![ADDR], "the tagged event is extracted, untagged");
+
+    // The interleaved guest markers survived the drain, in order.
+    let codes: Vec<u64> = fleet.kernel.events().iter().map(|e| e.code).collect();
+    assert_eq!(
+        codes,
+        vec![MARKER, MARKER + 1],
+        "non-verifier events stay queued for their own consumers"
+    );
+    assert!(
+        DynaCut::verifier_reports(&mut fleet.kernel).is_empty(),
+        "a second drain finds nothing new"
+    );
+    assert_eq!(
+        fleet.kernel.events().len(),
+        2,
+        "and still does not touch the queued markers"
+    );
+}
+
+/// The tentpole happy path: one canary cycle, a clean soak, then N−1
+/// shared-image promotions — no re-dump, no re-rewrite, zero page bytes
+/// copied, and the rewrite live (and self-healing) on every replica.
+#[test]
+fn clean_soak_promotes_the_canary_image_fleet_wide() {
+    let mut fleet = boot_fleet(4);
+    let plan = verify_plan(&fleet.exe);
+    let feature = plan.disable[0].clone();
+    let rollout_plan = RolloutPlan {
+        soak_slices: 4,
+        serve_slice_ns: 200_000,
+    };
+    let mut dynacut = DynaCut::new(fleet.registry.clone()).with_incremental();
+    let groups = fleet.groups.clone();
+    let seq0 = fleet.kernel.flight().next_seq();
+
+    let report = dynacut
+        .rollout(&mut fleet.kernel, &groups, &plan, &rollout_plan)
+        .unwrap();
+
+    assert_eq!(report.decision, RolloutDecision::Promoted);
+    assert_eq!(report.canary, groups[0]);
+    assert_eq!(report.soak_slices, 4, "the full soak ran");
+    assert!(report.verifier_reports.is_empty(), "clean soak");
+    assert_eq!(report.trap_hits, 0, "no SETRANGE traffic, no traps");
+    assert_eq!(report.promoted.len(), 3, "every non-canary group promoted");
+    assert_eq!(
+        report.promotion_copied_bytes, 0,
+        "shared-image promotion copies zero page bytes"
+    );
+    for replica in &report.promoted {
+        assert_eq!(replica.copied_bytes, 0, "per-replica too");
+        assert!(replica.freeze_window.as_nanos() > 0, "window measured");
+    }
+
+    // The whole fleet paid for exactly one real dump — the canary's.
+    let events: Vec<_> = fleet.kernel.flight().since(seq0).cloned().collect();
+    let dumps = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::ProcessDumped { .. }))
+        .count();
+    assert_eq!(dumps, 1, "one canary dump, zero per-replica dumps");
+    assert!(
+        events.iter().any(|e| matches!(
+            e.kind,
+            EventKind::CanaryPromoted {
+                replicas: 3,
+                soak_slices: 4
+            }
+        )),
+        "promotion journalled"
+    );
+    assert!(
+        events.iter().any(|e| matches!(e.kind, EventKind::CustomizeCommit)),
+        "the canary cycle committed"
+    );
+    assert!(
+        !events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::CustomizeRollback)),
+        "nothing rolled back"
+    );
+    assert_eq!(
+        fleet.kernel.flight().metrics().counter("rollout.promotions"),
+        1
+    );
+
+    // The rewrite is physically present on every replica: the SETRANGE
+    // entry byte is a trap byte in each process's memory.
+    for group in &groups {
+        for &pid in group {
+            assert!(fleet.kernel.exit_status(pid).is_none(), "{pid} alive");
+            assert_ne!(
+                fleet.kernel.process(pid).unwrap().state,
+                ProcState::Frozen,
+                "{pid} serving"
+            );
+            assert_eq!(
+                fleet.setrange_entry_byte(&feature, pid),
+                TRAP_OPCODE,
+                "{pid} carries the canary's rewrite"
+            );
+        }
+    }
+    assert_no_leaked_pages(&dynacut, "after promotion");
+
+    // The fleet serves, and a *promoted* replica self-heals: with the
+    // canary frozen, whichever replica accepts the SETRANGE must be one
+    // that got the image by promotion, and under the verifier policy the
+    // trap restores the byte, reports, and the request completes.
+    assert_eq!(fleet.request(b"SET k v\n"), b"+OK\n");
+    fleet.kernel.freeze(groups[0][0]).unwrap();
+    assert_eq!(
+        fleet.request(b"SETRANGE 8 abc\n"),
+        b"+OK\n",
+        "promoted replica self-heals and serves"
+    );
+    fleet.kernel.thaw(groups[0][0]).unwrap();
+    let healed = DynaCut::verifier_reports(&mut fleet.kernel);
+    assert!(
+        !healed.is_empty(),
+        "the self-heal on a promoted replica is reported"
+    );
+}
+
+/// A verifier report during the soak demotes the canary through the
+/// transaction machinery: the fleet's clock-masked fingerprint is
+/// bit-identical to the pre-attempt snapshot, nothing leaks, and the
+/// identical rollout promotes once the report stops coming.
+#[test]
+fn soak_report_demotes_the_canary_with_state_parity() {
+    let mut fleet = boot_fleet(3);
+    let plan = verify_plan(&fleet.exe);
+    let rollout_plan = RolloutPlan {
+        soak_slices: 6,
+        serve_slice_ns: 200_000,
+    };
+    let mut dynacut = DynaCut::new(fleet.registry.clone()).with_incremental();
+    let groups = fleet.groups.clone();
+    let canary = groups[0][0];
+
+    // Snapshot first, then plant the report: the soak drains the event,
+    // so the queue length (part of the fingerprint) round-trips too.
+    let pristine = fleet.kernel.state_fingerprint_timeless();
+    const ADDR: u64 = 0xBEE;
+    fleet.kernel.inject_event(canary, VERIFIER_EVENT_BIT | ADDR);
+    let seq0 = fleet.kernel.flight().next_seq();
+
+    let report = dynacut
+        .rollout(&mut fleet.kernel, &groups, &plan, &rollout_plan)
+        .unwrap();
+
+    assert_eq!(report.decision, RolloutDecision::Demoted);
+    assert_eq!(report.soak_slices, 1, "the first report decides");
+    assert_eq!(report.verifier_reports, vec![ADDR]);
+    assert!(report.promoted.is_empty(), "no replica was touched");
+    assert_eq!(report.promotion_copied_bytes, 0);
+
+    // The soak advanced the guest clock — the fleet kept serving — so
+    // parity is defined over the clock-masked fingerprint.
+    assert_eq!(
+        fleet.kernel.state_fingerprint_timeless(),
+        pristine,
+        "demotion rolls the fleet back to its pre-attempt state"
+    );
+    assert_no_leaked_pages(&dynacut, "after demotion");
+
+    let events: Vec<_> = fleet.kernel.flight().since(seq0).cloned().collect();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::CanaryDemoted { reports: 1 })),
+        "demotion journalled with the report count"
+    );
+    assert!(
+        matches!(
+            events.last().map(|e| &e.kind),
+            Some(EventKind::CustomizeRollback)
+        ),
+        "the journal ends with the terminal rollback"
+    );
+    assert!(
+        !events.iter().any(|e| matches!(
+            e.kind,
+            EventKind::CustomizeCommit | EventKind::CanaryPromoted { .. }
+        )),
+        "a demoted rollout commits nothing"
+    );
+    assert_eq!(
+        fleet.kernel.flight().metrics().counter("rollout.demotions"),
+        1
+    );
+
+    // SETRANGE is still enabled everywhere — the rewrite never landed.
+    assert_eq!(fleet.request(b"SETRANGE 8 abc\n"), b"+OK\n");
+
+    // The retry (no report this time) promotes.
+    let retry = dynacut
+        .rollout(&mut fleet.kernel, &groups, &plan, &rollout_plan)
+        .unwrap();
+    assert_eq!(retry.decision, RolloutDecision::Promoted);
+    assert_eq!(retry.promoted.len(), 2);
+    assert_eq!(retry.promotion_copied_bytes, 0);
+    assert_no_leaked_pages(&dynacut, "after the retry promotion");
+}
+
+/// A *real* trap during the soak: a queued SETRANGE request is served by
+/// the canary mid-soak, the verifier self-heals it and reports, and the
+/// report demotes. Connection buffers legitimately diverge here (the
+/// canary answered a request the rollback discards), so this asserts
+/// behavior — alive, thawed, feature intact — rather than fingerprint
+/// parity.
+#[test]
+fn real_trap_during_soak_demotes_the_canary() {
+    let mut fleet = boot_fleet(1);
+    let plan = verify_plan(&fleet.exe);
+    let feature = plan.disable[0].clone();
+    let rollout_plan = RolloutPlan {
+        soak_slices: 8,
+        serve_slice_ns: 10_000_000,
+    };
+    let mut dynacut = DynaCut::new(fleet.registry.clone()).with_incremental();
+    let groups = fleet.groups.clone();
+    let canary = groups[0][0];
+
+    // Queue the poisoned request before the rollout: the canary's cycle
+    // carries the connection through dump/restore in repair mode, then
+    // the soak serves it.
+    let conn = fleet.kernel.client_connect(redis::PORT).unwrap();
+    fleet.kernel.client_send(conn, b"SETRANGE 8 abc\n").unwrap();
+
+    let report = dynacut
+        .rollout(&mut fleet.kernel, &groups, &plan, &rollout_plan)
+        .unwrap();
+
+    assert_eq!(report.decision, RolloutDecision::Demoted);
+    assert!(report.trap_hits >= 1, "the canary really trapped");
+    assert!(
+        !report.verifier_reports.is_empty(),
+        "the self-heal was reported"
+    );
+    assert!(report.soak_slices < rollout_plan.soak_slices, "cut short");
+
+    assert!(fleet.kernel.exit_status(canary).is_none(), "canary alive");
+    assert_ne!(
+        fleet.kernel.process(canary).unwrap().state,
+        ProcState::Frozen,
+        "canary thawed"
+    );
+    assert_ne!(
+        fleet.setrange_entry_byte(&feature, canary),
+        TRAP_OPCODE,
+        "the rewrite was rolled back"
+    );
+    assert_no_leaked_pages(&dynacut, "after the real-trap demotion");
+
+    // A fresh connection confirms the feature still works untouched.
+    assert_eq!(fleet.request(b"SETRANGE 16 xyz\n"), b"+OK\n");
+}
+
+/// Malformed rollouts are rejected as typed [`DynacutError::BadPlan`]s
+/// before any process is frozen or dumped.
+#[test]
+fn bad_rollouts_are_rejected_before_touching_the_fleet() {
+    let mut fleet = boot_fleet(1);
+    let plan = verify_plan(&fleet.exe);
+    let rollout_plan = RolloutPlan::default();
+    let groups = fleet.groups.clone();
+    let pid = groups[0][0];
+    let pristine = fleet.kernel.state_fingerprint();
+
+    let mut incremental = DynaCut::new(fleet.registry.clone()).with_incremental();
+
+    // Zero soak slices: the promotion decision would be vacuous.
+    let zero_soak = RolloutPlan {
+        soak_slices: 0,
+        serve_slice_ns: 200_000,
+    };
+    assert!(matches!(
+        incremental.rollout(&mut fleet.kernel, &groups, &plan, &zero_soak),
+        Err(DynacutError::BadPlan(_))
+    ));
+
+    // No replicas at all.
+    assert!(matches!(
+        incremental.rollout(&mut fleet.kernel, &[], &plan, &rollout_plan),
+        Err(DynacutError::BadPlan(_))
+    ));
+
+    // A non-verifier policy cannot soak: traps would kill or redirect
+    // instead of reporting.
+    let redirect = verify_plan(&fleet.exe).with_fault_policy(FaultPolicy::Redirect);
+    assert!(matches!(
+        incremental.rollout(&mut fleet.kernel, &groups, &plan.clone().with_fault_policy(FaultPolicy::Terminate), &rollout_plan),
+        Err(DynacutError::BadPlan(_))
+    ));
+    assert!(matches!(
+        incremental.rollout(&mut fleet.kernel, &groups, &redirect, &rollout_plan),
+        Err(DynacutError::BadPlan(_))
+    ));
+
+    // Promotion restores from the stored image: non-incremental
+    // sessions store nothing to promote from.
+    let mut plain = DynaCut::new(fleet.registry.clone());
+    assert!(matches!(
+        plain.rollout(&mut fleet.kernel, &groups, &plan, &rollout_plan),
+        Err(DynacutError::BadPlan(_))
+    ));
+
+    // Mismatched group sizes: the canary's image retargets one-to-one.
+    let lopsided = vec![vec![pid], vec![pid, pid]];
+    assert!(matches!(
+        incremental.rollout(&mut fleet.kernel, &lopsided, &plan, &rollout_plan),
+        Err(DynacutError::BadPlan(_))
+    ));
+
+    assert_eq!(
+        fleet.kernel.state_fingerprint(),
+        pristine,
+        "every rejection happened before the fleet was touched"
+    );
+}

@@ -479,21 +479,40 @@ impl CheckpointStore {
 
     /// Stores a full checkpoint, interning its page payload, and returns
     /// its id.
-    pub fn put_full(&mut self, mut image: CheckpointImage) -> CkptId {
-        let pages = image
-            .procs
-            .iter_mut()
-            .map(|proc| {
-                let shared = SharedPages::intern(&mut self.pages, &proc.pages);
-                proc.pages.bytes.clear();
-                shared
-            })
-            .collect();
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`CriuError::PageCollision`] if any page's content key
+    /// is already held by different bytes; references taken for earlier
+    /// processes are released again and nothing is stored.
+    pub fn put_full(&mut self, mut image: CheckpointImage) -> Result<CkptId, CriuError> {
+        let mut pages = Vec::with_capacity(image.procs.len());
+        for proc in &mut image.procs {
+            match SharedPages::intern(&mut self.pages, &proc.pages) {
+                Ok(shared) => {
+                    proc.pages.bytes.clear();
+                    pages.push(shared);
+                }
+                Err(err) => {
+                    Self::unwind_interned(&mut self.pages, &pages);
+                    return Err(err);
+                }
+            }
+        }
         self.entries.push(Some(StoredCheckpoint::Full {
             skeleton: image,
             pages,
         }));
-        CkptId(self.entries.len() as u64 - 1)
+        Ok(CkptId(self.entries.len() as u64 - 1))
+    }
+
+    /// Releases references taken for a partially-interned checkpoint
+    /// whose later process hit a collision. The refs were just taken, so
+    /// misses are impossible; the collision stays the reported error.
+    fn unwind_interned(pages: &mut PageStore, taken: &[SharedPages]) {
+        for shared in taken.iter().rev() {
+            let _ = shared.release(pages);
+        }
     }
 
     /// Stores a delta, interning its dirty-page payload and validating
@@ -502,20 +521,25 @@ impl CheckpointStore {
     /// # Errors
     ///
     /// Fails with [`CriuError::MissingParent`] if the parent id is not
-    /// live in the store.
+    /// live in the store, or [`CriuError::PageCollision`] if a dirty
+    /// page's key is already held by different bytes (nothing is stored).
     pub fn put_delta(&mut self, mut delta: DeltaImage) -> Result<CkptId, CriuError> {
         if self.get(delta.parent).is_none() {
             return Err(CriuError::MissingParent(delta.parent));
         }
-        let pages = delta
-            .procs
-            .iter_mut()
-            .map(|proc| {
-                let shared = SharedPages::intern(&mut self.pages, &proc.pages);
-                proc.pages.bytes.clear();
-                shared
-            })
-            .collect();
+        let mut pages = Vec::with_capacity(delta.procs.len());
+        for proc in &mut delta.procs {
+            match SharedPages::intern(&mut self.pages, &proc.pages) {
+                Ok(shared) => {
+                    proc.pages.bytes.clear();
+                    pages.push(shared);
+                }
+                Err(err) => {
+                    Self::unwind_interned(&mut self.pages, &pages);
+                    return Err(err);
+                }
+            }
+        }
         self.entries.push(Some(StoredCheckpoint::Delta {
             skeleton: delta,
             pages,
@@ -542,17 +566,25 @@ impl CheckpointStore {
     /// # Errors
     ///
     /// Fails with [`CriuError::MissingParent`] if the id is absent or
-    /// already released.
+    /// already released, or [`CriuError::UnknownPage`] if one of its page
+    /// references was already gone from the page store (every other
+    /// reference is still released).
     pub fn release(&mut self, id: CkptId) -> Result<(), CriuError> {
         let slot = self
             .entries
             .get_mut(id.0 as usize)
             .ok_or(CriuError::MissingParent(id))?;
         let entry = slot.take().ok_or(CriuError::MissingParent(id))?;
+        let mut first_miss = None;
         for shared in entry.shared_pages() {
-            shared.release(&mut self.pages);
+            if let Err(err) = shared.release(&mut self.pages) {
+                first_miss.get_or_insert(err);
+            }
         }
-        Ok(())
+        match first_miss {
+            Some(err) => Err(err),
+            None => Ok(()),
+        }
     }
 
     /// Number of live entries.
@@ -675,7 +707,7 @@ impl CheckpointStore {
         options: &DumpOptions,
     ) -> Result<CkptId, CriuError> {
         let image = dump_many(kernel, pids, options)?;
-        Ok(self.put_full(image))
+        self.put_full(image)
     }
 
     /// Dumps frozen processes as a delta against a stored parent,
@@ -763,6 +795,122 @@ impl CheckpointStore {
         }
         let committed = RestoreTransaction::from_staged(staged).commit(kernel)?;
         Ok(committed.pids().to_vec())
+    }
+
+    /// Promotes the checkpoint `id` — a customized canary image — onto a
+    /// *different* replica group: each frozen `target` process is
+    /// replaced by a clone of the corresponding canary process built
+    /// entirely from shared page handles. This is the fleet-rollout fast
+    /// path: no page is dumped from the target, no page byte is copied
+    /// out of the store ([`PageStore::copied_bytes`] does not move), and
+    /// the rewrite itself is never repeated.
+    ///
+    /// The canary image is **retargeted** before building: the target
+    /// keeps its own pid, parent and descriptor table (captured live,
+    /// exactly as [`dump`](crate::dump) would record them), while
+    /// memory, registers, sigactions, modules and the syscall filter
+    /// come from the canary — the promoted replica *is* the canary,
+    /// wearing the target's identity. Targets must match the canary
+    /// group one-to-one and be frozen.
+    ///
+    /// Returns the [`CommittedRestore`](crate::CommittedRestore) receipt
+    /// so a rollout engine can [`undo`](crate::CommittedRestore::undo)
+    /// the promotion if a later replica
+    /// fails — the same PR 2 transaction machinery as a normal cycle.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`CriuError::Inconsistent`] on a group-size mismatch,
+    /// [`CriuError::Vm`] if a target is missing or not frozen, or
+    /// propagates chain-resolution/build/commit failures; the kernel is
+    /// untouched or rolled back on every error path.
+    pub fn promote_shared(
+        &self,
+        kernel: &mut Kernel,
+        id: CkptId,
+        registry: &crate::ModuleRegistry,
+        targets: &[Pid],
+    ) -> Result<crate::CommittedRestore, CriuError> {
+        let resolved = self.resolve_shared(id)?;
+        if resolved.len() != targets.len() {
+            return Err(CriuError::Inconsistent(format!(
+                "canary image holds {} processes but the target group has {}",
+                resolved.len(),
+                targets.len()
+            )));
+        }
+        let mut staged: Vec<StagedProcess> = Vec::with_capacity(targets.len());
+        for ((image, keys), &pid) in resolved.iter().zip(targets) {
+            if dynacut_vm::fault::hit(dynacut_vm::fault::FaultPhase::PromoteRestore) {
+                return Err(CriuError::FaultInjected(
+                    dynacut_vm::fault::FaultPhase::PromoteRestore,
+                ));
+            }
+            let retargeted = Self::retarget(kernel, image, pid)?;
+            staged.push(build_process_shared(
+                kernel,
+                &retargeted,
+                registry,
+                keys,
+                &self.pages,
+            )?);
+        }
+        RestoreTransaction::from_staged(staged).commit(kernel)
+    }
+
+    /// Rewrites a canary process image to wear a live target process's
+    /// identity: pid, parent, name and descriptor table come from the
+    /// (frozen) target; everything else stays the canary's.
+    fn retarget(
+        kernel: &Kernel,
+        canary: &ProcessImage,
+        pid: Pid,
+    ) -> Result<ProcessImage, CriuError> {
+        use dynacut_vm::{FileDesc, ProcState};
+        let proc = kernel.process(pid)?;
+        if proc.state != ProcState::Frozen {
+            return Err(CriuError::Vm(dynacut_vm::VmError::BadProcessState {
+                pid,
+                expected: "frozen",
+            }));
+        }
+        let files = FilesImage {
+            fds: proc
+                .fds
+                .iter()
+                .map(|(fd, desc)| {
+                    let entry = match desc {
+                        FileDesc::Console => FdImage::Console,
+                        FileDesc::File { file, pos } => FdImage::File {
+                            path: file.path.clone(),
+                            pos: *pos,
+                        },
+                        FileDesc::Socket => FdImage::Socket,
+                        FileDesc::Listener { port } => FdImage::Listener { port: *port },
+                        FileDesc::Conn(id) => FdImage::Conn { id: *id },
+                    };
+                    (fd, entry)
+                })
+                .collect(),
+        };
+        Ok(ProcessImage {
+            core: CoreImage {
+                pid,
+                parent: proc.parent,
+                name: proc.name.clone(),
+                ..canary.core.clone()
+            },
+            mm: canary.mm.clone(),
+            pagemap: canary.pagemap.clone(),
+            // Page payloads live in the store; the skeleton carries none.
+            pages: PagesImage::default(),
+            files,
+            // `tcp` only matters for repair-mode buffer transplants on a
+            // serialized restore; the target's live connections stay in
+            // the net stack untouched.
+            tcp: TcpImage::default(),
+            exec_pages_dumped: canary.exec_pages_dumped,
+        })
     }
 
     /// Resolves checkpoint `id` to per-process skeletons plus one page

@@ -77,6 +77,16 @@ pub enum CriuError {
     Inconsistent(String),
     /// A delta references a checkpoint that is not in the store.
     MissingParent(CkptId),
+    /// Two pages with distinct contents hashed to the same
+    /// [`PageKey`]. Interning the second would hand
+    /// later restores the first page's bytes, so intern refuses instead.
+    PageCollision(page_store::PageKey),
+    /// A page reference was released against a key the store does not
+    /// hold — a double release or a release of something never interned.
+    /// Silently ignoring it would mask the exact refcount bugs the leak
+    /// invariant (`logical_pages_bytes == stored_pages_bytes`) exists to
+    /// catch.
+    UnknownPage(page_store::PageKey),
     /// An armed test fault fired at this phase (see
     /// [`dynacut_vm::fault`]); only possible under the `fault-injection`
     /// feature.
@@ -97,6 +107,12 @@ impl std::fmt::Display for CriuError {
             CriuError::Inconsistent(reason) => write!(f, "inconsistent image: {reason}"),
             CriuError::MissingParent(id) => {
                 write!(f, "delta parent {id} is not in the checkpoint store")
+            }
+            CriuError::PageCollision(key) => {
+                write!(f, "page hash collision on {key}: distinct contents map to one key")
+            }
+            CriuError::UnknownPage(key) => {
+                write!(f, "{key} is not in the page store (double release or never interned)")
             }
             CriuError::FaultInjected(phase) => {
                 write!(f, "injected fault fired at phase `{phase}`")
@@ -134,6 +150,8 @@ mod tests {
             CriuError::UnresolvedSymbol("f".into()),
             CriuError::Inconsistent("pagemap".into()),
             CriuError::MissingParent(CkptId(7)),
+            CriuError::PageCollision(PageKey::of(b"a")),
+            CriuError::UnknownPage(PageKey::of(b"b")),
         ];
         for err in samples {
             assert!(!err.to_string().is_empty());

@@ -33,9 +33,9 @@ use std::collections::BTreeMap;
 /// Content hash of one page: 128-bit FNV-1a over the page bytes.
 ///
 /// 128 bits keep accidental collisions out of reach for any realistic
-/// store size; [`PageStore::intern`] additionally debug-asserts byte
-/// equality on every hash hit, so a collision cannot silently corrupt a
-/// checkpoint in test builds.
+/// store size; [`PageStore::intern`] additionally compares bytes on
+/// every hash hit and fails with [`CriuError::PageCollision`], so a
+/// collision can never silently hand a guest the wrong page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PageKey(u128);
 
@@ -83,6 +83,10 @@ pub struct PageStore {
     /// interns. Hash hits copy nothing; this counter is the store-side
     /// half of the zero-copy restore accounting.
     copied_bytes: u64,
+    /// Test hook: overrides the content hash so a unit test can force two
+    /// distinct pages onto one key and exercise the collision guard.
+    #[cfg(test)]
+    hasher: Option<fn(&[u8]) -> PageKey>,
 }
 
 impl PageStore {
@@ -91,20 +95,44 @@ impl PageStore {
         Self::default()
     }
 
+    fn key_of(&self, bytes: &[u8]) -> PageKey {
+        #[cfg(test)]
+        if let Some(hasher) = self.hasher {
+            return hasher(bytes);
+        }
+        PageKey::of(bytes)
+    }
+
     /// Interns one page, bumping its refcount, and returns its key. The
     /// bytes are copied only on first sight.
-    pub fn intern(&mut self, bytes: &[u8]) -> PageKey {
-        let key = PageKey::of(bytes);
-        let entry = self.pages.entry(key).or_insert_with(|| {
-            self.copied_bytes += bytes.len() as u64;
-            PageEntry {
-                frame: SharedFrame::new(bytes),
-                refs: 0,
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`CriuError::PageCollision`] when the key is already
+    /// held by a page with *different* bytes. Bytes are compared on every
+    /// hash hit — in release builds too — because handing out the wrong
+    /// page would silently corrupt a restored guest.
+    pub fn intern(&mut self, bytes: &[u8]) -> Result<PageKey, CriuError> {
+        let key = self.key_of(bytes);
+        match self.pages.get_mut(&key) {
+            Some(entry) => {
+                if entry.frame.bytes() != bytes {
+                    return Err(CriuError::PageCollision(key));
+                }
+                entry.refs += 1;
             }
-        });
-        debug_assert_eq!(entry.frame.bytes(), bytes, "page hash collision on {key}");
-        entry.refs += 1;
-        key
+            None => {
+                self.copied_bytes += bytes.len() as u64;
+                self.pages.insert(
+                    key,
+                    PageEntry {
+                        frame: SharedFrame::new(bytes),
+                        refs: 1,
+                    },
+                );
+            }
+        }
+        Ok(key)
     }
 
     /// The bytes of an interned page, if it is still referenced.
@@ -133,13 +161,22 @@ impl PageStore {
     }
 
     /// Drops one reference; the bytes are freed when the last one goes.
-    pub fn release(&mut self, key: PageKey) {
-        if let Some(entry) = self.pages.get_mut(&key) {
-            entry.refs -= 1;
-            if entry.refs == 0 {
-                self.pages.remove(&key);
-            }
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`CriuError::UnknownPage`] when the key is not held —
+    /// a double release or a release of something never interned. The
+    /// store is unchanged on error.
+    pub fn release(&mut self, key: PageKey) -> Result<(), CriuError> {
+        let entry = self
+            .pages
+            .get_mut(&key)
+            .ok_or(CriuError::UnknownPage(key))?;
+        entry.refs -= 1;
+        if entry.refs == 0 {
+            self.pages.remove(&key);
         }
+        Ok(())
     }
 
     /// Number of distinct pages held.
@@ -197,13 +234,29 @@ pub struct SharedPages {
 impl SharedPages {
     /// Interns every page of `pages` (in order), taking one reference on
     /// each.
-    pub fn intern(store: &mut PageStore, pages: &PagesImage) -> Self {
-        let keys = pages
-            .bytes
-            .chunks(PAGE_SIZE as usize)
-            .map(|page| store.intern(page))
-            .collect();
-        SharedPages { keys }
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`CriuError::PageCollision`] if any page's key is held
+    /// by different bytes; references taken for earlier pages are
+    /// released again, leaving the store exactly as it was.
+    pub fn intern(store: &mut PageStore, pages: &PagesImage) -> Result<Self, CriuError> {
+        let mut keys = Vec::with_capacity(pages.bytes.len() / PAGE_SIZE as usize);
+        for page in pages.bytes.chunks(PAGE_SIZE as usize) {
+            match store.intern(page) {
+                Ok(key) => keys.push(key),
+                Err(err) => {
+                    for &taken in keys.iter().rev() {
+                        // These references were just taken above, so the
+                        // release cannot miss; the collision is the error
+                        // worth reporting.
+                        let _ = store.release(taken);
+                    }
+                    return Err(err);
+                }
+            }
+        }
+        Ok(SharedPages { keys })
     }
 
     /// Rebuilds the original [`PagesImage`], byte for byte.
@@ -224,9 +277,23 @@ impl SharedPages {
     }
 
     /// Releases one reference on every page listed.
-    pub fn release(&self, store: &mut PageStore) {
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`CriuError::UnknownPage`] naming the first key the
+    /// store did not hold. Every *other* listed reference is still
+    /// released — the miss is an accounting bug to surface, not a reason
+    /// to leak the rest.
+    pub fn release(&self, store: &mut PageStore) -> Result<(), CriuError> {
+        let mut first_miss = None;
         for &key in &self.keys {
-            store.release(key);
+            if let Err(err) = store.release(key) {
+                first_miss.get_or_insert(err);
+            }
+        }
+        match first_miss {
+            Some(err) => Err(err),
+            None => Ok(()),
         }
     }
 
@@ -257,9 +324,9 @@ mod tests {
     #[test]
     fn intern_dedups_and_refcounts() {
         let mut store = PageStore::new();
-        let a1 = store.intern(&page(0xAA));
-        let a2 = store.intern(&page(0xAA));
-        let b = store.intern(&page(0xBB));
+        let a1 = store.intern(&page(0xAA)).unwrap();
+        let a2 = store.intern(&page(0xAA)).unwrap();
+        let b = store.intern(&page(0xBB)).unwrap();
         assert_eq!(a1, a2);
         assert_ne!(a1, b);
         assert_eq!(store.unique_pages(), 2);
@@ -273,12 +340,12 @@ mod tests {
     #[test]
     fn release_frees_at_zero_refs() {
         let mut store = PageStore::new();
-        let key = store.intern(&page(0x11));
-        store.intern(&page(0x11));
-        store.release(key);
+        let key = store.intern(&page(0x11)).unwrap();
+        store.intern(&page(0x11)).unwrap();
+        store.release(key).unwrap();
         assert_eq!(store.refs(key), 1);
         assert!(store.get(key).is_some());
-        store.release(key);
+        store.release(key).unwrap();
         assert_eq!(store.refs(key), 0);
         assert!(store.get(key).is_none());
         assert_eq!(store.unique_bytes(), 0);
@@ -288,9 +355,9 @@ mod tests {
     #[test]
     fn copied_bytes_counts_only_first_sight_interns() {
         let mut store = PageStore::new();
-        store.intern(&page(0x01));
-        store.intern(&page(0x01));
-        store.intern(&page(0x02));
+        store.intern(&page(0x01)).unwrap();
+        store.intern(&page(0x01)).unwrap();
+        store.intern(&page(0x02)).unwrap();
         assert_eq!(store.copied_bytes(), 2 * PAGE_SIZE, "hash hits copy nothing");
         let key = PageKey::of(&page(0x01));
         store.frame(key).unwrap();
@@ -300,9 +367,9 @@ mod tests {
     #[test]
     fn frames_outlive_released_entries_but_store_lookups_fail() {
         let mut store = PageStore::new();
-        let key = store.intern(&page(0x77));
+        let key = store.intern(&page(0x77)).unwrap();
         let frame = store.frame(key).unwrap();
-        store.release(key);
+        store.release(key).unwrap();
         assert!(store.get(key).is_none(), "store no longer vouches");
         assert!(store.frame(key).is_none());
         assert_eq!(frame.bytes(), &page(0x77)[..], "the handle keeps the bytes alive");
@@ -312,10 +379,10 @@ mod tests {
     #[test]
     fn reintern_after_release_recopies_and_yields_a_fresh_frame() {
         let mut store = PageStore::new();
-        let key = store.intern(&page(0x33));
+        let key = store.intern(&page(0x33)).unwrap();
         let old = store.frame(key).unwrap();
-        store.release(key);
-        let key2 = store.intern(&page(0x33));
+        store.release(key).unwrap();
+        let key2 = store.intern(&page(0x33)).unwrap();
         assert_eq!(key, key2, "content addressing is stable");
         assert_eq!(store.copied_bytes(), 2 * PAGE_SIZE);
         let fresh = store.frame(key2).unwrap();
@@ -330,16 +397,87 @@ mod tests {
         image.bytes.extend_from_slice(&page(0x01));
         image.bytes.extend_from_slice(&page(0x02));
         image.bytes.extend_from_slice(&page(0x01));
-        let shared = SharedPages::intern(&mut store, &image);
+        let shared = SharedPages::intern(&mut store, &image).unwrap();
         assert_eq!(shared.page_count(), 3);
         assert_eq!(store.unique_pages(), 2);
         let back = shared.materialize(&store).unwrap();
         assert_eq!(back, image);
-        shared.release(&mut store);
+        shared.release(&mut store).unwrap();
         assert_eq!(store.unique_pages(), 0);
         assert!(matches!(
             shared.materialize(&store),
             Err(CriuError::Inconsistent(_))
         ));
+    }
+
+    /// Regression (PR 7): a hash collision used to be guarded only by a
+    /// `debug_assert_eq!` — release builds would silently alias two
+    /// distinct pages onto one entry and hand restores the wrong bytes.
+    /// The injected hasher maps *everything* to one key, so the second
+    /// distinct page is a guaranteed collision.
+    #[test]
+    fn intern_refuses_hash_collisions() {
+        let mut store = PageStore::new();
+        store.hasher = Some(|_| PageKey(0xDEAD_BEEF));
+        let key = store.intern(&page(0xAA)).unwrap();
+        assert_eq!(key, PageKey(0xDEAD_BEEF));
+        // Same bytes, same key: a legitimate dedup hit.
+        store.intern(&page(0xAA)).unwrap();
+        assert_eq!(store.refs(key), 2);
+        // Different bytes, same key: refused, store untouched.
+        let err = store.intern(&page(0xBB)).unwrap_err();
+        assert_eq!(err, CriuError::PageCollision(key));
+        assert_eq!(store.refs(key), 2, "failed intern takes no reference");
+        assert_eq!(store.unique_pages(), 1);
+        assert_eq!(store.copied_bytes(), PAGE_SIZE, "collision copies nothing");
+        assert_eq!(store.get(key).unwrap(), &page(0xAA)[..], "original bytes intact");
+    }
+
+    /// A colliding page mid-image must not strand references taken for
+    /// the pages interned before it.
+    #[test]
+    fn shared_intern_unwinds_refs_on_collision() {
+        let mut store = PageStore::new();
+        store.hasher = Some(|bytes| PageKey(u128::from(bytes[0] & 0x0F)));
+        let mut image = PagesImage::default();
+        image.bytes.extend_from_slice(&page(0x01));
+        image.bytes.extend_from_slice(&page(0x02));
+        image.bytes.extend_from_slice(&page(0x11)); // collides with 0x01
+        let err = SharedPages::intern(&mut store, &image).unwrap_err();
+        assert!(matches!(err, CriuError::PageCollision(_)));
+        assert_eq!(store.unique_pages(), 0, "partial refs were unwound");
+        assert_eq!(store.logical_bytes(), 0);
+    }
+
+    /// Regression (PR 7): releasing an unknown key used to be a silent
+    /// no-op, masking double-release bugs from the leak invariant.
+    #[test]
+    fn release_of_unknown_key_is_a_typed_error() {
+        let mut store = PageStore::new();
+        let never = PageKey::of(&page(0x42));
+        assert_eq!(store.release(never), Err(CriuError::UnknownPage(never)));
+        let key = store.intern(&page(0x42)).unwrap();
+        store.release(key).unwrap();
+        assert_eq!(
+            store.release(key),
+            Err(CriuError::UnknownPage(key)),
+            "double release is reported, not swallowed"
+        );
+    }
+
+    /// A release miss is reported but does not leak the remaining
+    /// references in the same [`SharedPages`].
+    #[test]
+    fn shared_release_reports_miss_but_frees_the_rest() {
+        let mut store = PageStore::new();
+        let mut image = PagesImage::default();
+        image.bytes.extend_from_slice(&page(0x01));
+        image.bytes.extend_from_slice(&page(0x02));
+        let shared = SharedPages::intern(&mut store, &image).unwrap();
+        // Drop the first page's reference behind the SharedPages' back.
+        store.release(shared.keys()[0]).unwrap();
+        let err = shared.release(&mut store).unwrap_err();
+        assert_eq!(err, CriuError::UnknownPage(shared.keys()[0]));
+        assert_eq!(store.unique_pages(), 0, "the other reference was still freed");
     }
 }

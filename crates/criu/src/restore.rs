@@ -423,39 +423,55 @@ impl RestoreTransaction {
         store: &mut PageStore,
     ) -> Result<Self, CriuError> {
         let mut handles: Vec<SharedPages> = Vec::with_capacity(checkpoint.procs.len());
+        // The references below were all taken within this call, so a
+        // release can only miss if the store itself is corrupt; on error
+        // paths the original error stays the one reported.
         let release_all = |handles: &[SharedPages], store: &mut PageStore| {
+            let mut first_miss = None;
             for handle in handles {
-                handle.release(store);
+                if let Err(err) = handle.release(store) {
+                    first_miss.get_or_insert(err);
+                }
+            }
+            match first_miss {
+                Some(err) => Err(err),
+                None => Ok(()),
             }
         };
         let mut staged = Vec::with_capacity(checkpoint.procs.len());
         for image in &checkpoint.procs {
             if dynacut_vm::fault::hit(dynacut_vm::fault::FaultPhase::RestoreHandles) {
-                release_all(&handles, store);
+                let _ = release_all(&handles, store);
                 return Err(CriuError::FaultInjected(
                     dynacut_vm::fault::FaultPhase::RestoreHandles,
                 ));
             }
             if image.pages.bytes.len() != image.pagemap.pages.len() * PAGE_SIZE as usize {
-                release_all(&handles, store);
+                let _ = release_all(&handles, store);
                 return Err(CriuError::Inconsistent(format!(
                     "pages.img holds {} bytes but pagemap lists {} pages",
                     image.pages.bytes.len(),
                     image.pagemap.pages.len()
                 )));
             }
-            let shared = SharedPages::intern(store, &image.pages);
+            let shared = match SharedPages::intern(store, &image.pages) {
+                Ok(shared) => shared,
+                Err(err) => {
+                    let _ = release_all(&handles, store);
+                    return Err(err);
+                }
+            };
             handles.push(shared);
             let keys = handles.last().expect("just pushed").keys().to_vec();
             match build_process_shared(kernel, image, registry, &keys, store) {
                 Ok(built) => staged.push(built),
                 Err(err) => {
-                    release_all(&handles, store);
+                    let _ = release_all(&handles, store);
                     return Err(err);
                 }
             }
         }
-        release_all(&handles, store);
+        release_all(&handles, store)?;
         Ok(RestoreTransaction { staged })
     }
 

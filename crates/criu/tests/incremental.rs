@@ -218,7 +218,7 @@ fn delta_referencing_missing_parent_errors_cleanly() {
     .unwrap();
 
     let mut store = CheckpointStore::new();
-    let parent_id = store.put_full(parent);
+    let parent_id = store.put_full(parent).unwrap();
     assert_eq!(parent_id, CkptId(0));
     // The delta names checkpoint 41, which the store has never seen.
     match store.put_delta(delta) {
@@ -317,7 +317,7 @@ fn store_materializes_a_chain_of_deltas() {
 
     setup.kernel.freeze(setup.pid).unwrap();
     let parent = baseline(&mut setup);
-    let parent_id = store.put_full(parent.clone());
+    let parent_id = store.put_full(parent.clone()).unwrap();
 
     // Round one: dirty a page, take a delta, re-baseline.
     let page_a = writable_page(&setup, 0);

@@ -35,7 +35,7 @@ proptest! {
     #[test]
     fn intern_materialize_round_trips_bit_identically(pages in arb_pages()) {
         let mut store = PageStore::new();
-        let shared = SharedPages::intern(&mut store, &pages);
+        let shared = SharedPages::intern(&mut store, &pages).unwrap();
         prop_assert_eq!(shared.pages_bytes(), pages.bytes.len());
         let back = shared.materialize(&store).expect("all pages present");
         prop_assert_eq!(&back.bytes, &pages.bytes);
@@ -48,7 +48,7 @@ proptest! {
         prop_assert!(store.dedup_ratio() >= 1.0);
 
         // Releasing the only reference empties the store.
-        shared.release(&mut store);
+        shared.release(&mut store).unwrap();
         prop_assert_eq!(store.unique_pages(), 0);
         prop_assert_eq!(store.logical_bytes(), 0);
     }
@@ -68,11 +68,11 @@ proptest! {
         let mut store = PageStore::new();
         let mut live: Vec<(SharedPages, PagesImage)> = Vec::new();
         for (pages, do_release, victim) in ops {
-            let shared = SharedPages::intern(&mut store, &pages);
+            let shared = SharedPages::intern(&mut store, &pages).unwrap();
             live.push((shared, pages));
             if do_release && !live.is_empty() {
                 let (shared, _) = live.swap_remove(victim.index(live.len()));
-                shared.release(&mut store);
+                shared.release(&mut store).unwrap();
             }
             let logical: usize = live.iter().map(|(s, _)| s.pages_bytes()).sum();
             prop_assert_eq!(store.logical_bytes(), logical);
@@ -82,7 +82,7 @@ proptest! {
             }
         }
         for (shared, _) in live.drain(..) {
-            shared.release(&mut store);
+            shared.release(&mut store).unwrap();
         }
         prop_assert_eq!(store.unique_pages(), 0);
         prop_assert_eq!(store.unique_bytes(), 0);
@@ -95,8 +95,8 @@ proptest! {
     fn materialize_after_release_errors_cleanly(pages in arb_pages()) {
         prop_assume!(!pages.bytes.is_empty());
         let mut store = PageStore::new();
-        let shared = SharedPages::intern(&mut store, &pages);
-        shared.release(&mut store);
+        let shared = SharedPages::intern(&mut store, &pages).unwrap();
+        shared.release(&mut store).unwrap();
         prop_assert!(matches!(
             shared.materialize(&store),
             Err(CriuError::Inconsistent(_))
@@ -195,7 +195,7 @@ fn store_round_trip_matches_pre_refactor_full_dump_path() {
     let full = dump_many(&mut setup.kernel, &[setup.pid], &DumpOptions::default()).unwrap();
 
     let mut store = CheckpointStore::new();
-    let id = store.put_full(full.clone());
+    let id = store.put_full(full.clone()).unwrap();
     let materialized = store.materialize(id).unwrap();
     assert_eq!(materialized, full);
     assert_eq!(materialized.to_bytes(), full.to_bytes());
@@ -239,7 +239,7 @@ fn store_backed_chain_with_unmap_remap_materializes_exactly() {
     mark_clean_after_dump(&mut setup.kernel, &[setup.pid]).unwrap();
 
     let mut store = CheckpointStore::new();
-    let parent_id = store.put_full(parent.clone());
+    let parent_id = store.put_full(parent.clone()).unwrap();
 
     // Delta window: one page unmapped for good, one recycled (unmap,
     // remap fresh, rewrite).
@@ -289,9 +289,9 @@ fn identical_processes_share_pages_and_release_drops_refs() {
     kernel.freeze(a).unwrap();
     kernel.freeze(b).unwrap();
     let mut store = CheckpointStore::new();
-    let id_a = store.put_full(dump_many(&mut kernel, &[a], &DumpOptions::default()).unwrap());
+    let id_a = store.put_full(dump_many(&mut kernel, &[a], &DumpOptions::default()).unwrap()).unwrap();
     let unique_after_a = store.unique_pages_bytes();
-    let id_b = store.put_full(dump_many(&mut kernel, &[b], &DumpOptions::default()).unwrap());
+    let id_b = store.put_full(dump_many(&mut kernel, &[b], &DumpOptions::default()).unwrap()).unwrap();
 
     // The second replica's pages were already present: the unique
     // footprint barely moves while the logical footprint doubles.

@@ -93,7 +93,7 @@ proptest! {
         for op in ops {
             match op {
                 Op::Intern(pages) => {
-                    let shared = SharedPages::intern(&mut store, &pages);
+                    let shared = SharedPages::intern(&mut store, &pages).unwrap();
                     handles.push((shared, pages));
                 }
                 Op::Restore(which) => {
@@ -141,7 +141,7 @@ proptest! {
                         continue;
                     }
                     let (handle, _) = handles.swap_remove(which.index(handles.len()));
-                    handle.release(&mut store);
+                    handle.release(&mut store).unwrap();
                 }
             }
 
@@ -178,7 +178,7 @@ proptest! {
         // replicas still hold frames: mapped guests never pin store
         // entries, only the frames themselves.
         for (handle, _) in handles.drain(..) {
-            handle.release(&mut store);
+            handle.release(&mut store).unwrap();
         }
         prop_assert_eq!(store.unique_pages(), 0);
         prop_assert_eq!(store.logical_bytes(), 0);
@@ -281,7 +281,7 @@ fn restore_shared_matches_copying_restore_bit_for_bit() {
     let full = dump_many(&mut setup.kernel, &[setup.pid], &DumpOptions::default()).unwrap();
 
     let mut store = CheckpointStore::new();
-    let id = store.put_full(full);
+    let id = store.put_full(full).unwrap();
 
     // Copying path first, as the oracle.
     setup.kernel.remove_process(setup.pid).unwrap();
@@ -356,7 +356,7 @@ fn cow_divergence_is_invisible_to_sibling_replicas_and_the_store() {
     setup.kernel.freeze(setup.pid).unwrap();
     let full = dump_many(&mut setup.kernel, &[setup.pid], &DumpOptions::default()).unwrap();
     let mut store = CheckpointStore::new();
-    let id = store.put_full(full.clone());
+    let id = store.put_full(full.clone()).unwrap();
 
     // Two fresh kernels, both restored zero-copy from the same store:
     // their frames alias, their guest state is identical.
@@ -426,7 +426,7 @@ fn delta_chain_restore_shared_matches_materialized_restore() {
     let parent = dump_many(&mut setup.kernel, &[setup.pid], &DumpOptions::default()).unwrap();
     mark_clean_after_dump(&mut setup.kernel, &[setup.pid]).unwrap();
     let mut store = CheckpointStore::new();
-    let parent_id = store.put_full(parent.clone());
+    let parent_id = store.put_full(parent.clone()).unwrap();
 
     // Delta window: one page unmapped for good, one recycled.
     {
@@ -479,7 +479,7 @@ fn prepare_shared_is_refcount_neutral_and_copy_free_on_a_warm_store() {
     setup.kernel.freeze(setup.pid).unwrap();
     let full = dump_many(&mut setup.kernel, &[setup.pid], &DumpOptions::default()).unwrap();
     let mut store = CheckpointStore::new();
-    store.put_full(full.clone());
+    store.put_full(full.clone()).unwrap();
 
     let copied_before = store.page_store().copied_bytes();
     let logical_before = store.page_store().logical_bytes();
@@ -518,7 +518,7 @@ fn restore_shared_after_release_fails_without_touching_the_kernel() {
     setup.kernel.freeze(setup.pid).unwrap();
     let full = dump_many(&mut setup.kernel, &[setup.pid], &DumpOptions::default()).unwrap();
     let mut store = CheckpointStore::new();
-    let id = store.put_full(full);
+    let id = store.put_full(full).unwrap();
     store.release(id).unwrap();
 
     let before = setup.kernel.state_fingerprint();

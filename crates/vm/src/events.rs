@@ -64,6 +64,13 @@ pub enum Phase {
     RestoreCommit,
     /// Sweeping dirty bits and storing the new incremental baseline.
     BaselineStore,
+    /// Serving traffic on a customized canary while watching its
+    /// verifier reports (rollout only; the canary cycle stays open so a
+    /// report can still demote it).
+    Soak,
+    /// Promoting the soaked canary image onto one fleet replica via a
+    /// shared-image restore (rollout only; no dump, no rewrite).
+    Promote,
 }
 
 impl Phase {
@@ -78,6 +85,8 @@ impl Phase {
             Phase::RestorePrepare => "restore_prepare",
             Phase::RestoreCommit => "restore_commit",
             Phase::BaselineStore => "baseline_store",
+            Phase::Soak => "soak",
+            Phase::Promote => "promote",
         }
     }
 }
@@ -201,6 +210,22 @@ pub enum EventKind {
         /// Host wall-clock duration of the stage for this process's
         /// group.
         duration_ns: u64,
+    },
+    /// A canary rollout soaked clean and its image was promoted onto
+    /// the rest of the fleet via shared-image restores.
+    CanaryPromoted {
+        /// Replica processes the image was promoted onto (the canary
+        /// itself not included).
+        replicas: usize,
+        /// Serve slices the canary soaked before promotion.
+        soak_slices: u64,
+    },
+    /// A canary rollout was demoted: a verifier report (or injected
+    /// fault) during the soak rolled the canary back through the
+    /// customize transaction machinery.
+    CanaryDemoted {
+        /// Verifier reports observed during the soak.
+        reports: usize,
     },
 }
 

@@ -50,6 +50,12 @@ pub enum FaultPhase {
     BaselineStore,
     /// Sweeping the dirty bitmap after a committed restore.
     MarkClean,
+    /// One serve slice of a canary rollout's soak period (one hit per
+    /// slice).
+    CanarySoak,
+    /// Promoting the canary image onto one fleet replica (one hit per
+    /// target process).
+    PromoteRestore,
 }
 
 impl std::fmt::Display for FaultPhase {
@@ -65,6 +71,8 @@ impl std::fmt::Display for FaultPhase {
             FaultPhase::RestoreCommit => "restore_commit",
             FaultPhase::BaselineStore => "baseline_store",
             FaultPhase::MarkClean => "mark_clean",
+            FaultPhase::CanarySoak => "canary_soak",
+            FaultPhase::PromoteRestore => "promote_restore",
         };
         f.write_str(name)
     }

@@ -301,6 +301,52 @@ impl Kernel {
         std::mem::take(&mut self.events)
     }
 
+    /// Removes and returns only the events matching `predicate`; the
+    /// rest stay queued in their original order. This is the selective
+    /// drain consumers like `verifier_reports` need — draining
+    /// everything and keeping only one class would silently destroy the
+    /// interleaved guest events other consumers are waiting for.
+    pub fn drain_events_where<F>(&mut self, mut predicate: F) -> Vec<Event>
+    where
+        F: FnMut(&Event) -> bool,
+    {
+        let mut matched = Vec::new();
+        let mut kept = Vec::with_capacity(self.events.len());
+        for event in self.events.drain(..) {
+            if predicate(&event) {
+                matched.push(event);
+            } else {
+                kept.push(event);
+            }
+        }
+        self.events = kept;
+        matched
+    }
+
+    /// Queues a guest event exactly as if `pid` had issued
+    /// `emit_event(code)` itself: the raw event is recorded and the
+    /// flight journal gets a [`EventKind::VerifierReport`] or
+    /// [`EventKind::GuestMarker`]. Rollout tests use this to synthesize
+    /// a verifier report mid-soak without steering traffic at the
+    /// canary.
+    pub fn inject_event(&mut self, pid: Pid, code: u64) {
+        let clock = self.clock_ns;
+        self.events.push(Event {
+            time_ns: clock,
+            pid,
+            code,
+        });
+        let kind = if code & VERIFIER_EVENT_BIT != 0 {
+            self.flight.metrics_mut().incr("verifier.reports", 1);
+            EventKind::VerifierReport {
+                addr: code & !VERIFIER_EVENT_BIT,
+            }
+        } else {
+            EventKind::GuestMarker { code }
+        };
+        self.flight.record(clock, Some(pid), kind);
+    }
+
     // ----- flight recorder ----------------------------------------------
 
     /// The flight recorder: the structured event journal plus metrics
@@ -482,6 +528,32 @@ impl Kernel {
             self.next_pid,
             self.events.len()
         );
+        self.fingerprint_body(&mut out);
+        out
+    }
+
+    /// [`state_fingerprint`](Kernel::state_fingerprint) with the guest
+    /// clock masked out. A canary rollout's soak period serves real
+    /// traffic, so guest time elapses and cannot be rolled back; a
+    /// demotion restores every *other* observable — processes, memory,
+    /// descriptors, network — bit-identically, and this is the digest
+    /// the demotion-parity tests compare.
+    pub fn state_fingerprint_timeless(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "clock=* next_pid={} events={}",
+            self.next_pid,
+            self.events.len()
+        );
+        self.fingerprint_body(&mut out);
+        out
+    }
+
+    fn fingerprint_body(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let out = &mut *out;
         for (pid, proc) in &self.procs {
             let _ = writeln!(
                 out,
@@ -550,8 +622,7 @@ impl Kernel {
             let dirty: Vec<u64> = proc.mem.dirty_pages().collect();
             let _ = writeln!(out, "  dirty={dirty:x?}");
         }
-        self.net.fingerprint(&mut out);
-        out
+        self.net.fingerprint(out);
     }
 
     // ----- running ------------------------------------------------------

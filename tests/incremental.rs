@@ -256,7 +256,7 @@ fn nginx_master_and_worker_checkpoint_incrementally() {
 
     // Store round trip, then restore the chain and serve again.
     let mut store = CheckpointStore::new();
-    let parent_id = store.put_full(parent);
+    let parent_id = store.put_full(parent).unwrap();
     let delta_id = store.put_delta(delta).unwrap();
     assert_eq!((parent_id, delta_id), (CkptId(0), CkptId(1)));
     let resolved = store.materialize(delta_id).unwrap();
