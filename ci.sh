@@ -40,21 +40,33 @@ cargo run --release -q -p dynacut-bench --bin figures -- fleet > /dev/null
 test -s results/fleet.json
 grep -q '"schema": "dynacut-fleet-v1"' results/fleet.json
 
-# Decoded-block translation cache (DESIGN §11): the vm suite pins
-# rewrite-precise invalidation (self-modifying code, host-planted
-# traps, unmap/protect) and cached-vs-uncached fingerprint parity; the
-# core suite pins trap visibility across a full customize cycle with a
-# hot cache. `figures interp` regenerates results/interp.json and
-# panics unless MIPS > 0, cached >= uncached, speedup >= 2x,
-# retirement counts are identical and fingerprints match (the
-# dynacut-interp-v1 schema gate).
+# Superblock-chaining multi-version block cache (DESIGN §11): the vm
+# suite pins rewrite-precise invalidation (self-modifying code,
+# host-planted traps fired mid-superblock, unmap/protect),
+# three-way uncached/cached/superblocked fingerprint parity and
+# hot-entry survival under capacity eviction; the core suites pin trap
+# visibility across a full customize cycle with a hot cache, the
+# zero-flush version-swapping commit and the re-decode-free rollback.
+# The syscall_args and serve_deadline suites are the fd/pid truncation
+# and deadline-overshoot regression pins. `figures interp` regenerates
+# results/interp.json and panics unless MIPS > 0, superblocked >=
+# uncached, speedup >= 2x over uncached and >= 1.5x over the plain
+# cache, superblocks were promoted, the commit version-swapped (swaps >
+# 0, warm-hit ratio > 0), retirement counts are identical and
+# fingerprints match (the dynacut-interp-v2 schema gate).
 cargo test -q -p dynacut-vm --test block_cache
+cargo test -q -p dynacut-vm --test syscall_args
+cargo test -q -p dynacut-vm --test serve_deadline
 cargo test -q -p dynacut --test cache_trap_visibility
+cargo test -q -p dynacut --test version_swap
 cargo test -q -p dynacut-bench interp
 cargo run --release -q -p dynacut-bench --bin figures -- interp > /dev/null
 test -s results/interp.json
-grep -q '"schema": "dynacut-interp-v1"' results/interp.json
+grep -q '"schema": "dynacut-interp-v2"' results/interp.json
 grep -q '"fingerprints_match": true' results/interp.json
+! grep -q '"superblocks": 0,' results/interp.json
+! grep -q '"version_swaps": 0,' results/interp.json
+! grep -q '"warm_hit_ratio": 0.0000' results/interp.json
 
 # Zero-copy CoW restore (DESIGN §12): the criu battery proptests
 # intern/restore-via-handle/CoW/release interleavings for exact

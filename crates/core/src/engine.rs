@@ -565,17 +565,21 @@ impl DynaCut {
             }
             Stage::RestoreCommit => {
                 let txn = cycle.txn.take().expect("restore was prepared");
-                cycle.committed = Some(txn.commit(kernel)?);
+                let committed = txn.commit(kernel)?;
                 // The swap just replaced these processes' text with the
                 // rewritten images (planted traps, wiped blocks,
-                // re-enables). The restore path starts them with cold
-                // block caches; flush again here so the engine owns the
-                // invariant even if a future restore path forgets to.
-                for &pid in &cycle.pids {
-                    if let Ok(proc) = kernel.process_mut(pid) {
-                        proc.block_cache.flush();
-                    }
-                }
+                // re-enables), and `commit` started them with cold
+                // block caches. A customize cycle knows more than a raw
+                // image swap, though: it holds the displaced originals,
+                // so it can carry each one's cache forward under a
+                // bumped rewrite epoch — byte-identical code pages keep
+                // their generations (their blocks version-swap in
+                // without a re-decode), rewritten pages are seeded past
+                // every carried snapshot (their blocks can never
+                // validate). No flush, no cold restart, traps still
+                // land (DESIGN §11).
+                committed.carry_block_caches(kernel);
+                cycle.committed = Some(committed);
                 Ok(())
             }
             Stage::BaselineStore => self.stage_baseline_store(kernel, cycle),

@@ -5,12 +5,16 @@
 //!
 //! Every function here edits a [`ProcessImage`], never live kernel
 //! memory — rewrites reach a running process only through the restore
-//! swap (`RestoreTransaction::commit` / `Kernel::insert_process`), and
-//! that swap flushes the process's decoded-block translation cache
-//! (DESIGN §11). Host-side patches that *do* touch live memory (e.g.
-//! via `write_unchecked`) are covered separately by the per-page
-//! generation counters in the VM. Either way, no cached block can hide
-//! a freshly planted `int3`, a wiped block, or a re-enabled byte.
+//! swap (`RestoreTransaction::commit`), which starts the replacement
+//! with a cold decoded-block translation cache. The engine's customize
+//! commit then carries the *original's* cache forward under a bumped
+//! rewrite epoch, seeding the generation of every page an edit here
+//! touched past any carried snapshot, so a carried block over rewritten
+//! bytes can never validate (DESIGN §11). Host-side patches that *do*
+//! touch live memory (e.g. via `write_unchecked`) are covered
+//! separately by the per-page generation counters in the VM. Either
+//! way, no cached block can hide a freshly planted `int3`, a wiped
+//! block, or a re-enabled byte.
 
 use crate::original::OriginalText;
 use crate::plan::BlockPolicy;

@@ -762,8 +762,9 @@ impl CheckpointStore {
     /// is bit-identical to [`restore`](CheckpointStore::restore).
     ///
     /// The commit is transactional exactly like the copying path, and
-    /// flushes every restored process's block cache (both explicitly and
-    /// through `insert_process`), so no decoded block survives the swap.
+    /// flushes every restored process's block cache (the
+    /// `RestoreTransaction::commit` choke point), so no decoded block
+    /// survives the swap.
     ///
     /// # Errors
     ///

@@ -356,17 +356,67 @@ impl CommittedRestore {
             let _ = kernel.remove_process(*pid);
         }
         for (_, original) in self.originals {
-            if let Some(mut proc) = original {
-                // The original was cloned before the commit edited its
-                // text; any blocks decoded back then are stale now.
-                // (`insert_process` also flushes — this states the
-                // invariant where the swap is reversed.)
-                proc.block_cache.flush();
+            if let Some(proc) = original {
+                // The original keeps its block cache: its address space
+                // (and the page generations every cached block is
+                // validated against) is swapped back with it, so each
+                // entry is exactly as valid as it was at dump time.
+                // This is what makes rollback's version swap free — the
+                // pristine decode re-dispatches without a single
+                // re-decode (DESIGN §11).
                 let _ = kernel.insert_process(proc);
             }
         }
         for port in &self.new_listeners {
             kernel.close_listener(*port);
+        }
+    }
+
+    /// Carries each displaced original's block cache into its live
+    /// replacement, under a bumped rewrite epoch — the customize
+    /// commit's alternative to flushing.
+    ///
+    /// For every code page the original's cache had registered, the
+    /// replacement's generation is seeded so that validation gives the
+    /// right answer under the *replacement's* address space:
+    ///
+    /// - pages whose bytes are unchanged (and still mapped executable)
+    ///   keep the original's generation — blocks over them can be
+    ///   version-swapped forward and re-dispatched without a re-decode;
+    /// - pages the rewrite touched (or unmapped, or de-exec'd) are
+    ///   seeded one *past* the original's generation — strictly greater
+    ///   than any snapshot a carried block can hold, so those blocks
+    ///   can never validate and are re-decoded under the new epoch.
+    ///
+    /// Seeding only ever raises generations (the safe direction: a
+    /// spurious re-decode, never a stale hit), and the epoch bump means
+    /// carried entries surface exclusively through the dispatcher's
+    /// validated `swap_forward` probe. Fresh restores (no displaced
+    /// original) keep the cold cache `commit` gave them.
+    pub fn carry_block_caches(&self, kernel: &mut Kernel) {
+        for (pid, original) in &self.originals {
+            let Some(original) = original else { continue };
+            let Ok(replacement) = kernel.process_mut(*pid) else {
+                continue;
+            };
+            let mut page = vec![0u8; PAGE_SIZE as usize];
+            let mut original_page = vec![0u8; PAGE_SIZE as usize];
+            for (base, gen) in original.mem.code_pages() {
+                let executable = replacement
+                    .mem
+                    .vma_at(base)
+                    .map(|vma| vma.perms.exec)
+                    .unwrap_or(false);
+                let unchanged = executable && {
+                    replacement.mem.read_unchecked(base, &mut page);
+                    original.mem.read_unchecked(base, &mut original_page);
+                    page == original_page
+                };
+                let seed = if unchanged { gen } else { gen + 1 };
+                replacement.mem.seed_code_page_gen(base, seed);
+            }
+            replacement.block_cache = original.block_cache.clone();
+            replacement.block_cache.bump_epoch();
         }
     }
 }
@@ -504,8 +554,11 @@ impl RestoreTransaction {
                 // A restored process must start with a cold block cache:
                 // its text was rebuilt from images that may carry planted
                 // trap bytes, wiped blocks, or re-enabled code, and no
-                // block decoded before the swap may survive it
-                // (DESIGN §11; `insert_process` enforces this too).
+                // block decoded before the swap may survive it. This is
+                // THE flush choke point for image swaps (DESIGN §11) —
+                // callers that can prove more (the customize commit)
+                // re-carry the displaced original's cache afterwards via
+                // `CommittedRestore::carry_block_caches`.
                 let mut replacement = staged.proc.clone();
                 replacement.block_cache.flush();
                 kernel.insert_process(replacement).map_err(CriuError::from)

@@ -10,6 +10,38 @@
 //! planted `0xCC` is a correctness (and in DynaCut terms, security) bug,
 //! not a performance bug.
 //!
+//! # Superblocks
+//!
+//! Dispatch cost is paid per *block*: a cache probe, a refcount bump,
+//! and a page-generation check. Short blocks (server request handlers
+//! average a handful of instructions between branches) amortize that
+//! badly, so entries that stay hot ([`HOT_THRESHOLD`] dispatches) are
+//! re-decoded as **superblocks**: the decoder chains across direct
+//! branches — unconditional jumps and calls always, conditional jumps
+//! by static prediction (backward = loop back-edge = taken, forward =
+//! fall through) — up to [`MAX_SUPERBLOCK_INSNS`] instructions, with
+//! loop bodies unrolled when the chain revisits the entry. Every
+//! instruction in a superblock records its expected pc; the dispatcher
+//! side-exits the moment the guest's pc disagrees (a mispredicted
+//! branch), so a superblock is *pure speculation about control flow*,
+//! never about instruction semantics.
+//!
+//! # Multi-version entries
+//!
+//! Keys are `(entry_pc, version)` where the version is the cache's
+//! **rewrite epoch**. A customize cycle used to flush the whole cache;
+//! now it carries the cache across the restore swap, seeds safe page
+//! generations for byte-identical pages, and bumps the epoch
+//! ([`BlockCache::bump_epoch`]). Dispatch that misses the active
+//! version probes the previous one and — if its page generations still
+//! validate — re-keys the entry forward (a **version swap**: no
+//! re-decode). Blocks over rewritten pages can never validate (their
+//! generations were seeded past every snapshot) and are re-decoded
+//! under the new version, living *alongside* any still-valid pristine
+//! entries. Rollback re-inserts the original process whose cache still
+//! holds the pristine version under the old epoch — swapping back is
+//! free.
+//!
 //! # Invalidation invariant (DESIGN §11)
 //!
 //! No cached block may survive a write, remap, protection change,
@@ -21,10 +53,12 @@
 //! `drop_page` — bumps its generation. A [`CachedBlock`] snapshots the
 //! generations of every page it decodes from, and the dispatcher
 //! revalidates the snapshot before executing the block (and again after
-//! any memory-writing instruction inside it, so self-modifying code
-//! takes effect on the very next instruction). Restore paths
-//! ([`Kernel::insert_process`] and the explicit CRIU/engine hooks) flush
-//! the whole cache outright.
+//! any memory-writing instruction inside it, so self-modifying code —
+//! and a host-planted trap byte — takes effect on the very next
+//! instruction, even mid-superblock). CRIU image swaps still flush: a
+//! restored image may carry arbitrary foreign bytes, and only the
+//! engine's customize commit knows enough to seed generations instead
+//! (see `CommittedRestore::carry_block_caches`).
 //!
 //! The cache is **excluded from [`Kernel::state_fingerprint`]**: cached
 //! and uncached execution of the same workload are bit-identical in
@@ -33,7 +67,6 @@
 //!
 //! [`AddressSpace`]: crate::AddressSpace
 //! [`AddressSpace::note_code_page`]: crate::AddressSpace::note_code_page
-//! [`Kernel::insert_process`]: crate::Kernel::insert_process
 //! [`Kernel::state_fingerprint`]: crate::Kernel::state_fingerprint
 
 use crate::mem::AddressSpace;
@@ -41,28 +74,48 @@ use dynacut_isa::Insn;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Upper bound on instructions per cached block. Blocks end at the
+/// Upper bound on instructions per basic block. Blocks end at the
 /// first terminator or syscall anyway; the cap only bounds pathological
 /// straight-line runs.
 pub(crate) const MAX_BLOCK_INSNS: usize = 32;
 
-/// Blocks held per process before the cache is wholesale flushed. Guest
-/// text in this simulation is small; the cap is a memory backstop, not
-/// a tuning knob.
+/// Upper bound on instructions per superblock — the chain/unroll budget
+/// once an entry goes hot.
+pub(crate) const MAX_SUPERBLOCK_INSNS: usize = 256;
+
+/// Dispatch count at which an entry is re-decoded as a superblock.
+pub(crate) const HOT_THRESHOLD: u32 = 16;
+
+/// Entries held per process before cold entries are evicted.
 const MAX_CACHED_BLOCKS: usize = 4096;
 
-/// A straight-line run of decoded instructions starting at one entry pc
-/// and ending at the first block terminator, syscall, or
-/// [`MAX_BLOCK_INSNS`].
+/// How many of the coldest entries one capacity eviction removes.
+/// Evicting a batch (instead of one) keeps the eviction scan off the
+/// per-insert hot path during a cold storm.
+const CAPACITY_EVICT_BATCH: usize = 512;
+
+/// A decoded instruction run starting at one entry pc: a straight-line
+/// basic block (up to the first terminator, syscall, or
+/// [`MAX_BLOCK_INSNS`]) or, once hot, a superblock chained across
+/// predicted-taken direct branches up to [`MAX_SUPERBLOCK_INSNS`].
 #[derive(Debug)]
 pub(crate) struct CachedBlock {
     /// The decoded run: `(instruction, encoded length)` pairs, in
-    /// address order from the entry pc.
+    /// execution order from the entry pc.
     pub(crate) insns: Box<[(Insn, u8)]>,
+    /// The guest address of each instruction in `insns`. For a
+    /// superblock this is the dispatcher's side-exit guard: before
+    /// executing instruction `i > 0`, the guest pc must equal `pcs[i]`
+    /// or the block is abandoned at the current (correct) pc. For a
+    /// straight-line block the guard is trivially true.
+    pub(crate) pcs: Box<[u64]>,
     /// Generation snapshot of every code page the run decodes from, as
     /// `(page base, generation)` pairs. The block is valid exactly
     /// while every page still carries its snapshotted generation.
     pub(crate) pages: Vec<(u64, u64)>,
+    /// Whether this run was chained across branches. Hot straight-line
+    /// entries are promoted once; superblocks are never re-promoted.
+    pub(crate) is_superblock: bool,
 }
 
 impl CachedBlock {
@@ -75,7 +128,21 @@ impl CachedBlock {
     }
 }
 
-/// A per-process cache of decoded instruction blocks keyed by entry pc.
+/// One cache entry: the decoded block plus the dispatch profile that
+/// drives superblock promotion and capacity eviction.
+#[derive(Debug, Clone)]
+struct Entry {
+    block: Arc<CachedBlock>,
+    /// Saturating dispatch count; [`HOT_THRESHOLD`] triggers promotion.
+    /// Halved on every capacity eviction so ancient heat decays.
+    heat: u32,
+    /// The cache tick of the last dispatch — the recency half of the
+    /// eviction order.
+    last_hit: u64,
+}
+
+/// A per-process cache of decoded instruction blocks keyed by
+/// `(entry pc, rewrite epoch)`.
 ///
 /// Cloning a [`Process`](crate::Process) clones the cache by bumping
 /// the blocks' refcounts; the page-generation snapshots stay consistent
@@ -83,39 +150,129 @@ impl CachedBlock {
 /// alongside.
 #[derive(Debug, Clone, Default)]
 pub struct BlockCache {
-    blocks: HashMap<u64, Arc<CachedBlock>>,
+    blocks: HashMap<(u64, u64), Entry>,
+    /// The active version: lookups and inserts use `(pc, epoch)`.
+    epoch: u64,
+    /// Monotonic dispatch counter backing `Entry::last_hit`.
+    tick: u64,
 }
 
 impl BlockCache {
-    /// The cached block entered at `pc`, if any (validity not checked —
-    /// the dispatcher revalidates page generations).
+    /// Looks up the active-version entry at `pc`, bumping its dispatch
+    /// profile. Returns the block and its post-bump heat. Validity is
+    /// not checked — the dispatcher revalidates page generations.
+    pub(crate) fn hit(&mut self, pc: u64) -> Option<(Arc<CachedBlock>, u32)> {
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self.blocks.get_mut(&(pc, self.epoch))?;
+        entry.heat = entry.heat.saturating_add(1);
+        entry.last_hit = tick;
+        Some((Arc::clone(&entry.block), entry.heat))
+    }
+
+    /// The active-version block at `pc` without touching the profile
+    /// (tests and introspection).
+    #[cfg(test)]
     pub(crate) fn get(&self, pc: u64) -> Option<&Arc<CachedBlock>> {
-        self.blocks.get(&pc)
+        self.blocks.get(&(pc, self.epoch)).map(|entry| &entry.block)
     }
 
-    /// Caches `block` under its entry pc, flushing everything first if
-    /// the cache is at capacity.
-    pub(crate) fn insert(&mut self, pc: u64, block: Arc<CachedBlock>) {
-        if self.blocks.len() >= MAX_CACHED_BLOCKS {
-            self.blocks.clear();
+    /// On a miss at the active version: if the *previous* version still
+    /// holds an entry for `pc`, re-key it to the active version (heat
+    /// and recency preserved) and return it — the version swap. The
+    /// caller must still validate the block's page generations and
+    /// [`remove`](BlockCache::remove) it if they fail.
+    pub(crate) fn swap_forward(&mut self, pc: u64) -> Option<(Arc<CachedBlock>, u32)> {
+        if self.epoch == 0 {
+            return None;
         }
-        self.blocks.insert(pc, block);
+        let mut entry = self.blocks.remove(&(pc, self.epoch - 1))?;
+        self.tick += 1;
+        entry.heat = entry.heat.saturating_add(1);
+        entry.last_hit = self.tick;
+        let block = Arc::clone(&entry.block);
+        let heat = entry.heat;
+        self.blocks.insert((pc, self.epoch), entry);
+        Some((block, heat))
     }
 
-    /// Evicts the block entered at `pc`, if cached.
+    /// Caches `block` under `(pc, active epoch)`, evicting a batch of
+    /// the coldest entries first if the cache is at capacity. An
+    /// existing entry at the key keeps its dispatch profile (superblock
+    /// promotion replaces the block, not the heat). Returns the number
+    /// of entries evicted for capacity (the
+    /// `block_cache.capacity_evictions` metric).
+    pub(crate) fn insert(&mut self, pc: u64, block: Arc<CachedBlock>) -> u64 {
+        let key = (pc, self.epoch);
+        let mut evicted = 0u64;
+        if self.blocks.len() >= MAX_CACHED_BLOCKS && !self.blocks.contains_key(&key) {
+            evicted = self.evict_coldest(CAPACITY_EVICT_BATCH);
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        self.blocks
+            .entry(key)
+            .and_modify(|entry| entry.block = Arc::clone(&block))
+            .or_insert(Entry {
+                block,
+                heat: 0,
+                last_hit: tick,
+            });
+        evicted
+    }
+
+    /// Removes the `count` entries with the smallest `(heat, last_hit)`
+    /// — cold first, then stale — and halves the survivors' heat so a
+    /// once-hot entry cannot squat forever. Hot entries survive cap
+    /// pressure by construction: a cold storm of fresh inserts ranks
+    /// below anything dispatched more than a couple of times.
+    fn evict_coldest(&mut self, count: usize) -> u64 {
+        let mut order: Vec<(u32, u64, (u64, u64))> = self
+            .blocks
+            .iter()
+            .map(|(&key, entry)| (entry.heat, entry.last_hit, key))
+            .collect();
+        order.sort_unstable();
+        order.truncate(count);
+        for &(_, _, key) in &order {
+            self.blocks.remove(&key);
+        }
+        for entry in self.blocks.values_mut() {
+            entry.heat /= 2;
+        }
+        order.len() as u64
+    }
+
+    /// Evicts the active-version entry at `pc`, if cached.
     pub(crate) fn remove(&mut self, pc: u64) {
-        self.blocks.remove(&pc);
+        self.blocks.remove(&(pc, self.epoch));
     }
 
-    /// Evicts every cached block. Restore paths call this: a restored
-    /// (or un-restored) process's text was rebuilt from images that may
-    /// carry rewrites, so nothing decoded before the swap may survive
-    /// it.
+    /// Advances the rewrite epoch: the active version changes, so every
+    /// existing entry becomes a previous-version candidate for
+    /// `swap_forward` (if its pages still
+    /// validate) instead of being flushed. The engine's customize
+    /// commit calls this after carrying the cache across the restore
+    /// swap; see `CommittedRestore::carry_block_caches`.
+    pub fn bump_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// The active rewrite epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Evicts every cached block, all versions. CRIU image swaps call
+    /// this: a restored process's text was rebuilt from images that may
+    /// carry arbitrary rewrites, so nothing decoded before the swap may
+    /// survive it. (The engine's customize commit instead *carries* the
+    /// cache with seeded generations and bumps the epoch.)
     pub fn flush(&mut self) {
         self.blocks.clear();
     }
 
-    /// Number of blocks currently cached.
+    /// Number of blocks currently cached, across all versions.
     pub fn len(&self) -> usize {
         self.blocks.len()
     }
@@ -141,7 +298,9 @@ mod tests {
         let gen = mem.note_code_page(page);
         CachedBlock {
             insns: vec![(Insn::Nop, 1)].into_boxed_slice(),
+            pcs: vec![page].into_boxed_slice(),
             pages: vec![(page, gen)],
+            is_superblock: false,
         }
     }
 
@@ -182,16 +341,62 @@ mod tests {
         assert!(!block.pages_valid(&mem));
     }
 
+    /// Regression (ISSUE 8 bugfix): the cache used to wholesale-clear
+    /// all 4096 blocks at capacity, evicting the hottest entries along
+    /// with the cold storm that caused the pressure. Capacity pressure
+    /// now evicts a bounded cold batch and a hot entry survives it.
     #[test]
-    fn cache_capacity_flushes_instead_of_growing() {
+    fn hot_entry_survives_capacity_pressure() {
         let mut cache = BlockCache::default();
         let mut mem = one_page_space();
-        for i in 0..(MAX_CACHED_BLOCKS + 1) as u64 {
-            let block = Arc::new(block_over(&mut mem, 0x1000));
-            cache.insert(i, block);
+        const HOT_PC: u64 = 7;
+        for pc in 0..MAX_CACHED_BLOCKS as u64 {
+            let evicted = cache.insert(pc, Arc::new(block_over(&mut mem, 0x1000)));
+            assert_eq!(evicted, 0, "no eviction below capacity");
         }
+        for _ in 0..64 {
+            assert!(cache.hit(HOT_PC).is_some());
+        }
+        // A storm of fresh entries forces capacity evictions.
+        let mut evicted_total = 0u64;
+        for pc in 10_000..10_000 + (2 * CAPACITY_EVICT_BATCH) as u64 {
+            evicted_total += cache.insert(pc, Arc::new(block_over(&mut mem, 0x1000)));
+        }
+        assert!(evicted_total >= CAPACITY_EVICT_BATCH as u64, "evictions counted");
         assert!(cache.len() <= MAX_CACHED_BLOCKS);
+        assert!(
+            cache.get(HOT_PC).is_some(),
+            "the hot entry outlived {evicted_total} capacity evictions"
+        );
         cache.flush();
         assert!(cache.is_empty());
+    }
+
+    /// The multi-version key: an epoch bump hides old entries from
+    /// `get`/`hit`, `swap_forward` re-keys them (heat preserved), and
+    /// entries two epochs back are not resurrectable.
+    #[test]
+    fn epoch_bump_hides_entries_and_swap_forward_rekeys() {
+        let mut cache = BlockCache::default();
+        let mut mem = one_page_space();
+        cache.insert(0x1000, Arc::new(block_over(&mut mem, 0x1000)));
+        let heat_before = cache.hit(0x1000).expect("cached").1;
+
+        cache.bump_epoch();
+        assert_eq!(cache.epoch(), 1);
+        assert!(cache.get(0x1000).is_none(), "old version is not active");
+        assert!(cache.hit(0x1000).is_none());
+        assert_eq!(cache.len(), 1, "the entry itself survives the bump");
+
+        let (_, heat) = cache.swap_forward(0x1000).expect("previous version");
+        assert_eq!(heat, heat_before + 1, "the swap keeps the dispatch profile");
+        assert!(cache.get(0x1000).is_some(), "re-keyed to the active version");
+        assert!(cache.swap_forward(0x1000).is_none(), "swap is one-shot");
+
+        // Two bumps later the entry is out of probe range for good.
+        cache.bump_epoch();
+        cache.bump_epoch();
+        assert!(cache.get(0x1000).is_none());
+        assert!(cache.swap_forward(0x1000).is_none());
     }
 }

@@ -1,6 +1,6 @@
 //! The instruction interpreter: fetch, decode, execute, fault.
 
-use crate::bcache::{CachedBlock, MAX_BLOCK_INSNS};
+use crate::bcache::{CachedBlock, MAX_BLOCK_INSNS, MAX_SUPERBLOCK_INSNS};
 use crate::cpu::Flags;
 use crate::hook::Hook;
 use crate::process::Process;
@@ -60,6 +60,7 @@ pub(crate) fn fetch_insn(proc: &mut Process, pc: u64) -> Result<(Insn, usize), (
 /// same `(signal, addr)` the uncached interpreter would.
 pub(crate) fn decode_block(proc: &mut Process, entry: u64) -> Result<CachedBlock, (Signal, u64)> {
     let mut insns: Vec<(Insn, u8)> = Vec::new();
+    let mut pcs: Vec<u64> = Vec::new();
     let mut pages: Vec<(u64, u64)> = Vec::new();
     let mut pc = entry;
     loop {
@@ -68,16 +69,9 @@ pub(crate) fn decode_block(proc: &mut Process, entry: u64) -> Result<CachedBlock
             Err(fault) if insns.is_empty() => return Err(fault),
             Err(_) => break,
         };
-        let mut base = pc & !(PAGE_SIZE - 1);
-        let last = (pc + len as u64 - 1) & !(PAGE_SIZE - 1);
-        while base <= last {
-            if !pages.iter().any(|&(b, _)| b == base) {
-                let gen = proc.mem.note_code_page(base);
-                pages.push((base, gen));
-            }
-            base += PAGE_SIZE;
-        }
+        note_insn_pages(proc, &mut pages, pc, len);
         insns.push((insn, len as u8));
+        pcs.push(pc);
         pc += len as u64;
         if insn.is_terminator() || matches!(insn, Insn::Syscall) || insns.len() >= MAX_BLOCK_INSNS {
             break;
@@ -85,7 +79,82 @@ pub(crate) fn decode_block(proc: &mut Process, entry: u64) -> Result<CachedBlock
     }
     Ok(CachedBlock {
         insns: insns.into_boxed_slice(),
+        pcs: pcs.into_boxed_slice(),
         pages,
+        is_superblock: false,
+    })
+}
+
+/// Registers (and generation-snapshots) every code page the instruction
+/// at `pc` spans, deduplicating against `pages`.
+fn note_insn_pages(proc: &mut Process, pages: &mut Vec<(u64, u64)>, pc: u64, len: usize) {
+    let mut base = pc & !(PAGE_SIZE - 1);
+    let last = (pc + len as u64 - 1) & !(PAGE_SIZE - 1);
+    while base <= last {
+        if !pages.iter().any(|&(b, _)| b == base) {
+            let gen = proc.mem.note_code_page(base);
+            pages.push((base, gen));
+        }
+        base += PAGE_SIZE;
+    }
+}
+
+/// Re-decodes a hot entry as a **superblock**: the decoder follows the
+/// statically *predicted* control flow across direct branches instead
+/// of stopping at the first terminator, up to
+/// [`MAX_SUPERBLOCK_INSNS`]:
+///
+/// - `Jmp` and `Call` chain to their (direct) target unconditionally;
+/// - a *backward* `Jcc` is predicted taken — it is almost always a loop
+///   back-edge, and following it unrolls the loop body into the block;
+/// - a *forward* `Jcc` is predicted not-taken and falls through;
+/// - indirect branches (`Jmpr`/`Callr`/`Ret`), `Syscall`, `Halt`, and
+///   `Trap` end the chain — their successors are data-dependent or
+///   leave the pure-CPU path.
+///
+/// Revisiting a pc (including the entry) is allowed: that *is* the loop
+/// unrolling, bounded by the cap. The prediction is pure speculation —
+/// the recorded [`CachedBlock::pcs`] let the dispatcher side-exit the
+/// moment the guest's actual pc diverges — so a wrong prediction costs
+/// a redispatch, never correctness. Page registration and generation
+/// snapshots are identical to [`decode_block`], so a planted trap byte
+/// anywhere in the chain invalidates the whole superblock.
+pub(crate) fn decode_superblock(
+    proc: &mut Process,
+    entry: u64,
+) -> Result<CachedBlock, (Signal, u64)> {
+    let mut insns: Vec<(Insn, u8)> = Vec::new();
+    let mut pcs: Vec<u64> = Vec::new();
+    let mut pages: Vec<(u64, u64)> = Vec::new();
+    let mut pc = entry;
+    loop {
+        let (insn, len) = match fetch_insn(proc, pc) {
+            Ok(pair) => pair,
+            Err(fault) if insns.is_empty() => return Err(fault),
+            Err(_) => break,
+        };
+        note_insn_pages(proc, &mut pages, pc, len);
+        insns.push((insn, len as u8));
+        pcs.push(pc);
+        let next = pc + len as u64;
+        if insns.len() >= MAX_SUPERBLOCK_INSNS {
+            break;
+        }
+        pc = match insn {
+            Insn::Jmp(disp) => next.wrapping_add(disp as i64 as u64),
+            Insn::Call(disp) => next.wrapping_add(disp as i64 as u64),
+            Insn::Jcc(_, disp) if disp < 0 => next.wrapping_add(disp as i64 as u64),
+            Insn::Jcc(..) => next,
+            Insn::Syscall => break,
+            _ if insn.is_terminator() => break,
+            _ => next,
+        };
+    }
+    Ok(CachedBlock {
+        insns: insns.into_boxed_slice(),
+        pcs: pcs.into_boxed_slice(),
+        pages,
+        is_superblock: true,
     })
 }
 

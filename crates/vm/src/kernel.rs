@@ -74,6 +74,10 @@ pub struct Kernel {
     /// decoded-block cache *enabled*. See
     /// [`set_block_cache_enabled`](Kernel::set_block_cache_enabled).
     block_cache_disabled: bool,
+    /// Inverted for the same reason: hot entries are promoted to
+    /// superblocks by default. See
+    /// [`set_superblocks_enabled`](Kernel::set_superblocks_enabled).
+    superblocks_disabled: bool,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -133,6 +137,26 @@ impl Kernel {
     /// Whether the decoded-block translation cache is enabled.
     pub fn block_cache_enabled(&self) -> bool {
         !self.block_cache_disabled
+    }
+
+    /// Enables or disables superblock promotion (enabled by default).
+    /// Disabling flushes every process's cache so no already-promoted
+    /// superblock keeps executing. Superblocked, plain-cached, and
+    /// uncached execution are bit-identical in every guest-observable
+    /// way — the toggle exists for the `figures interp` three-way
+    /// comparison and for bisecting.
+    pub fn set_superblocks_enabled(&mut self, enabled: bool) {
+        self.superblocks_disabled = !enabled;
+        if !enabled {
+            for proc in self.procs.values_mut() {
+                proc.block_cache.flush();
+            }
+        }
+    }
+
+    /// Whether hot entries are promoted to superblocks.
+    pub fn superblocks_enabled(&self) -> bool {
+        !self.superblocks_disabled
     }
 
     // ----- processes ----------------------------------------------------
@@ -240,17 +264,22 @@ impl Kernel {
     /// # Errors
     ///
     /// Fails if the pid is already in use.
-    pub fn insert_process(&mut self, mut proc: Process) -> Result<(), VmError> {
+    pub fn insert_process(&mut self, proc: Process) -> Result<(), VmError> {
         if self.procs.contains_key(&proc.pid) {
             return Err(VmError::BadProcessState {
                 pid: proc.pid,
                 expected: "a free pid slot",
             });
         }
-        // Every live-memory swap funnels through here (restore commit,
-        // rollback, undo), so this flush is the invalidation choke
-        // point: nothing decoded before the swap survives it.
-        proc.block_cache.flush();
+        // Deliberately no cache flush here. Every live-memory swap
+        // funnels through this method, but the invalidation choke point
+        // is `RestoreTransaction::commit`, which flushes the *built*
+        // replacement before it ever reaches us: a restored image may
+        // carry arbitrary foreign bytes. Re-inserting an *original*
+        // process (rollback, undo) keeps its cache — its page
+        // generations are part of the address space being swapped back,
+        // so every entry is exactly as valid as it was at dump time.
+        // That is what makes rollback's version swap free (DESIGN §11).
         self.next_pid = self.next_pid.max(proc.pid.0);
         self.procs.insert(proc.pid, proc);
         Ok(())
@@ -442,9 +471,17 @@ impl Kernel {
         max_ns: u64,
     ) -> Result<Vec<u8>, VmError> {
         self.client_send(conn, bytes)?;
-        let deadline = self.clock_ns + max_ns;
+        let deadline = self.clock_ns.saturating_add(max_ns);
         loop {
-            let outcome = self.run_for(5_000.min(deadline.saturating_sub(self.clock_ns)).max(1));
+            // An expired (or zero) deadline must not run anything: the
+            // old `.max(1)` here executed a 1 ns slice past the
+            // deadline, so a "serve for at most max_ns" caller could
+            // observe the clock beyond its budget.
+            let remaining = deadline.saturating_sub(self.clock_ns);
+            if remaining == 0 {
+                return self.client_recv(conn);
+            }
+            let outcome = self.run_for(5_000.min(remaining));
             let out = self.client_recv(conn)?;
             if !out.is_empty() {
                 return Ok(out);
@@ -663,7 +700,14 @@ impl Kernel {
                 }
             }
             for pid in runnable {
-                self.step_slice(pid, QUANTUM);
+                // Clamp the slice to the time left: every budget unit
+                // advances the clock by at least 1 ns, so a full
+                // QUANTUM could overshoot the deadline by most of a
+                // slice. (A syscall on the final instruction can still
+                // cost up to SYSCALL_COST_NS - 1 ns past it — the same
+                // quantisation the real kernel's tick has.)
+                let budget = QUANTUM.min(deadline.saturating_sub(self.clock_ns));
+                self.step_slice(pid, budget);
                 if self.clock_ns >= deadline {
                     return RunOutcome::Deadline;
                 }
@@ -756,21 +800,50 @@ impl Kernel {
     /// Runs one process for at most `budget` instructions.
     ///
     /// With the block cache enabled (the default), execution dispatches
-    /// whole decoded straight-line blocks: a cache hit revalidates the
-    /// block's page generations and then retires its instructions
-    /// without touching `decode` or the VMA walk again. Every
+    /// whole decoded blocks: a cache hit revalidates the block's page
+    /// generations and then retires its instructions without touching
+    /// `decode` or the VMA walk again. Entries that stay hot are
+    /// re-decoded as superblocks chained across predicted-taken direct
+    /// branches (see [`interp::decode_superblock`]); a recorded
+    /// per-instruction pc guard side-exits the moment the guest's
+    /// control flow diverges from the prediction. Every
     /// per-instruction accounting rule of the uncached path — clock,
     /// `insns_retired`, hook callbacks, signal-delivery interleaving —
-    /// is reproduced exactly, so cached and uncached runs are
-    /// bit-identical under [`state_fingerprint`](Kernel::state_fingerprint).
+    /// is reproduced exactly, so uncached, cached, and superblocked
+    /// runs are bit-identical under
+    /// [`state_fingerprint`](Kernel::state_fingerprint).
     fn step_slice(&mut self, pid: Pid, budget: u64) {
+        use crate::bcache::HOT_THRESHOLD;
+        /// How one block dispatch ended; carried out of the execution
+        /// loop so the post-loop handling can borrow `self` again
+        /// (the trap journal and syscalls need the whole kernel).
+        enum Action {
+            /// Budget exhausted or process gone: end the slice.
+            Stop,
+            /// Re-enter the dispatcher at the current pc (block done,
+            /// superblock side-exit, pending signal, invalidation).
+            Redispatch,
+            /// An instruction faulted; the signal is already delivered.
+            Fault {
+                signal: Signal,
+                fault_addr: u64,
+                handled: bool,
+                exited: bool,
+            },
+            /// A syscall instruction retired at `pc`; dispatch it.
+            Syscall { pc: u64 },
+        }
         let mut hook = self.hook.take();
         let use_cache = !self.block_cache_disabled;
+        let use_superblocks = !self.superblocks_disabled;
         // Hot-path stats are accumulated locally and flushed to the
         // metrics registry once per slice.
         let mut cache_hits = 0u64;
         let mut cache_misses = 0u64;
         let mut cache_invalidations = 0u64;
+        let mut version_swaps = 0u64;
+        let mut superblocks_built = 0u64;
+        let mut capacity_evictions = 0u64;
         let mut retired = 0u64;
         let mut budget_left = budget;
         'outer: while budget_left > 0 {
@@ -845,23 +918,68 @@ impl Kernel {
             }
 
             // ----- cached dispatch --------------------------------------
-            let block = match proc.block_cache.get(entry).cloned() {
-                Some(block) if block.pages_valid(&proc.mem) => {
+            // Probe the active version first; on a miss, try to carry
+            // the previous version forward (a rewrite-epoch version
+            // swap — no re-decode if its page generations still hold).
+            let mut lookup = match proc.block_cache.hit(entry) {
+                Some((block, heat)) if block.pages_valid(&proc.mem) => {
                     cache_hits += 1;
-                    block
+                    Some((block, heat))
                 }
-                stale => {
-                    if stale.is_some() {
-                        // A write, remap, or page drop bumped one of the
-                        // block's page generations since it was decoded.
+                Some(_) => {
+                    // A write, remap, or page drop bumped one of the
+                    // block's page generations since it was decoded.
+                    cache_invalidations += 1;
+                    proc.block_cache.remove(entry);
+                    None
+                }
+                None => None,
+            };
+            if lookup.is_none() {
+                lookup = match proc.block_cache.swap_forward(entry) {
+                    Some((block, heat)) if block.pages_valid(&proc.mem) => {
+                        cache_hits += 1;
+                        version_swaps += 1;
+                        Some((block, heat))
+                    }
+                    Some(_) => {
+                        // The previous version decodes pages the rewrite
+                        // actually changed — dead for good.
                         cache_invalidations += 1;
                         proc.block_cache.remove(entry);
+                        None
                     }
+                    None => None,
+                };
+            }
+            let block = match lookup {
+                Some((block, heat))
+                    if use_superblocks && !block.is_superblock && heat >= HOT_THRESHOLD =>
+                {
+                    // Hot entry: re-decode chained across predicted
+                    // branches and replace the plain block in place
+                    // (the entry keeps its dispatch profile).
+                    match interp::decode_superblock(proc, entry) {
+                        Ok(superblock) => {
+                            let superblock = Arc::new(superblock);
+                            capacity_evictions +=
+                                proc.block_cache.insert(entry, Arc::clone(&superblock));
+                            superblocks_built += 1;
+                            superblock
+                        }
+                        // The plain block just validated, so this is
+                        // unreachable in practice; run the valid block.
+                        Err(_) => block,
+                    }
+                }
+                Some((block, _)) => block,
+                None => {
                     cache_misses += 1;
                     match interp::decode_block(proc, entry) {
                         Ok(block) => {
                             let block = Arc::new(block);
-                            proc.block_cache.insert(entry, Arc::clone(&block));
+                            capacity_evictions +=
+                                proc.block_cache.insert(entry, Arc::clone(&block));
                             block
                         }
                         Err((signal, fault_addr)) => {
@@ -882,68 +1000,105 @@ impl Kernel {
                 }
             };
 
-            for (i, &(insn, len)) in block.insns.iter().enumerate() {
-                if budget_left == 0 {
-                    // Slice over mid-block; the next slice re-enters at
-                    // the current pc (a fresh cache key).
-                    break 'outer;
-                }
+            // Execute the block with the process borrow held across the
+            // whole run (the per-instruction map lookup the old loop
+            // paid is most of the dispatch cost for short blocks); the
+            // clock is accumulated locally and flushed before anything
+            // that reads it (the trap journal, syscall dispatch).
+            let mut clock_delta = 0u64;
+            let action = 'exec: {
                 let Some(proc) = self.procs.get_mut(&pid) else {
-                    break 'outer;
+                    break 'exec Action::Stop;
                 };
-                // The first instruction runs in the same budget unit as
-                // the signal delivered above (matching the uncached
-                // interleaving); before any later one, a newly pending
-                // signal sends us back to the delivery point.
-                if i > 0 && !proc.pending_signals.is_empty() {
-                    continue 'outer;
+                for (i, &(insn, len)) in block.insns.iter().enumerate() {
+                    if budget_left == 0 {
+                        // Slice over mid-block; the next slice re-enters
+                        // at the current pc (a fresh cache key).
+                        break 'exec Action::Stop;
+                    }
+                    // The first instruction runs in the same budget unit
+                    // as the signal delivered above (matching the
+                    // uncached interleaving); before any later one, a
+                    // newly pending signal sends us back to the delivery
+                    // point, and a pc that diverges from the decoded
+                    // chain is a superblock side-exit (mispredicted
+                    // branch) — re-enter the dispatcher at the real pc.
+                    if i > 0
+                        && (!proc.pending_signals.is_empty() || proc.cpu.pc != block.pcs[i])
+                    {
+                        break 'exec Action::Redispatch;
+                    }
+                    budget_left -= 1;
+                    let pc = proc.cpu.pc;
+                    match interp::exec_insn(proc, &insn, len as usize) {
+                        Exec::Done => {
+                            proc.insns_retired += 1;
+                            retired += 1;
+                            clock_delta += 1;
+                            if let Some(hook) = hook.as_deref_mut() {
+                                hook.on_insn(pid, pc);
+                            }
+                            // Self-modifying code: if that instruction
+                            // wrote memory, it may have overwritten this
+                            // very block (even mid-superblock).
+                            // Revalidate before running another cached
+                            // instruction.
+                            if interp::writes_memory(&insn) && !block.pages_valid(&proc.mem) {
+                                cache_invalidations += 1;
+                                proc.block_cache.remove(entry);
+                                break 'exec Action::Redispatch;
+                            }
+                        }
+                        Exec::Fault(signal, fault_addr) => {
+                            let handled = interp::deliver_signal(
+                                proc,
+                                signal,
+                                fault_addr,
+                                hook.as_deref_mut(),
+                            );
+                            let exited = proc.is_exited();
+                            clock_delta += 1;
+                            break 'exec Action::Fault {
+                                signal,
+                                fault_addr,
+                                handled,
+                                exited,
+                            };
+                        }
+                        Exec::Syscall => {
+                            proc.insns_retired += 1;
+                            retired += 1;
+                            clock_delta += SYSCALL_COST_NS;
+                            if let Some(hook) = hook.as_deref_mut() {
+                                hook.on_insn(pid, pc);
+                            }
+                            break 'exec Action::Syscall { pc };
+                        }
+                    }
                 }
-                budget_left -= 1;
-                let pc = proc.cpu.pc;
-                match interp::exec_insn(proc, &insn, len as usize) {
-                    Exec::Done => {
-                        proc.insns_retired += 1;
-                        retired += 1;
-                        self.clock_ns += 1;
-                        if let Some(hook) = hook.as_deref_mut() {
-                            hook.on_insn(pid, pc);
-                        }
-                        // Self-modifying code: if that instruction wrote
-                        // memory, it may have overwritten this very
-                        // block. Revalidate before running another
-                        // cached instruction.
-                        if interp::writes_memory(&insn) && !block.pages_valid(&proc.mem) {
-                            cache_invalidations += 1;
-                            proc.block_cache.remove(entry);
-                            continue 'outer;
-                        }
+                Action::Redispatch
+            };
+            self.clock_ns += clock_delta;
+            match action {
+                Action::Stop => break 'outer,
+                Action::Redispatch => continue 'outer,
+                Action::Fault {
+                    signal,
+                    fault_addr,
+                    handled,
+                    exited,
+                } => {
+                    if signal == Signal::Sigtrap {
+                        self.flight
+                            .record_trap_hit(self.clock_ns, pid, fault_addr, handled);
                     }
-                    Exec::Fault(signal, fault_addr) => {
-                        let handled =
-                            interp::deliver_signal(proc, signal, fault_addr, hook.as_deref_mut());
-                        let exited = proc.is_exited();
-                        self.clock_ns += 1;
-                        if signal == Signal::Sigtrap {
-                            self.flight
-                                .record_trap_hit(self.clock_ns, pid, fault_addr, handled);
-                        }
-                        if exited {
-                            break 'outer;
-                        }
-                        continue 'outer;
+                    if exited {
+                        break 'outer;
                     }
-                    Exec::Syscall => {
-                        proc.insns_retired += 1;
-                        retired += 1;
-                        self.clock_ns += SYSCALL_COST_NS;
-                        if let Some(hook) = hook.as_deref_mut() {
-                            hook.on_insn(pid, pc);
-                        }
-                        let blocked = self.do_syscall(pid, pc, hook.as_deref_mut());
-                        if blocked {
-                            break 'outer;
-                        }
-                        continue 'outer;
+                }
+                Action::Syscall { pc } => {
+                    if self.do_syscall(pid, pc, hook.as_deref_mut()) {
+                        break 'outer;
                     }
                 }
             }
@@ -962,7 +1117,33 @@ impl Kernel {
                 .metrics_mut()
                 .incr("block_cache.invalidations", cache_invalidations);
         }
+        if version_swaps > 0 {
+            self.flight
+                .metrics_mut()
+                .incr("block_cache.version_swaps", version_swaps);
+        }
+        if superblocks_built > 0 {
+            self.flight
+                .metrics_mut()
+                .incr("block_cache.superblocks", superblocks_built);
+        }
+        if capacity_evictions > 0 {
+            self.flight
+                .metrics_mut()
+                .incr("block_cache.capacity_evictions", capacity_evictions);
+        }
         self.hook = hook;
+    }
+
+    /// Narrows a raw guest syscall argument to a descriptor number.
+    ///
+    /// The handlers used to take `args[0] as u32`, silently aliasing
+    /// e.g. fd `0x1_0000_0005` to fd `5` — the same truncation defect
+    /// class as the PR 3 drcov offset bug, except here it could make a
+    /// wild argument *succeed* against an unrelated open descriptor.
+    /// Anything that does not fit a `u32` is EBADF by construction.
+    fn syscall_fd(arg: u64) -> Result<u32, u64> {
+        u32::try_from(arg).map_err(|_| err_ret(9)) // EBADF
     }
 
     /// Dispatches the syscall whose number is in `r0`. Returns `true` if
@@ -1005,7 +1186,14 @@ impl Kernel {
                 true
             }
             Sysno::Write => {
-                let (fd, ptr, len) = (args[0] as u32, args[1], args[2] as usize);
+                let fd = match Self::syscall_fd(args[0]) {
+                    Ok(fd) => fd,
+                    Err(errno) => {
+                        proc.cpu.set_reg(Reg::R0, errno);
+                        return false;
+                    }
+                };
+                let (ptr, len) = (args[1], args[2] as usize);
                 let mut buf = vec![0u8; len];
                 if proc.mem.read_checked(ptr, &mut buf).is_err() {
                     proc.cpu.set_reg(Reg::R0, err_ret(14)); // EFAULT
@@ -1032,7 +1220,14 @@ impl Kernel {
                 false
             }
             Sysno::Read => {
-                let (fd, ptr, len) = (args[0] as u32, args[1], args[2] as usize);
+                let fd = match Self::syscall_fd(args[0]) {
+                    Ok(fd) => fd,
+                    Err(errno) => {
+                        proc.cpu.set_reg(Reg::R0, errno);
+                        return false;
+                    }
+                };
+                let (ptr, len) = (args[1], args[2] as usize);
                 match proc.fds.get_mut(fd) {
                     Some(FileDesc::File { file, pos }) => {
                         let contents = &file.contents;
@@ -1117,7 +1312,13 @@ impl Kernel {
                 false
             }
             Sysno::Close => {
-                let fd = args[0] as u32;
+                let fd = match Self::syscall_fd(args[0]) {
+                    Ok(fd) => fd,
+                    Err(errno) => {
+                        proc.cpu.set_reg(Reg::R0, errno);
+                        return false;
+                    }
+                };
                 match proc.fds.close(fd) {
                     Some(FileDesc::Conn(id)) => {
                         self.net.close(id);
@@ -1134,7 +1335,20 @@ impl Kernel {
                 false
             }
             Sysno::Bind => {
-                let (fd, port) = (args[0] as u32, args[1] as u16);
+                let fd = match Self::syscall_fd(args[0]) {
+                    Ok(fd) => fd,
+                    Err(errno) => {
+                        proc.cpu.set_reg(Reg::R0, errno);
+                        return false;
+                    }
+                };
+                // Ports are a full 16-bit space, so any u16 pattern is a
+                // valid port — but a wider argument is still a caller
+                // bug, not a port.
+                let Ok(port) = u16::try_from(args[1]) else {
+                    proc.cpu.set_reg(Reg::R0, err_ret(22)); // EINVAL
+                    return false;
+                };
                 match proc.fds.get_mut(fd) {
                     Some(desc @ FileDesc::Socket) => {
                         *desc = FileDesc::Listener { port };
@@ -1145,7 +1359,13 @@ impl Kernel {
                 false
             }
             Sysno::Listen => {
-                let fd = args[0] as u32;
+                let fd = match Self::syscall_fd(args[0]) {
+                    Ok(fd) => fd,
+                    Err(errno) => {
+                        proc.cpu.set_reg(Reg::R0, errno);
+                        return false;
+                    }
+                };
                 match proc.fds.get(fd) {
                     Some(FileDesc::Listener { port }) => {
                         self.net.listen(*port);
@@ -1156,7 +1376,13 @@ impl Kernel {
                 false
             }
             Sysno::Accept => {
-                let fd = args[0] as u32;
+                let fd = match Self::syscall_fd(args[0]) {
+                    Ok(fd) => fd,
+                    Err(errno) => {
+                        proc.cpu.set_reg(Reg::R0, errno);
+                        return false;
+                    }
+                };
                 match proc.fds.get(fd) {
                     Some(FileDesc::Listener { port }) => {
                         let port = *port;
@@ -1303,7 +1529,14 @@ impl Kernel {
                 false
             }
             Sysno::Kill => {
-                let (target, signo) = (Pid(args[0] as u32), args[1]);
+                // Pids are u32; a wider argument must not alias an
+                // existing pid (0x1_0000_0001 is not pid 1). ESRCH, the
+                // same answer a vacant pid gets.
+                let Ok(raw_pid) = u32::try_from(args[0]) else {
+                    proc.cpu.set_reg(Reg::R0, err_ret(3)); // ESRCH
+                    return false;
+                };
+                let (target, signo) = (Pid(raw_pid), args[1]);
                 let Some(signal) = Signal::from_number(signo) else {
                     proc.cpu.set_reg(Reg::R0, err_ret(22));
                     return false;

@@ -554,6 +554,25 @@ impl AddressSpace {
             *gen += 1;
         }
     }
+
+    /// Every registered code page and its current generation, in
+    /// address order. The customize commit walks this on the *original*
+    /// address space to decide which generations can be carried into
+    /// the replacement (see `CommittedRestore::carry_block_caches`).
+    pub fn code_pages(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.code_gen.iter().map(|(&base, &gen)| (base, gen))
+    }
+
+    /// Seeds the generation of the code page containing `addr` to *at
+    /// least* `gen`, registering the page if needed. Seeding only ever
+    /// raises the generation: the safe failure direction is a block
+    /// that spuriously re-decodes, never one that validates against
+    /// changed bytes.
+    pub fn seed_code_page_gen(&mut self, addr: u64, gen: u64) {
+        let base = addr & !(PAGE_SIZE - 1);
+        let entry = self.code_gen.entry(base).or_insert(0);
+        *entry = (*entry).max(gen);
+    }
 }
 
 fn access_name(access: Access) -> &'static str {

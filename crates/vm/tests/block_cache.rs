@@ -390,9 +390,139 @@ fn metrics_surface_cache_stats_and_insns_retired() {
     let metrics = kernel.flight().metrics();
     assert!(metrics.counter("block_cache.hits") > 0);
     assert!(metrics.counter("block_cache.misses") > 0);
+    assert!(
+        metrics.counter("block_cache.superblocks") > 0,
+        "a 200-iteration loop crosses the hot threshold"
+    );
     assert_eq!(
         metrics.counter("insns_retired"),
         kernel.process(pid).unwrap().insns_retired,
         "metrics counter mirrors per-process retirement"
     );
+}
+
+// ----- superblocks ------------------------------------------------------
+
+/// Uncached, plain-cached, and superblocked runs of a hot loop are
+/// bit-identical under `state_fingerprint()` — including the loop's
+/// final iteration, where the backward branch the superblock predicted
+/// taken falls through instead (the side-exit path).
+#[test]
+fn fingerprints_match_across_uncached_cached_and_superblocked() {
+    let insns = compute_loop(500);
+    let (mut superblocked, pid, _) = boot(&insns);
+    let (mut plain, _, _) = boot(&insns);
+    plain.set_superblocks_enabled(false);
+    let (mut uncached, _, _) = boot(&insns);
+    uncached.set_block_cache_enabled(false);
+
+    let a = superblocked.run_until_exit(pid, 10_000_000);
+    let b = plain.run_until_exit(pid, 10_000_000);
+    let c = uncached.run_until_exit(pid, 10_000_000);
+    assert_eq!(a, b, "same exit status (superblocked vs plain cache)");
+    assert_eq!(b, c, "same exit status (plain cache vs uncached)");
+    assert_eq!(
+        superblocked.state_fingerprint(),
+        plain.state_fingerprint(),
+        "superblocks must be invisible to guest-observable state"
+    );
+    assert_eq!(
+        plain.state_fingerprint(),
+        uncached.state_fingerprint(),
+        "the cache must be invisible to guest-observable state"
+    );
+    assert!(superblocked.flight().metrics().counter("block_cache.superblocks") > 0);
+    assert_eq!(
+        plain.flight().metrics().counter("block_cache.superblocks"),
+        0,
+        "the toggle really disabled promotion"
+    );
+}
+
+/// A host-planted trap byte fires at the exact patched pc even when the
+/// patch lands in the *middle* of a hot superblock's chained run: the
+/// per-page generation snapshot covers every chained instruction, so
+/// the store-side revalidation evicts the whole superblock.
+#[test]
+fn host_planted_trap_fires_mid_superblock() {
+    let insns = [
+        // loop: nop x3; jmp loop — one 4-insn block, chained across the
+        // jmp into a ~64-iteration superblock once hot.
+        Insn::Nop,
+        Insn::Nop,
+        Insn::Nop,
+        Insn::Jmp(-8),
+    ];
+    let (mut kernel, pid, addrs) = boot(&insns);
+    kernel.run_for(5_000);
+    let superblocks = kernel.flight().metrics().counter("block_cache.superblocks");
+    assert!(
+        superblocks > 0,
+        "the loop was promoted before the patch (superblocks={superblocks})"
+    );
+
+    // Patch the *second* nop: inside the block body, not at the entry.
+    kernel
+        .process_mut(pid)
+        .unwrap()
+        .mem
+        .write_unchecked(addrs[1], &[TRAP_OPCODE]);
+    let status = kernel.run_until_exit(pid, 1_000_000).expect("trap kills");
+    assert_eq!(status.fatal_signal, Some(Signal::Sigtrap));
+    assert_eq!(
+        kernel.process(pid).unwrap().cpu.pc,
+        addrs[1],
+        "death at exactly the patched byte, mid-superblock"
+    );
+}
+
+/// A guest store from *inside* a running superblock that hits the
+/// block's own text page evicts it on the spot: the after-every-store
+/// revalidation holds for chained runs too, so a self-planted trap
+/// byte executes instead of the stale cached instruction.
+#[test]
+fn self_modifying_store_invalidates_the_running_superblock() {
+    let insns = [
+        Insn::Movi(Reg::R1, 0), // patched below: store target (data page)
+        Insn::Movi(Reg::R2, 0), // patched below: iteration count
+        Insn::Movi(Reg::R3, 0), // the stored byte (0 while warming)
+        // loop: plant r3 at [r1]; count down; back-edge while r2 != 0
+        Insn::St(Width::B1, Reg::R1, 0, Reg::R3),
+        Insn::Addi(Reg::R2, -1),
+        Insn::Cmpi(Reg::R2, 0),
+        Insn::Jcc(dynacut_isa::Cond::Ne, 0), // placeholder, fixed below
+        Insn::Nop,                           // <- phase 2's store target
+        Insn::Halt,
+    ];
+    let (_, offs) = assemble(&insns);
+    let nop_addr = TEXT + offs[7];
+    let back_edge = -((offs[7] - offs[3]) as i32); // jcc target: the store
+    let mut insns = insns;
+    insns[0] = Insn::Movi(Reg::R1, STACK); // harmless data-page target
+    insns[1] = Insn::Movi(Reg::R2, 100_000);
+    insns[6] = Insn::Jcc(dynacut_isa::Cond::Ne, back_edge);
+
+    // Phase 1: the store lands on the data page — no code-page
+    // generation moves, the loop stays valid, goes hot, and is
+    // promoted to a superblock.
+    let (mut kernel, pid, _) = boot(&insns);
+    kernel.run_for(5_000);
+    let superblocks = kernel.flight().metrics().counter("block_cache.superblocks");
+    assert!(
+        superblocks > 0,
+        "the loop was promoted while hot (superblocks={superblocks})"
+    );
+    assert_eq!(kernel.process(pid).unwrap().fatal_signal, None);
+
+    // Phase 2: aim the very same store at the nop in the loop's own
+    // text page and make it plant the trap byte. The next store retires
+    // *inside* the hot superblock, must evict it, and when the loop
+    // runs out the freshly planted 0xCC executes — not the cached nop.
+    let proc = kernel.process_mut(pid).unwrap();
+    proc.cpu.set_reg(Reg::R1, nop_addr);
+    proc.cpu.set_reg(Reg::R3, u64::from(TRAP_OPCODE));
+    proc.cpu.set_reg(Reg::R2, 4);
+    let status = kernel.run_until_exit(pid, 1_000_000).expect("trap kills");
+    assert_eq!(status.fatal_signal, Some(Signal::Sigtrap));
+    assert_eq!(kernel.process(pid).unwrap().cpu.pc, nop_addr);
 }

@@ -1,0 +1,107 @@
+//! Regression pins for serve-slice deadline overshoot.
+//!
+//! `client_request` used to run `5_000.min(remaining).max(1)` — the
+//! `.max(1)` executed a 1 ns slice *past* an already-expired deadline —
+//! and `run_for` handed every runnable process a full `QUANTUM`-sized
+//! slice even with less time than that left, overshooting by up to a
+//! quarter microsecond. A rollout's serve slice is a promise ("serve at
+//! most `serve_slice_ns` between soak checks"); the clock must never
+//! pass the deadline on the instruction path. (A syscall retiring as
+//! the final instruction still costs its fixed `SYSCALL_COST_NS`, the
+//! same quantisation a hardware timer tick has, so the pins below run
+//! syscall-free loops where the bound is exact.)
+
+use dynacut_isa::{encode, Insn};
+use dynacut_obj::{Perms, PAGE_SIZE};
+use dynacut_vm::{Kernel, Pid, Process, RunOutcome};
+
+const TEXT: u64 = 0x1000;
+
+/// Boots one process spinning on a syscall-free nop loop (1 ns per
+/// retired instruction, forever runnable).
+fn boot_spinner() -> (Kernel, Pid) {
+    let insns = [Insn::Nop, Insn::Nop, Insn::Nop, Insn::Jmp(-8)];
+    let mut bytes = Vec::new();
+    for insn in &insns {
+        bytes.extend(encode(insn));
+    }
+    let pid = Pid(1);
+    let mut proc = Process::new(pid, "spinner");
+    proc.mem.map(TEXT, PAGE_SIZE, Perms::RX, "text").unwrap();
+    proc.mem.write_unchecked(TEXT, &bytes);
+    proc.cpu.pc = TEXT;
+    let mut kernel = Kernel::new();
+    kernel.insert_process(proc).unwrap();
+    (kernel, pid)
+}
+
+/// `run_for(ns)` with a runnable compute loop stops the clock exactly
+/// at the deadline — budgets below, at, and above one scheduling
+/// quantum.
+#[test]
+fn run_for_never_executes_past_its_deadline() {
+    for ns in [1, 7, 100, 255, 256, 300, 1_000, 10_000] {
+        let (mut kernel, _) = boot_spinner();
+        // Desynchronise clock from zero so the bound is not an artifact
+        // of a fresh kernel.
+        kernel.run_for(333);
+        let start = kernel.clock_ns();
+        let outcome = kernel.run_for(ns);
+        assert_eq!(outcome, RunOutcome::Deadline);
+        assert!(
+            kernel.clock_ns() <= start + ns,
+            "run_for({ns}) ran to {} — {} ns past its deadline",
+            kernel.clock_ns(),
+            kernel.clock_ns() - (start + ns)
+        );
+        assert_eq!(
+            kernel.clock_ns(),
+            start + ns,
+            "a spinning process consumes the whole budget exactly"
+        );
+    }
+}
+
+/// An expired (zero) `client_request` deadline must not run the machine
+/// at all — this is the `.max(1)` overshoot pin.
+#[test]
+fn client_request_with_expired_deadline_runs_nothing() {
+    let (mut kernel, pid) = boot_spinner();
+    kernel.restore_listener(4000);
+    let conn = kernel.client_connect(4000).unwrap();
+    let retired_before = kernel.process(pid).unwrap().insns_retired;
+    let clock_before = kernel.clock_ns();
+    let out = kernel.client_request(conn, b"ping", 0).unwrap();
+    assert!(out.is_empty(), "no time to serve means no response");
+    assert_eq!(
+        kernel.clock_ns(),
+        clock_before,
+        "a zero budget must not advance the clock"
+    );
+    assert_eq!(
+        kernel.process(pid).unwrap().insns_retired,
+        retired_before,
+        "a zero budget must not execute instructions"
+    );
+}
+
+/// `client_request(max_ns)` against a server that never answers stops
+/// serving at its deadline, never beyond.
+#[test]
+fn client_request_clock_never_exceeds_its_deadline() {
+    for max_ns in [1, 10, 100, 5_000, 12_345] {
+        let (mut kernel, _) = boot_spinner();
+        kernel.restore_listener(4000);
+        let conn = kernel.client_connect(4000).unwrap();
+        let start = kernel.clock_ns();
+        let out = kernel.client_request(conn, b"ping", max_ns).unwrap();
+        assert!(out.is_empty(), "the spinner never answers");
+        assert!(
+            kernel.clock_ns() <= start + max_ns,
+            "client_request(max_ns={max_ns}) served until {} — past its \
+             deadline of {}",
+            kernel.clock_ns(),
+            start + max_ns
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! Regression pins for syscall argument truncation.
+//!
+//! The handlers used to narrow guest arguments with `as` casts —
+//! `args[0] as u32` for descriptors, `Pid(args[0] as u32)` for kill —
+//! so fd `0x1_0000_0000` silently aliased fd `0` (the console) and pid
+//! `0x1_0000_0001` aliased pid `1`. The same truncation defect class as
+//! the PR 3 drcov offset bug, except here the wild argument could
+//! *succeed* against an unrelated open descriptor or deliver a signal
+//! to an unrelated process. A value that does not fit the descriptor
+//! (or pid) space must fail with the typed errno the kernel uses for
+//! "no such descriptor" (EBADF) / "no such process" (ESRCH).
+
+use dynacut_isa::{encode, Insn, Reg};
+use dynacut_obj::{Perms, PAGE_SIZE};
+use dynacut_vm::{err_ret, Kernel, Pid, Process, Sysno};
+
+const TEXT: u64 = 0x1000;
+const STACK: u64 = 0x8000;
+
+/// One past `u32::MAX`: truncation maps it to fd 0 / pid 0's space.
+const ALIAS_FD_0: u64 = 0x1_0000_0000;
+/// Aliases pid 1 under truncation.
+const ALIAS_PID_1: u64 = 0x1_0000_0001;
+
+const EBADF: u64 = 9;
+const ESRCH: u64 = 3;
+const SIGKILL_NUMBER: u64 = 4;
+
+/// Boots one process running `insns`, which must end by exiting with
+/// the interesting syscall's return value: `Mov(R1, R0); exit`.
+fn boot(insns: &[Insn]) -> (Kernel, Pid) {
+    let mut bytes = Vec::new();
+    for insn in insns {
+        bytes.extend(encode(insn));
+    }
+    assert!(bytes.len() as u64 <= PAGE_SIZE, "test program fits one page");
+    let pid = Pid(1);
+    let mut proc = Process::new(pid, "sys_args");
+    proc.mem.map(TEXT, PAGE_SIZE, Perms::RX, "text").unwrap();
+    proc.mem.write_unchecked(TEXT, &bytes);
+    proc.mem.map(STACK, PAGE_SIZE, Perms::RW, "[stack]").unwrap();
+    proc.cpu.set_sp(STACK + PAGE_SIZE);
+    proc.cpu.pc = TEXT;
+    let mut kernel = Kernel::new();
+    kernel.insert_process(proc).unwrap();
+    (kernel, pid)
+}
+
+/// Issues `nr(arg0, arg1, arg2)` and exits with its return value.
+fn call_then_exit(nr: Sysno, arg0: u64, arg1: u64, arg2: u64) -> Vec<Insn> {
+    vec![
+        Insn::Movi(Reg::R0, nr as u64),
+        Insn::Movi(Reg::R1, arg0),
+        Insn::Movi(Reg::R2, arg1),
+        Insn::Movi(Reg::R3, arg2),
+        Insn::Syscall,
+        Insn::Mov(Reg::R1, Reg::R0),
+        Insn::Movi(Reg::R0, Sysno::Exit as u64),
+        Insn::Syscall,
+    ]
+}
+
+/// `write(0x1_0000_0000, buf, 1)` used to truncate to fd 0 and happily
+/// write the console. It must be EBADF, and the console must stay
+/// empty.
+#[test]
+fn write_does_not_alias_huge_fd_onto_the_console() {
+    let (mut kernel, pid) = boot(&call_then_exit(Sysno::Write, ALIAS_FD_0, STACK, 1));
+    let status = kernel.run_until_exit(pid, 1_000_000).expect("exits");
+    assert_eq!(status.fatal_signal, None);
+    assert_eq!(status.code, err_ret(EBADF), "EBADF, not a console write");
+    assert!(
+        kernel.process(pid).unwrap().console_text().is_empty(),
+        "nothing leaked through the aliased descriptor"
+    );
+}
+
+/// `read(0x1_0000_0000, ...)` used to truncate to the console fd and
+/// block forever waiting for input. It must fail fast with EBADF.
+#[test]
+fn read_does_not_alias_huge_fd_onto_the_console() {
+    let (mut kernel, pid) = boot(&call_then_exit(Sysno::Read, ALIAS_FD_0, STACK, 1));
+    let status = kernel
+        .run_until_exit(pid, 1_000_000)
+        .expect("EBADF, not a blocked console read");
+    assert_eq!(status.code, err_ret(EBADF));
+}
+
+/// `close(0x1_0000_0000)` used to truncate to fd 0 and close the
+/// console out from under the process.
+#[test]
+fn close_does_not_alias_huge_fd_onto_the_console() {
+    let (mut kernel, pid) = boot(&call_then_exit(Sysno::Close, ALIAS_FD_0, 0, 0));
+    let status = kernel.run_until_exit(pid, 1_000_000).expect("exits");
+    assert_eq!(status.code, err_ret(EBADF));
+    let proc = kernel.process(pid).unwrap();
+    assert!(
+        matches!(proc.fds.get(0), Some(dynacut_vm::FileDesc::Console)),
+        "fd 0 is still the console"
+    );
+}
+
+/// The remaining descriptor-taking syscalls reject out-of-range fds the
+/// same way.
+#[test]
+fn bind_listen_accept_reject_out_of_range_fds() {
+    for nr in [Sysno::Bind, Sysno::Listen, Sysno::Accept] {
+        let (mut kernel, pid) = boot(&call_then_exit(nr, ALIAS_FD_0, 80, 0));
+        let status = kernel.run_until_exit(pid, 1_000_000).expect("exits");
+        assert_eq!(
+            status.code,
+            err_ret(EBADF),
+            "{nr:?} must EBADF an fd wider than u32"
+        );
+    }
+}
+
+/// `bind(fd, port)` with a port wider than u16 is EINVAL, not a bind to
+/// the truncated low 16 bits.
+#[test]
+fn bind_rejects_out_of_range_ports() {
+    let program = vec![
+        // socket() -> fd in r0
+        Insn::Movi(Reg::R0, Sysno::Socket as u64),
+        Insn::Syscall,
+        Insn::Mov(Reg::R1, Reg::R0), // fd
+        Insn::Movi(Reg::R2, 0x1_0050), // would truncate to port 80
+        Insn::Movi(Reg::R0, Sysno::Bind as u64),
+        Insn::Syscall,
+        Insn::Mov(Reg::R1, Reg::R0),
+        Insn::Movi(Reg::R0, Sysno::Exit as u64),
+        Insn::Syscall,
+    ];
+    let (mut kernel, pid) = boot(&program);
+    let status = kernel.run_until_exit(pid, 1_000_000).expect("exits");
+    assert_eq!(status.code, err_ret(22), "EINVAL, not a bind to port 80");
+    assert!(!kernel.is_listening(80));
+}
+
+/// `kill(0x1_0000_0001, SIGKILL)` used to truncate the target to pid 1
+/// — the caller itself here — and kill it. It must be ESRCH and deliver
+/// nothing.
+#[test]
+fn kill_does_not_alias_huge_pid_onto_an_existing_process() {
+    let (mut kernel, pid) = boot(&call_then_exit(
+        Sysno::Kill,
+        ALIAS_PID_1,
+        SIGKILL_NUMBER,
+        0,
+    ));
+    let status = kernel
+        .run_until_exit(pid, 1_000_000)
+        .expect("the caller survives its own wild kill");
+    assert_eq!(status.fatal_signal, None, "no signal was delivered");
+    assert_eq!(status.code, err_ret(ESRCH), "ESRCH, same as a vacant pid");
+}
