@@ -108,5 +108,22 @@ grep -q '"promotion_copied_bytes": 0' results/rollout.json
 grep -q '"process_dumps": 1' results/rollout.json
 grep -q '"demotion_fingerprints_match": true' results/rollout.json
 
+# Preemptive MLFQ scheduler (DESIGN §14): the vm suite pins the
+# starvation bound (every runnable progresses within two boost
+# windows), zero quanta burned by blocked guests, wake lists never
+# waking the wrong pid, single-process fingerprint parity with the
+# round-robin oracle, the event-ring seq-anchoring regression for
+# run_until_event, and the named pump tunable. `figures sched`
+# regenerates results/sched.json and panics unless the MLFQ serving
+# p99 stays within 2x from the 100- to the 1000-replica fleet while
+# the oracle degrades >= 2x and MLFQ wakeups stay flat across sizes
+# (the dynacut-sched-v1 schema gate).
+cargo test -q -p dynacut-vm --test sched
+cargo test -q -p dynacut-bench experiments::sched
+cargo run --release -q -p dynacut-bench --bin figures -- sched > /dev/null
+test -s results/sched.json
+grep -q '"schema": "dynacut-sched-v1"' results/sched.json
+grep -q '"fleet_size": 1000' results/sched.json
+
 # API docs must build warning-free.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet

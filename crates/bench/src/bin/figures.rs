@@ -9,7 +9,7 @@ use dynacut_bench::{experiments, flight};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures <fig2|fig4|fig6|fig7|fig8|fig8-incremental|fig9|fig10|table1|plt|ablation|flight|fleet|interp|restore|rollout|all> [more...]"
+        "usage: figures <fig2|fig4|fig6|fig7|fig8|fig8-incremental|fig9|fig10|table1|plt|ablation|flight|fleet|interp|restore|rollout|sched|all> [more...]"
     );
     std::process::exit(2);
 }
@@ -38,6 +38,7 @@ fn main() {
             "interp",
             "restore",
             "rollout",
+            "sched",
         ];
     }
     for (index, target) in targets.iter().enumerate() {
@@ -61,6 +62,7 @@ fn main() {
             "interp" => experiments::interp::print(),
             "restore" => experiments::restore::print(),
             "rollout" => experiments::rollout::print(),
+            "sched" => experiments::sched::print(),
             other => {
                 eprintln!("unknown target `{other}`");
                 usage();

@@ -16,4 +16,5 @@ pub mod interp;
 pub mod plt;
 pub mod restore;
 pub mod rollout;
+pub mod sched;
 pub mod table1;

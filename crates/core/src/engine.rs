@@ -39,7 +39,7 @@ use dynacut_criu::{
     DumpOptions, ModuleRegistry, PreDump, RestoreTransaction,
 };
 use dynacut_vm::fault::{self, FaultPhase};
-use dynacut_vm::{EventKind, Kernel, Phase, Pid, RollbackStep, SigAction, Signal};
+use dynacut_vm::{EventKind, Kernel, Phase, Pid, RollbackStep, SchedClass, SigAction, Signal};
 use std::collections::{BTreeMap, VecDeque};
 use std::time::{Duration, Instant};
 
@@ -269,6 +269,21 @@ impl DynaCut {
         }
     }
 
+    /// Tags every process of an in-flight cycle with a scheduling
+    /// class. Cycle work pumps serve slices between stages, and a
+    /// group mid-customize (post-restore catch-up bursts, repair-mode
+    /// drains) must not steal quanta from replicas that are purely
+    /// serving — the MLFQ pins [`SchedClass::Background`] processes to
+    /// its bottom level. The tag is host-side scheduler state only: it
+    /// survives the remove/insert swap of a restore and never reaches a
+    /// fingerprint or checkpoint, so tagging cannot perturb the
+    /// transactional parity guarantees.
+    fn set_group_class(kernel: &mut Kernel, pids: &[Pid], class: SchedClass) {
+        for &pid in pids {
+            kernel.set_sched_class(pid, class);
+        }
+    }
+
     /// Runs the full stage sequence over one group — the single-group
     /// customize path. Rolls the cycle back on any stage failure.
     pub(crate) fn run_cycle(
@@ -279,13 +294,16 @@ impl DynaCut {
     ) -> Result<CustomizeReport, DynacutError> {
         let mut cycle = self.begin_cycle(pids);
         cycle.begin(kernel);
+        Self::set_group_class(kernel, pids, SchedClass::Background);
         for stage in cycle.stage_sequence() {
             if let Err(err) = self.run_stage(kernel, &mut cycle, plan, stage) {
                 let CycleState { pids, journal, .. } = cycle;
                 self.rollback(kernel, &pids, journal);
+                Self::set_group_class(kernel, &pids, SchedClass::Normal);
                 return Err(err);
             }
         }
+        Self::set_group_class(kernel, pids, SchedClass::Normal);
         Ok(self.commit_cycle(kernel, cycle, plan))
     }
 
@@ -331,6 +349,7 @@ impl DynaCut {
             let mut failed = None;
             for cycle in &mut cycles {
                 cycle.begin(kernel);
+                Self::set_group_class(kernel, &cycle.pids, SchedClass::Background);
                 if let Err(err) = self.run_stage(kernel, cycle, plan, Stage::PreDump) {
                     failed = Some(err);
                     break;
@@ -349,6 +368,7 @@ impl DynaCut {
         let mut report = FleetReport::default();
         while let Some(mut cycle) = cycles.pop_front() {
             cycle.begin(kernel);
+            Self::set_group_class(kernel, &cycle.pids, SchedClass::Background);
             let window: Vec<Stage> = cycle
                 .stage_sequence()
                 .into_iter()
@@ -358,11 +378,14 @@ impl DynaCut {
                 if let Err(err) = self.run_stage(kernel, &mut cycle, plan, stage) {
                     let CycleState { pids, journal, .. } = cycle;
                     self.rollback(kernel, &pids, journal);
+                    Self::set_group_class(kernel, &pids, SchedClass::Normal);
                     return Err(self.abort_fleet(kernel, cycles, err));
                 }
             }
             let pids = cycle.pids.clone();
             let group_report = self.commit_cycle(kernel, cycle, plan);
+            // Committed: the group is a plain serving replica again.
+            Self::set_group_class(kernel, &pids, SchedClass::Normal);
             report.totals.groups += 1;
             report.totals.processes += pids.len();
             report.totals.frozen_page_bytes += group_report.frozen_page_bytes;
@@ -397,11 +420,14 @@ impl DynaCut {
         err: DynacutError,
     ) -> DynacutError {
         for cycle in cycles {
-            if !cycle.begun {
-                continue;
-            }
+            let begun = cycle.begun;
             let CycleState { pids, journal, .. } = cycle;
-            self.rollback(kernel, &pids, journal);
+            if begun {
+                self.rollback(kernel, &pids, journal);
+            }
+            // Untag unconditionally: a never-begun group was still
+            // tagged if wave 1 reached it before the failure.
+            Self::set_group_class(kernel, &pids, SchedClass::Normal);
         }
         err
     }
@@ -1006,13 +1032,19 @@ impl DynaCut {
         // a dirty soak can still demote it.
         let mut cycle = self.begin_cycle(&groups[0]);
         cycle.begin(kernel);
+        Self::set_group_class(kernel, &cycle.pids, SchedClass::Background);
         for stage in cycle.stage_sequence() {
             if let Err(err) = self.run_stage(kernel, &mut cycle, plan, stage) {
                 let CycleState { pids, journal, .. } = cycle;
                 self.rollback(kernel, &pids, journal);
+                Self::set_group_class(kernel, &pids, SchedClass::Normal);
                 return Err(err);
             }
         }
+        // The soak is the canary's *validation* serving: it must compete
+        // for quanta exactly like the replicas it will be promoted onto,
+        // so the background tag comes off before the soak pumps.
+        Self::set_group_class(kernel, &cycle.pids, SchedClass::Normal);
 
         // Stage 2 — soak: pump serve slices and watch the canary. Only
         // verifier-tagged events are drained (the PR 7 selective drain);
@@ -1090,6 +1122,10 @@ impl DynaCut {
         let mut wave_err: Option<DynacutError> = None;
         'wave: for group in &groups[1..] {
             let window_started = Instant::now();
+            // Background from the window start until the rollout
+            // commits (or this group is unwound): the just-promoted
+            // replica's catch-up burst drains under the serving fleet.
+            Self::set_group_class(kernel, group, SchedClass::Background);
             kernel.record_flight(None, EventKind::PhaseStart { phase: Phase::Promote });
             for &pid in group.iter() {
                 kernel.record_flight(Some(pid), EventKind::StageScheduled { stage: Phase::Promote });
@@ -1150,6 +1186,7 @@ impl DynaCut {
                     },
                 );
             }
+            Self::set_group_class(kernel, group, SchedClass::Normal);
             wave_err = group_err;
             break;
         }
@@ -1175,6 +1212,7 @@ impl DynaCut {
                         },
                     );
                 }
+                Self::set_group_class(kernel, &group, SchedClass::Normal);
             }
             self.demote_canary(kernel, cycle, reports.len());
             return Err(err);
@@ -1189,6 +1227,7 @@ impl DynaCut {
         let mut promoted_out = Vec::with_capacity(promoted.len());
         let mut promotion_copied = 0u64;
         for (pids, _receipt, window, copied) in promoted {
+            Self::set_group_class(kernel, &pids, SchedClass::Normal);
             for &pid in &pids {
                 kernel.flight_mut().set_trap_policy(pid, "verify");
             }
@@ -1250,5 +1289,6 @@ impl DynaCut {
         kernel.flight_mut().metrics_mut().incr("rollout.demotions", 1);
         let CycleState { pids, journal, .. } = cycle;
         self.rollback(kernel, &pids, journal);
+        Self::set_group_class(kernel, &pids, SchedClass::Normal);
     }
 }

@@ -16,7 +16,7 @@ use dynacut::{
 };
 use dynacut_apps::{libc::guest_libc, nginx, redis, EVENT_READY};
 use dynacut_criu::ModuleRegistry;
-use dynacut_vm::{Kernel, LoadSpec, Pid};
+use dynacut_vm::{Kernel, LoadSpec, Pid, SchedPolicy};
 use std::sync::Arc;
 
 // ----- customize commit: version swap instead of flush ------------------
@@ -196,6 +196,15 @@ fn rollback_redispatches_pristine_version_without_redecode() {
     let mut replica = boot_redis();
     let mut oracle = boot_redis();
     oracle.kernel.set_block_cache_enabled(false);
+    // This pin counts decode misses, and mid-block slice-over re-enters
+    // the dispatcher at a fresh cache key — so the miss count is
+    // sensitive to where slices end. Run under the fixed-quantum
+    // round-robin oracle, whose slicing repeats exactly between the
+    // steady-state batches and the post-rollback batch; the MLFQ's
+    // per-level quanta shift those boundaries (guest-invisibly) as the
+    // process changes level across the rollout.
+    replica.kernel.set_scheduler(SchedPolicy::RoundRobin);
+    oracle.kernel.set_scheduler(SchedPolicy::RoundRobin);
 
     // Warm to a steady state: identical batches until one completes
     // without a single new decode (every block on the path is cached).

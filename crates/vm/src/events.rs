@@ -227,6 +227,15 @@ pub enum EventKind {
         /// Verifier reports observed during the soak.
         reports: usize,
     },
+    /// The MLFQ run loop dispatched a process. Only journalled when
+    /// dispatch tracing is enabled via
+    /// [`Kernel::set_sched_trace`](crate::Kernel::set_sched_trace) —
+    /// always-on tracing would flood the bounded ring and evict the
+    /// stage/phase events the customize layers rely on.
+    ContextSwitch {
+        /// Run-queue level the process was dispatched from.
+        level: u8,
+    },
 }
 
 /// One journal entry: an [`EventKind`] plus its envelope.

@@ -8,18 +8,33 @@ use crate::interp::{self, Exec};
 use crate::loader::{load_into, LoadSpec, MMAP_BASE};
 use crate::net::{ConnId, NetStack, TcpConn, TcpState};
 use crate::process::{Pid, ProcState, Process, WaitReason};
+use crate::sched::{SchedClass, SchedPolicy, Scheduler, WakeHint, BOOST_INTERVAL_NS};
 use crate::signal::Signal;
 use crate::syscall::{err_ret, perms_from_bits, Sysno};
 use crate::VmError;
 use dynacut_isa::Reg;
 use dynacut_obj::{page_align, PAGE_SIZE};
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
-/// Scheduling quantum, in instructions.
+/// Base scheduling quantum, in instructions (the level-0 MLFQ quantum;
+/// the per-level quantum doubles with each level below).
 const QUANTUM: u64 = 256;
 /// Fixed syscall cost in simulated nanoseconds.
 const SYSCALL_COST_NS: u64 = 50;
+/// Default granularity of the serve pumps in
+/// [`Kernel::run_until_event`], [`Kernel::run_until_exit`] and
+/// [`Kernel::client_request`]: how much simulated time each inner
+/// `run_for` slice covers before the stop condition is re-checked. One
+/// named tunable ([`Kernel::set_pump_chunk_ns`]) instead of hardcoded
+/// per-call-site chunks, so scheduler experiments can vary pump
+/// granularity in one place.
+pub const DEFAULT_PUMP_CHUNK_NS: u64 = 5_000;
+/// Default capacity of the guest event ring
+/// ([`Kernel::set_event_capacity`]). When full, the oldest event is
+/// dropped; [`Event::seq`] stays monotonic so consumers detect the gap.
+pub const DEFAULT_EVENT_CAPACITY: usize = 1 << 16;
 
 /// A host-side handle to a client TCP connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +66,11 @@ pub struct ExitStatus {
 /// target server program has initialized" (§3.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Event {
+    /// Monotonic sequence number (never reused). The event ring is
+    /// bounded, so consumers that rescan incrementally must anchor on
+    /// `seq`, not on buffer indices — a raw index skews the moment the
+    /// ring drops its oldest entries mid-run.
+    pub seq: u64,
     /// Kernel time at emission.
     pub time_ns: u64,
     /// Emitting process.
@@ -60,7 +80,6 @@ pub struct Event {
 }
 
 /// The DCVM kernel. See the crate-level docs for an overview.
-#[derive(Default)]
 pub struct Kernel {
     procs: BTreeMap<Pid, Process>,
     next_pid: u32,
@@ -68,7 +87,13 @@ pub struct Kernel {
     vfs: BTreeMap<String, Arc<Vec<u8>>>,
     clock_ns: u64,
     hook: Option<Box<dyn Hook>>,
-    events: Vec<Event>,
+    events: VecDeque<Event>,
+    /// Sequence number the next guest event will get.
+    next_event_seq: u64,
+    /// Events evicted from the bounded ring so far.
+    events_dropped: u64,
+    /// Ring capacity (oldest events are dropped past this).
+    event_capacity: usize,
     flight: FlightRecorder,
     /// Inverted so a `Default`-constructed kernel runs with the
     /// decoded-block cache *enabled*. See
@@ -78,6 +103,33 @@ pub struct Kernel {
     /// superblocks by default. See
     /// [`set_superblocks_enabled`](Kernel::set_superblocks_enabled).
     superblocks_disabled: bool,
+    /// MLFQ run queues and wait-object registry (host-side only: never
+    /// fingerprinted, never checkpointed — see DESIGN §14).
+    sched: Scheduler,
+    /// Serve-pump granularity; see [`DEFAULT_PUMP_CHUNK_NS`].
+    pump_chunk_ns: u64,
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Kernel {
+            procs: BTreeMap::new(),
+            next_pid: 0,
+            net: NetStack::default(),
+            vfs: BTreeMap::new(),
+            clock_ns: 0,
+            hook: None,
+            events: VecDeque::new(),
+            next_event_seq: 0,
+            events_dropped: 0,
+            event_capacity: DEFAULT_EVENT_CAPACITY,
+            flight: FlightRecorder::default(),
+            block_cache_disabled: false,
+            superblocks_disabled: false,
+            sched: Scheduler::default(),
+            pump_chunk_ns: DEFAULT_PUMP_CHUNK_NS,
+        }
+    }
 }
 
 impl std::fmt::Debug for Kernel {
@@ -159,6 +211,61 @@ impl Kernel {
         !self.superblocks_disabled
     }
 
+    /// Selects the run-loop policy (the preemptive MLFQ by default).
+    /// Switching rebuilds the scheduler's run queues and wait-object
+    /// registry from the current `ProcState` of every process — the
+    /// scheduler holds no state that cannot be rebuilt this way, which
+    /// is also why it is never checkpointed. The round-robin path is
+    /// kept as a toggleable oracle: single-process workloads are
+    /// bit-identical under [`state_fingerprint`](Kernel::state_fingerprint)
+    /// between the two policies.
+    pub fn set_scheduler(&mut self, policy: SchedPolicy) {
+        if self.sched.policy == policy {
+            return;
+        }
+        self.sched.policy = policy;
+        self.sched.clear_dynamic();
+        if policy == SchedPolicy::Mlfq {
+            self.sched.last_boost_ns = self.clock_ns;
+            let pids: Vec<Pid> = self.procs.keys().copied().collect();
+            for pid in pids {
+                self.sched_reattach(pid);
+            }
+        }
+    }
+
+    /// The active run-loop policy.
+    pub fn scheduler_policy(&self) -> SchedPolicy {
+        self.sched.policy
+    }
+
+    /// Tags a process's scheduling class. [`SchedClass::Background`]
+    /// pins it to the bottom MLFQ level — the customize engine applies
+    /// this to the process groups of an in-flight cycle so serving
+    /// replicas preempt their pumped guest work, and removes it when
+    /// the cycle commits or rolls back. Unknown pids are remembered
+    /// (the tag applies when the pid appears); the tag survives the
+    /// remove/insert swap of a restore, and is host-side only — it
+    /// never reaches [`state_fingerprint`](Kernel::state_fingerprint)
+    /// or a checkpoint image.
+    pub fn set_sched_class(&mut self, pid: Pid, class: SchedClass) {
+        self.sched.set_class(pid, class);
+    }
+
+    /// The process's scheduling class.
+    pub fn sched_class(&self, pid: Pid) -> SchedClass {
+        self.sched.class_of(pid)
+    }
+
+    /// Enables journalling every MLFQ dispatch as an
+    /// [`EventKind::ContextSwitch`] flight event. Off by default:
+    /// always-on dispatch tracing would flood the bounded flight ring
+    /// and evict the stage/phase events the customize layers rely on.
+    /// The `sched.*` metrics are counted regardless.
+    pub fn set_sched_trace(&mut self, on: bool) {
+        self.sched.trace = on;
+    }
+
     // ----- processes ----------------------------------------------------
 
     /// Loads a program and returns its pid.
@@ -172,6 +279,7 @@ impl Kernel {
         let mut proc = Process::new(pid, "loading");
         load_into(&mut proc, spec)?;
         self.procs.insert(pid, proc);
+        self.sched_reattach(pid);
         Ok(pid)
     }
 
@@ -245,6 +353,10 @@ impl Kernel {
             });
         }
         proc.state = proc.frozen_from.take().unwrap_or(ProcState::Runnable);
+        // Re-attach to the scheduler: a thawed-runnable process is
+        // re-admitted, a thawed-blocked one re-parks on its wait object
+        // (data that arrived while it was frozen is noticed there).
+        self.sched_reattach(pid);
         Ok(())
     }
 
@@ -255,7 +367,13 @@ impl Kernel {
     ///
     /// Fails if the process does not exist.
     pub fn remove_process(&mut self, pid: Pid) -> Result<Process, VmError> {
-        self.procs.remove(&pid).ok_or(VmError::NoSuchProcess(pid))
+        let proc = self.procs.remove(&pid).ok_or(VmError::NoSuchProcess(pid))?;
+        // Stale wait-object entries are left behind deliberately: they
+        // validate against the live process table on wake, so they can
+        // neither fire for a dead pid nor mis-wake a restored reuse of
+        // it (the ready condition is always re-checked).
+        self.sched.forget(pid);
+        Ok(proc)
     }
 
     /// Re-inserts a process built by the restore path. The pid must be
@@ -281,7 +399,9 @@ impl Kernel {
         // so every entry is exactly as valid as it was at dump time.
         // That is what makes rollback's version swap free (DESIGN §11).
         self.next_pid = self.next_pid.max(proc.pid.0);
-        self.procs.insert(proc.pid, proc);
+        let pid = proc.pid;
+        self.procs.insert(pid, proc);
+        self.sched_reattach(pid);
         Ok(())
     }
 
@@ -292,6 +412,8 @@ impl Kernel {
     /// Fails if the process does not exist.
     pub fn post_signal(&mut self, pid: Pid, signal: Signal) -> Result<(), VmError> {
         self.process_mut(pid)?.pending_signals.push_back(signal);
+        // A pending signal makes any blocked process ready.
+        self.sched.note(WakeHint::Pid(pid));
         Ok(())
     }
 
@@ -318,16 +440,72 @@ impl Kernel {
         self.clock_ns = self.clock_ns.saturating_add(ns);
     }
 
+    /// Sets the serve-pump granularity (clamped to at least 1 ns); see
+    /// [`DEFAULT_PUMP_CHUNK_NS`]. Smaller chunks re-check the stop
+    /// condition (a response arrived, the awaited event fired, the
+    /// process exited) more often at the cost of more pump iterations —
+    /// the scheduler experiments shrink it to resolve tail latencies
+    /// finer than the default chunk.
+    pub fn set_pump_chunk_ns(&mut self, ns: u64) {
+        self.pump_chunk_ns = ns.max(1);
+    }
+
+    /// The serve-pump granularity.
+    pub fn pump_chunk_ns(&self) -> u64 {
+        self.pump_chunk_ns
+    }
+
     // ----- events -------------------------------------------------------
 
-    /// All phase-marker events emitted so far.
-    pub fn events(&self) -> &[Event] {
+    /// All phase-marker events currently buffered (the bounded ring may
+    /// have dropped older ones; see [`events_dropped`](Kernel::events_dropped)).
+    pub fn events(&self) -> &VecDeque<Event> {
         &self.events
+    }
+
+    /// Events evicted from the bounded ring so far.
+    pub fn events_dropped(&self) -> u64 {
+        self.events_dropped
+    }
+
+    /// The sequence number the *next* guest event will get. Consumers
+    /// that rescan incrementally anchor on this (see
+    /// [`run_until_event`](Kernel::run_until_event)).
+    pub fn event_seq(&self) -> u64 {
+        self.next_event_seq
+    }
+
+    /// Resizes the guest event ring (minimum 1). Shrinking drops the
+    /// oldest buffered events immediately.
+    pub fn set_event_capacity(&mut self, capacity: usize) {
+        self.event_capacity = capacity.max(1);
+        while self.events.len() > self.event_capacity {
+            self.events.pop_front();
+            self.events_dropped += 1;
+        }
+    }
+
+    /// Appends to the bounded event ring, evicting the oldest entry
+    /// when full. Every guest event funnels through here so `seq` stays
+    /// monotonic and the drop counter exact.
+    fn push_event(&mut self, pid: Pid, code: u64) {
+        let seq = self.next_event_seq;
+        self.next_event_seq += 1;
+        if self.events.len() >= self.event_capacity {
+            self.events.pop_front();
+            self.events_dropped += 1;
+        }
+        self.events.push_back(Event {
+            seq,
+            time_ns: self.clock_ns,
+            pid,
+            code,
+        });
     }
 
     /// Removes and returns all recorded events.
     pub fn drain_events(&mut self) -> Vec<Event> {
-        std::mem::take(&mut self.events)
+        self.events.drain(..).collect()
     }
 
     /// Removes and returns only the events matching `predicate`; the
@@ -340,12 +518,12 @@ impl Kernel {
         F: FnMut(&Event) -> bool,
     {
         let mut matched = Vec::new();
-        let mut kept = Vec::with_capacity(self.events.len());
+        let mut kept = VecDeque::with_capacity(self.events.len());
         for event in self.events.drain(..) {
             if predicate(&event) {
                 matched.push(event);
             } else {
-                kept.push(event);
+                kept.push_back(event);
             }
         }
         self.events = kept;
@@ -360,11 +538,7 @@ impl Kernel {
     /// canary.
     pub fn inject_event(&mut self, pid: Pid, code: u64) {
         let clock = self.clock_ns;
-        self.events.push(Event {
-            time_ns: clock,
-            pid,
-            code,
-        });
+        self.push_event(pid, code);
         let kind = if code & VERIFIER_EVENT_BIT != 0 {
             self.flight.metrics_mut().incr("verifier.reports", 1);
             EventKind::VerifierReport {
@@ -406,10 +580,16 @@ impl Kernel {
     ///
     /// Fails with [`VmError::ConnectionRefused`] if nothing listens there.
     pub fn client_connect(&mut self, port: u16) -> Result<ClientConn, VmError> {
-        self.net
+        let conn = self
+            .net
             .connect(port)
             .map(ClientConn)
-            .ok_or(VmError::ConnectionRefused(port))
+            .ok_or(VmError::ConnectionRefused(port))?;
+        // One backlog entry: wake one acceptor (not the whole herd the
+        // round-robin scan used to release, N-1 of which would retry
+        // `accept` against an already-drained backlog and re-block).
+        self.sched.note(WakeHint::Port(port));
+        Ok(conn)
     }
 
     /// Sends bytes from the client to the server. Bytes queue even while
@@ -427,6 +607,7 @@ impl Kernel {
             return Err(VmError::BadConnection(conn.0 .0));
         }
         tcp.to_server.extend(bytes);
+        self.sched.note(WakeHint::Conn(conn.0));
         Ok(())
     }
 
@@ -455,6 +636,9 @@ impl Kernel {
         }
         self.net.close(conn.0);
         self.net.reap();
+        // A closed (or reaped) connection makes a blocked read ready:
+        // it returns 0.
+        self.sched.note(WakeHint::Conn(conn.0));
         Ok(())
     }
 
@@ -481,7 +665,7 @@ impl Kernel {
             if remaining == 0 {
                 return self.client_recv(conn);
             }
-            let outcome = self.run_for(5_000.min(remaining));
+            let outcome = self.run_for(self.pump_chunk_ns.min(remaining));
             let out = self.client_recv(conn)?;
             if !out.is_empty() {
                 return Ok(out);
@@ -520,6 +704,11 @@ impl Kernel {
     /// Re-establishes repaired connections (restore).
     pub fn unrepair_connections(&mut self, ids: &[ConnId]) {
         self.net.leave_repair(ids);
+        // Leaving repair mode makes bytes buffered during the freeze
+        // readable again: re-check each connection's indexed waiters.
+        for &id in ids {
+            self.sched.note(WakeHint::Conn(id));
+        }
     }
 
     /// Snapshot of a connection's state (for the CRIU tcp image).
@@ -664,9 +853,22 @@ impl Kernel {
 
     // ----- running ------------------------------------------------------
 
-    /// Runs the machine for up to `ns` nanoseconds of simulated time.
+    /// Runs the machine for up to `ns` nanoseconds of simulated time,
+    /// under the active [`SchedPolicy`].
     pub fn run_for(&mut self, ns: u64) -> RunOutcome {
         let deadline = self.clock_ns.saturating_add(ns);
+        let outcome = match self.sched.policy {
+            SchedPolicy::RoundRobin => self.run_for_rr(deadline),
+            SchedPolicy::Mlfq => self.run_for_mlfq(deadline),
+        };
+        self.flush_sched_stats();
+        outcome
+    }
+
+    /// The historical cooperative round-robin pump, kept verbatim as the
+    /// fingerprint-parity oracle: every pass re-scans all blocked
+    /// processes (`wake_blocked`) and round-robins the runnables.
+    fn run_for_rr(&mut self, deadline: u64) -> RunOutcome {
         loop {
             self.wake_blocked();
             let runnable: Vec<Pid> = self
@@ -715,19 +917,423 @@ impl Kernel {
         }
     }
 
+    /// The preemptive MLFQ run loop. Each pass services the wait-object
+    /// registry (boost, expired timers, deferred wake notes), dispatches
+    /// the next queued pid at its per-level quantum — clamped so a
+    /// higher-priority sleeper's timer never waits out a full
+    /// lower-level slice — and re-files the process by its post-slice
+    /// state. With nothing queued it admits stray runnables, then idle
+    /// fast-forwards to the earliest valid timer. No full-table scan on
+    /// the hot path: the only O(N) walks left are the boost-interval
+    /// reconciliation and the idle path, where nothing is running
+    /// anyway.
+    fn run_for_mlfq(&mut self, deadline: u64) -> RunOutcome {
+        loop {
+            self.sched_service();
+            let Some((pid, level)) = self.sched.pop_next() else {
+                // Reconcile stray runnables (made runnable by a path
+                // that could not know about the scheduler) before
+                // declaring idleness.
+                let strays: Vec<Pid> = self
+                    .procs
+                    .values()
+                    .filter(|p| p.is_runnable())
+                    .map(|p| p.pid)
+                    .collect();
+                if !strays.is_empty() {
+                    for pid in strays {
+                        self.sched.enqueue(pid);
+                    }
+                    continue;
+                }
+                if self.procs.values().all(|p| p.is_exited()) {
+                    return RunOutcome::AllExited;
+                }
+                match self.next_valid_timer() {
+                    Some((t, _)) if t < deadline => {
+                        self.sched.stats.idle_ns += t - self.clock_ns;
+                        self.clock_ns = t;
+                        continue;
+                    }
+                    _ => {
+                        self.sched.stats.idle_ns +=
+                            deadline.saturating_sub(self.clock_ns);
+                        self.clock_ns = deadline;
+                        return RunOutcome::Idle;
+                    }
+                }
+            };
+            // Queue entries go stale (freeze, exit, signal death since
+            // enqueue): validate before dispatching.
+            if !self
+                .procs
+                .get(&pid)
+                .is_some_and(|p| p.is_runnable())
+            {
+                continue;
+            }
+            // Per-level quantum (doubling per level), clamped to the
+            // deadline, and clamped again if a higher-priority
+            // sleeper's timer expires mid-slice — that is the
+            // preemption point that keeps serving replicas' sleeps
+            // honest while a background slice runs. Only the earliest
+            // timer is consulted; a deeper higher-priority timer can be
+            // late by at most one slice, the same quantisation the
+            // deadline clamp already has.
+            let full = QUANTUM << level;
+            let mut budget = full.min(deadline.saturating_sub(self.clock_ns));
+            let mut timer_clamped = false;
+            if level > 0 {
+                if let Some((t, sleeper)) = self.next_valid_timer() {
+                    if self.sched.effective_level(sleeper) < level
+                        && t > self.clock_ns
+                        && t - self.clock_ns < budget
+                    {
+                        budget = t - self.clock_ns;
+                        timer_clamped = true;
+                    }
+                }
+            }
+            self.sched.stats.quanta += 1;
+            if self.sched.trace {
+                self.flight.record(
+                    self.clock_ns,
+                    Some(pid),
+                    EventKind::ContextSwitch { level: level as u8 },
+                );
+            }
+            self.step_slice(pid, budget);
+            // Re-file by post-slice state. `step_slice` only ends early
+            // on block/exit/freeze, so a still-runnable process with an
+            // unclamped full budget provably burned its whole quantum:
+            // compute-bound, demote.
+            match self.procs.get(&pid).map(|p| p.state) {
+                None | Some(ProcState::Exited) => self.sched.forget(pid),
+                Some(ProcState::Runnable) => {
+                    if budget == full {
+                        self.sched.demote(pid);
+                    } else if timer_clamped {
+                        self.sched.stats.preemptions += 1;
+                    }
+                    self.sched.enqueue(pid);
+                }
+                Some(ProcState::Blocked(_)) => self.sched_park(pid),
+                Some(ProcState::Frozen) => {}
+            }
+            if self.clock_ns >= deadline {
+                return RunOutcome::Deadline;
+            }
+        }
+    }
+
+    /// One registry service pass: periodic priority boost, expired
+    /// timers, and deferred wake notes. Every wake is re-validated
+    /// against [`pid_ready`](Kernel::pid_ready) — the exact ready
+    /// conditions of the round-robin scan — so stale registry entries
+    /// and optimistic hints can never wake a process the oracle would
+    /// have left blocked.
+    fn sched_service(&mut self) {
+        if self.clock_ns.saturating_sub(self.sched.last_boost_ns) >= BOOST_INTERVAL_NS {
+            self.sched.last_boost_ns = self.clock_ns;
+            self.sched.boost();
+            // The boost is also the amortized safety net for runnables
+            // that slipped past every hint path: admit them here, off
+            // the per-quantum hot path.
+            let strays: Vec<Pid> = self
+                .procs
+                .values()
+                .filter(|p| p.is_runnable())
+                .map(|p| p.pid)
+                .collect();
+            for pid in strays {
+                self.sched.enqueue(pid);
+            }
+        }
+        while let Some(&Reverse((t, pid))) = self.sched.timers.peek() {
+            if t > self.clock_ns {
+                break;
+            }
+            self.sched.timers.pop();
+            let valid = matches!(
+                self.procs.get(&pid).map(|p| p.state),
+                Some(ProcState::Blocked(WaitReason::Until(tt))) if tt == t
+            );
+            if valid {
+                self.wake_pid(pid);
+            }
+        }
+        while let Some(hint) = self.sched.hints.pop_front() {
+            match hint {
+                WakeHint::Pid(pid) => {
+                    if self.pid_ready(pid) {
+                        self.wake_pid(pid);
+                    }
+                }
+                WakeHint::Conn(id) => {
+                    let Some(waiters) = self.sched.read_waiters.remove(&id) else {
+                        continue;
+                    };
+                    let mut keep = Vec::new();
+                    for pid in waiters {
+                        if !self.read_waiter_matches(pid, id) {
+                            continue; // stale: drop it
+                        }
+                        if self.pid_ready(pid) {
+                            self.wake_pid(pid);
+                        } else {
+                            keep.push(pid);
+                        }
+                    }
+                    if !keep.is_empty() {
+                        self.sched.read_waiters.insert(id, keep);
+                    }
+                }
+                WakeHint::Port(port) => {
+                    if !self.net.has_backlog(port) {
+                        continue;
+                    }
+                    // One backlog entry wakes exactly one valid
+                    // acceptor, in FIFO order — not the whole herd.
+                    while let Some(pid) = self
+                        .sched
+                        .accept_waiters
+                        .get_mut(&port)
+                        .and_then(|queue| queue.pop_front())
+                    {
+                        if self.accept_waiter_matches(pid, port) {
+                            self.wake_pid(pid);
+                            break;
+                        }
+                    }
+                    if self
+                        .sched
+                        .accept_waiters
+                        .get(&port)
+                        .is_some_and(|queue| queue.is_empty())
+                    {
+                        self.sched.accept_waiters.remove(&port);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether the round-robin `wake_blocked` scan would wake `pid`
+    /// right now (already-runnable counts as ready). The single
+    /// ready-condition oracle both policies share.
+    fn pid_ready(&self, pid: Pid) -> bool {
+        let Some(proc) = self.procs.get(&pid) else {
+            return false;
+        };
+        let reason = match proc.state {
+            ProcState::Runnable => return true,
+            ProcState::Blocked(reason) => reason,
+            _ => return false,
+        };
+        if !proc.pending_signals.is_empty() {
+            return true;
+        }
+        match reason {
+            WaitReason::Until(t) => self.clock_ns >= t,
+            WaitReason::ReadFd(fd) => match proc.fds.get(fd) {
+                Some(FileDesc::Conn(id)) => match self.net.conn(*id) {
+                    Some(conn) => {
+                        (!conn.to_server.is_empty() && conn.state == TcpState::Established)
+                            || conn.state == TcpState::Closed
+                    }
+                    None => true, // vanished: read will return 0
+                },
+                Some(FileDesc::File { .. }) => true,
+                Some(FileDesc::Console) => false,
+                _ => true, // bogus fd: let the syscall fail
+            },
+            WaitReason::Accept(fd) => match proc.fds.get(fd) {
+                Some(FileDesc::Listener { port }) => self.net.has_backlog(*port),
+                _ => true,
+            },
+        }
+    }
+
+    /// Flips a blocked process runnable and admits it to the run
+    /// queues. The *only* `Blocked → Runnable` site under the MLFQ —
+    /// and it only runs from inside `run_for`, mirroring the oracle's
+    /// rule that scheduler-driven state flips never happen from host
+    /// methods (fingerprints taken between runs stay policy-agnostic).
+    fn wake_pid(&mut self, pid: Pid) {
+        let Some(proc) = self.procs.get_mut(&pid) else {
+            return;
+        };
+        if matches!(proc.state, ProcState::Blocked(_)) {
+            proc.state = ProcState::Runnable;
+            self.sched.stats.wakeups += 1;
+        }
+        if proc.state == ProcState::Runnable {
+            self.sched.enqueue(pid);
+        }
+    }
+
+    /// Whether a read-waiter registry entry still describes reality:
+    /// the process is blocked reading an fd that maps to this exact
+    /// connection. Guards against pid reuse and fd re-targeting across
+    /// a restore swap.
+    fn read_waiter_matches(&self, pid: Pid, id: ConnId) -> bool {
+        let Some(proc) = self.procs.get(&pid) else {
+            return false;
+        };
+        match proc.state {
+            ProcState::Blocked(WaitReason::ReadFd(fd)) => {
+                matches!(proc.fds.get(fd), Some(FileDesc::Conn(conn)) if *conn == id)
+            }
+            _ => false,
+        }
+    }
+
+    /// Accept-waiter analogue of
+    /// [`read_waiter_matches`](Kernel::read_waiter_matches).
+    fn accept_waiter_matches(&self, pid: Pid, port: u16) -> bool {
+        let Some(proc) = self.procs.get(&pid) else {
+            return false;
+        };
+        match proc.state {
+            ProcState::Blocked(WaitReason::Accept(fd)) => {
+                matches!(proc.fds.get(fd), Some(FileDesc::Listener { port: p }) if *p == port)
+            }
+            _ => false,
+        }
+    }
+
+    /// Registers a blocked process on its wait object — without
+    /// touching its state. Conditions that are already satisfied (or
+    /// that have no wait object, like a bogus fd) become `Pid` hints so
+    /// the next service pass wakes the process; genuinely parked
+    /// waiters cost nothing until their object is touched. A console
+    /// read has no wake source and parks nowhere, exactly like the
+    /// round-robin scan that never wakes it.
+    fn sched_park(&mut self, pid: Pid) {
+        let Some(proc) = self.procs.get(&pid) else {
+            return;
+        };
+        let ProcState::Blocked(reason) = proc.state else {
+            return;
+        };
+        if !proc.pending_signals.is_empty() {
+            self.sched.note(WakeHint::Pid(pid));
+            return;
+        }
+        match reason {
+            WaitReason::Until(t) => {
+                if self.clock_ns >= t {
+                    self.sched.note(WakeHint::Pid(pid));
+                } else {
+                    self.sched.timers.push(Reverse((t, pid)));
+                }
+            }
+            WaitReason::ReadFd(fd) => match proc.fds.get(fd) {
+                Some(FileDesc::Conn(id)) => {
+                    let id = *id;
+                    if self.pid_ready(pid) {
+                        self.sched.note(WakeHint::Pid(pid));
+                    } else {
+                        self.sched.read_waiters.entry(id).or_default().push(pid);
+                    }
+                }
+                Some(FileDesc::Console) => {}
+                _ => self.sched.note(WakeHint::Pid(pid)),
+            },
+            WaitReason::Accept(fd) => match proc.fds.get(fd) {
+                Some(FileDesc::Listener { port }) => {
+                    let port = *port;
+                    if self.net.has_backlog(port) {
+                        self.sched.note(WakeHint::Pid(pid));
+                    } else {
+                        self.sched
+                            .accept_waiters
+                            .entry(port)
+                            .or_default()
+                            .push_back(pid);
+                    }
+                }
+                _ => self.sched.note(WakeHint::Pid(pid)),
+            },
+        }
+    }
+
+    /// (Re-)attaches a process to the scheduler from its `ProcState`
+    /// alone — spawn, thaw, restore-insert, and policy switches all
+    /// funnel through here. This is why scheduler state never needs
+    /// checkpointing: everything it holds is derivable on demand.
+    fn sched_reattach(&mut self, pid: Pid) {
+        if !self.sched.is_mlfq() {
+            return;
+        }
+        let Some(proc) = self.procs.get(&pid) else {
+            return;
+        };
+        match proc.state {
+            ProcState::Runnable => self.sched.enqueue(pid),
+            ProcState::Blocked(_) => self.sched_park(pid),
+            _ => {}
+        }
+    }
+
+    /// Earliest still-valid sleeper `(wake_time, pid)`, discarding
+    /// stale heap entries from the top as a side effect.
+    fn next_valid_timer(&mut self) -> Option<(u64, Pid)> {
+        while let Some(&Reverse((t, pid))) = self.sched.timers.peek() {
+            let valid = matches!(
+                self.procs.get(&pid).map(|p| p.state),
+                Some(ProcState::Blocked(WaitReason::Until(tt))) if tt == t
+            );
+            if valid {
+                return Some((t, pid));
+            }
+            self.sched.timers.pop();
+        }
+        None
+    }
+
+    /// Flushes the per-run scheduler counters to the `sched.*` metrics.
+    fn flush_sched_stats(&mut self) {
+        let stats = self.sched.take_stats();
+        let metrics = self.flight.metrics_mut();
+        if stats.quanta > 0 {
+            metrics.incr("sched.quanta", stats.quanta);
+        }
+        if stats.preemptions > 0 {
+            metrics.incr("sched.preemptions", stats.preemptions);
+        }
+        if stats.demotions > 0 {
+            metrics.incr("sched.demotions", stats.demotions);
+        }
+        if stats.boosts > 0 {
+            metrics.incr("sched.boosts", stats.boosts);
+        }
+        if stats.wakeups > 0 {
+            metrics.incr("sched.wakeups", stats.wakeups);
+        }
+        if stats.idle_ns > 0 {
+            metrics.incr("sched.idle_ns", stats.idle_ns);
+        }
+    }
+
     /// Runs until the guest emits event `code`, or `max_ns` passes.
     /// Returns the event if seen.
     pub fn run_until_event(&mut self, code: u64, max_ns: u64) -> Option<Event> {
         let deadline = self.clock_ns.saturating_add(max_ns);
-        let mut scanned = self.events.len();
+        // Anchor the incremental rescan on the monotonic event seq, not
+        // a buffer index: the bounded ring drops its oldest entries
+        // when full, and an index into the shifted buffer would
+        // double-scan old events or skip fresh ones.
+        let mut scanned_seq = self.next_event_seq;
         while self.clock_ns < deadline {
-            let outcome = self.run_for(10_000.min(deadline - self.clock_ns));
-            for event in &self.events[scanned..] {
+            let outcome = self.run_for(self.pump_chunk_ns.min(deadline - self.clock_ns));
+            let start = self.events.partition_point(|event| event.seq < scanned_seq);
+            for event in self.events.iter().skip(start) {
                 if event.code == code {
                     return Some(*event);
                 }
             }
-            scanned = self.events.len();
+            scanned_seq = self.next_event_seq;
             if outcome == RunOutcome::AllExited {
                 break;
             }
@@ -742,7 +1348,7 @@ impl Kernel {
             if let Some(status) = self.exit_status(pid) {
                 return Some(status);
             }
-            match self.run_for(10_000.min(deadline - self.clock_ns)) {
+            match self.run_for(self.pump_chunk_ns.min(deadline - self.clock_ns)) {
                 RunOutcome::AllExited => break,
                 RunOutcome::Idle => {
                     if self.exit_status(pid).is_some() {
@@ -1322,6 +1928,9 @@ impl Kernel {
                 match proc.fds.close(fd) {
                     Some(FileDesc::Conn(id)) => {
                         self.net.close(id);
+                        // A close makes any blocked read on the
+                        // connection ready (it returns 0).
+                        self.sched.note(WakeHint::Conn(id));
                         proc.cpu.set_reg(Reg::R0, 0);
                     }
                     Some(_) => proc.cpu.set_reg(Reg::R0, 0),
@@ -1424,6 +2033,7 @@ impl Kernel {
                     .cpu
                     .set_reg(Reg::R0, child_pid.0 as u64);
                 self.procs.insert(child_pid, child);
+                self.sched.note(WakeHint::Pid(child_pid));
                 if let Some(hook) = hook.as_deref_mut() {
                     hook.on_fork(parent_pid, child_pid);
                 }
@@ -1505,11 +2115,7 @@ impl Kernel {
             Sysno::EmitEvent => {
                 let code = args[0];
                 proc.cpu.set_reg(Reg::R0, 0);
-                self.events.push(Event {
-                    time_ns: clock,
-                    pid,
-                    code,
-                });
+                self.push_event(pid, code);
                 let kind = if code & VERIFIER_EVENT_BIT != 0 {
                     // The injected verifier library reports a falsely
                     // blocked address (paper §3.2.3): surface it in the
@@ -1543,7 +2149,11 @@ impl Kernel {
                 };
                 proc.cpu.set_reg(Reg::R0, 0);
                 match self.procs.get_mut(&target) {
-                    Some(target_proc) => target_proc.pending_signals.push_back(signal),
+                    Some(target_proc) => {
+                        target_proc.pending_signals.push_back(signal);
+                        // A pending signal makes a blocked target ready.
+                        self.sched.note(WakeHint::Pid(target));
+                    }
                     None => {
                         self.procs
                             .get_mut(&pid)
